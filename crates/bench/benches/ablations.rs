@@ -1,0 +1,103 @@
+//! Ablation benches for the design choices the paper calls out as tunable:
+//!
+//! * `ablation_r_param` — `R` of EQ 1 (weight of assignment sites);
+//! * `ablation_k_inlining` — `k` of the Section 5 inline-vs-specialize
+//!   heuristic ("if k is a very small negative number, inlining is almost
+//!   always performed; if k is a very large positive number, specialization
+//!   is almost always performed");
+//! * `ablation_mutation_level` — generating special code at opt1 vs opt2
+//!   (the paper mutates at opt2 to bound code growth);
+//! * `ablation_hot_state_cap` — number of special TIBs allowed per class.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dchm_bench::{measure_with_analysis, measured_config, prepare_workload_with};
+use dchm_core::AnalysisConfig;
+use dchm_workloads::{salarydb, Scale};
+
+fn bench_r_param(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_r_param");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    let w = salarydb::build(Scale::Small);
+    for r in [0.0, 1.0, 100.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let mut cfg = AnalysisConfig::default();
+                cfg.r = r;
+                let m = measure_with_analysis(&w, cfg);
+                std::hint::black_box(m.speedup())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_k_inlining(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_k_inlining");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    let w = dchm_workloads::jbb::build(dchm_workloads::jbb::JbbVariant::Jbb2000, Scale::Small);
+    for k in [-5i64, 0, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut cfg = AnalysisConfig::default();
+                cfg.k = k;
+                let m = measure_with_analysis(&w, cfg);
+                std::hint::black_box(m.speedup())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mutation_level(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mutation_level");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    let w = salarydb::build(Scale::Small);
+    for level in [1u8, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| {
+                let mut cfg = AnalysisConfig::default();
+                cfg.mutation_level = level;
+                let prepared = prepare_workload_with(&w, cfg);
+                let mut vm = prepared.make_vm(measured_config(&w));
+                w.run(&mut vm).unwrap();
+                std::hint::black_box((vm.cycles(), vm.stats().special_code_bytes))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hot_state_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hot_state_cap");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    let w = salarydb::build(Scale::Small);
+    for cap in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut cfg = AnalysisConfig::default();
+                cfg.max_hot_states_per_class = cap;
+                let m = measure_with_analysis(&w, cfg);
+                std::hint::black_box((m.speedup(), m.mutated.special_tib_bytes))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_r_param,
+    bench_k_inlining,
+    bench_mutation_level,
+    bench_hot_state_cap
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Criterion benches: one group per table/figure of the paper.
+//!
+//! Each figure-group benchmarks the baseline and mutated configurations of
+//! the workloads that figure reports on; the wall-clock ratio mirrors the
+//! model-cycle ratio (the evaluator does work proportional to charged
+//! cycles). The printed paper-style numbers come from the `repro` binary;
+//! these benches provide the statistical timing evidence.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dchm_bench::{measured_config, prepare_workload, table1};
+use dchm_workloads::{catalog, jbb, Scale};
+
+/// Table 1: program construction and verification cost (the "javac" side).
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_build_programs");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for w in catalog(Scale::Small) {
+        g.bench_function(w.name, |b| {
+            b.iter(|| {
+                let rebuilt = catalog(Scale::Small)
+                    .into_iter()
+                    .find(|x| x.name == w.name)
+                    .unwrap();
+                std::hint::black_box(rebuilt.program.methods.len())
+            })
+        });
+    }
+    g.finish();
+    // Sanity: counts stay stable.
+    assert_eq!(table1(Scale::Small).len(), 7);
+}
+
+/// Figure 9: full runs, mutation off vs on, for every benchmark.
+fn bench_fig09_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_speedup");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for w in catalog(Scale::Small) {
+        let prepared = prepare_workload(&w);
+        g.bench_with_input(BenchmarkId::new("baseline", w.name), &w, |b, w| {
+            b.iter(|| {
+                let mut vm = prepared.make_baseline_vm(measured_config(w));
+                w.run(&mut vm).unwrap();
+                std::hint::black_box(vm.cycles())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mutated", w.name), &w, |b, w| {
+            b.iter(|| {
+                let mut vm = prepared.make_vm(measured_config(w));
+                w.run(&mut vm).unwrap();
+                std::hint::black_box(vm.cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 10 & 11: compilation with and without special-version generation.
+fn bench_fig10_fig11_compilation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_fig11_compilation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    let w = dchm_workloads::salarydb::build(Scale::Small);
+    let prepared = prepare_workload(&w);
+    g.bench_function("general_only", |b| {
+        b.iter(|| {
+            let mut vm = prepared.make_baseline_vm(measured_config(&w));
+            w.run(&mut vm).unwrap();
+            std::hint::black_box(vm.stats().compile_cycles)
+        })
+    });
+    g.bench_function("with_specials", |b| {
+        b.iter(|| {
+            let mut vm = prepared.make_vm(measured_config(&w));
+            w.run(&mut vm).unwrap();
+            std::hint::black_box((
+                vm.stats().compile_cycles,
+                vm.stats().special_code_bytes,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 12: special-TIB creation cost and footprint.
+fn bench_fig12_tib_space(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_tib_space");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for w in catalog(Scale::Small) {
+        let prepared = prepare_workload(&w);
+        g.bench_function(w.name, |b| {
+            b.iter(|| {
+                let mut vm = prepared.make_vm(measured_config(&w));
+                w.run(&mut vm).unwrap();
+                std::hint::black_box(vm.stats().special_tib_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 13–15: per-warehouse throughput trajectories.
+fn bench_fig13_15_warehouses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_15_warehouses");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for (label, variant, accelerated) in [
+        ("fig13_jbb2000", jbb::JbbVariant::Jbb2000, false),
+        ("fig14_jbb2000_accel", jbb::JbbVariant::Jbb2000, true),
+        ("fig15_jbb2005", jbb::JbbVariant::Jbb2005, false),
+    ] {
+        let w = jbb::build(variant, Scale::Small);
+        let prepared = prepare_workload(&w);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = measured_config(&w);
+                if accelerated {
+                    for mc in &prepared.plan.classes {
+                        cfg.accelerated_methods
+                            .extend(mc.mutable_methods.iter().copied());
+                    }
+                }
+                let mut vm = prepared.make_vm(cfg);
+                let runs = w.run_warehouses(&mut vm).unwrap();
+                std::hint::black_box(runs.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig09_speedup,
+    bench_fig10_fig11_compilation,
+    bench_fig12_tib_space,
+    bench_fig13_15_warehouses
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Microbenchmarks of the runtime primitives the mutation technique leans
+//! on: TIB-dispatched virtual calls, special-TIB creation, object TIB
+//! flips, and state specialization in the compiler.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty, Value};
+use dchm_ir::passes::{run_pipeline, specialize, Bindings, OptConfig};
+use dchm_ir::lift;
+use dchm_vm::{Vm, VmConfig};
+
+fn dispatch_program() -> (dchm_bytecode::Program, dchm_bytecode::MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C").build();
+    pb.trivial_ctor(c);
+    let mut m = pb.method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+    let r = m.imm(1);
+    m.ret(Some(r));
+    m.build();
+    let mut m = pb.static_method(c, "spin", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let n = m.param(0);
+    let obj = m.reg();
+    m.new_init(obj, c, vec![]);
+    let acc = m.reg();
+    m.const_i(acc, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let v = m.reg();
+    m.call_virtual(Some(v), obj, "f", vec![]);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    let spin = m.build();
+    (pb.finish().unwrap(), spin)
+}
+
+fn bench_virtual_dispatch(c: &mut Criterion) {
+    let (p, spin) = dispatch_program();
+    let mut g = c.benchmark_group("vm_virtual_dispatch");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    g.bench_function("10k_calls", |b| {
+        b.iter(|| {
+            let mut cfg = VmConfig::default();
+            cfg.enable_inlining = false; // measure real dispatch
+            let mut vm = Vm::new(p.clone(), cfg);
+            let r = vm.call_static(spin, &[Value::Int(10_000)]).unwrap();
+            std::hint::black_box(r)
+        })
+    });
+    g.finish();
+}
+
+fn bench_special_tib_ops(c: &mut Criterion) {
+    let (p, _) = dispatch_program();
+    let class = p.class_by_name("C").unwrap();
+    let mut g = c.benchmark_group("vm_special_tib");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    g.bench_function("create_special_tib", |b| {
+        let mut vm = Vm::new(p.clone(), VmConfig::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(vm.state.create_special_tib(class, i))
+        })
+    });
+    g.bench_function("tib_flip", |b| {
+        let mut vm = Vm::new(p.clone(), VmConfig::default());
+        let obj = vm.state.alloc_object(class).unwrap();
+        vm.state.add_handle(obj);
+        let special = vm.state.create_special_tib(class, 0);
+        let class_tib = vm.state.class_tib(class);
+        let mut to_special = true;
+        b.iter(|| {
+            let t = if to_special { special } else { class_tib };
+            to_special = !to_special;
+            vm.state.set_object_tib(obj, t);
+        })
+    });
+    g.finish();
+}
+
+fn bench_specialization_pass(c: &mut Criterion) {
+    // The SalaryDB raise() shape specialized and re-optimized.
+    let w = dchm_workloads::salarydb::build(dchm_workloads::Scale::Small);
+    let sal = w.program.class_by_name("SalaryEmployee").unwrap();
+    let raise = w.program.method_by_name(sal, "raise").unwrap();
+    let grade = w.program.field_by_name(sal, "grade").unwrap();
+    let md = w.program.method(raise);
+    let mut g = c.benchmark_group("compiler_specialize");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    g.bench_function("raise_grade2_opt2", |b| {
+        b.iter(|| {
+            let mut f = lift(&md.code, md.num_regs, md.arg_count() as u16);
+            let mut bind = Bindings::default();
+            bind.instance.insert(grade, Value::Int(2));
+            specialize(&mut f, &bind);
+            run_pipeline(&mut f, &OptConfig::level(2));
+            std::hint::black_box(f.size())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_virtual_dispatch,
+    bench_special_tib_ops,
+    bench_specialization_pass
+);
+criterion_main!(benches);

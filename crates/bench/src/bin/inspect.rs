@@ -1,0 +1,89 @@
+//! `inspect` — diagnostic deep-dive into one benchmark: the mutation plan,
+//! hot methods, final compilation levels and special-code usage for both
+//! the baseline and mutated runs.
+//!
+//! ```text
+//! inspect SalaryDB [--small]
+//! ```
+
+use dchm_bench::{measured_config, prepare_workload};
+use dchm_workloads::{catalog, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().cloned().unwrap_or_else(|| "SalaryDB".into());
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+    let Some(w) = catalog(scale).into_iter().find(|w| w.name == name) else {
+        eprintln!("unknown benchmark {name}");
+        std::process::exit(2);
+    };
+
+    let prepared = prepare_workload(&w);
+    println!("== plan for {} ==", w.name);
+    for mc in &prepared.plan.classes {
+        let p = &w.program;
+        println!(
+            "mutable class {}: inst fields {:?}, static fields {:?}, {} hot states",
+            p.class(mc.class).name,
+            mc.instance_state_fields
+                .iter()
+                .map(|&f| p.field(f).name.clone())
+                .collect::<Vec<_>>(),
+            mc.static_state_fields
+                .iter()
+                .map(|&f| p.field(f).name.clone())
+                .collect::<Vec<_>>(),
+            mc.hot_states.len(),
+        );
+        for &m in &mc.mutable_methods {
+            println!("    mutable method {}", p.method(m).name);
+        }
+    }
+    println!("olc refs: {}", prepared.olc.len());
+
+    for (label, mutated) in [("baseline", false), ("mutated", true)] {
+        let mut vm = if mutated {
+            prepared.make_vm(measured_config(&w))
+        } else {
+            prepared.make_baseline_vm(measured_config(&w))
+        };
+        w.run(&mut vm).unwrap();
+        let s = vm.stats();
+        println!("\n== {label} run ==");
+        println!(
+            "cycles: exec {} / compile {} / gc {}  (compile {:.1}%)",
+            s.exec_cycles,
+            s.compile_cycles,
+            s.gc_cycles,
+            100.0 * s.compile_cycles as f64 / s.total_cycles() as f64
+        );
+        println!(
+            "compiles by level: {:?}; specials: {} ({} bytes); code bytes {:?}",
+            s.compiles_by_level,
+            s.special_compiles,
+            s.special_code_bytes,
+            s.code_bytes_by_level
+        );
+        println!(
+            "special tibs: {} ({} bytes), tib flips: {}, patches: {}",
+            s.special_tibs, s.special_tib_bytes, s.tib_flips, s.code_patches
+        );
+        println!("hot methods:");
+        for (mid, prof) in s.hot_methods().into_iter().take(10) {
+            let md = w.program.method(mid);
+            println!(
+                "  {:>12} cyc  inv {:>9}  samp {:>5}  lvl {:?}  {}::{}",
+                prof.cycles,
+                prof.invocations,
+                prof.samples,
+                prof.level,
+                w.program.class(md.owner).name,
+                md.name
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `methlen` — prints per-method bytecode sizes for a benchmark, sorted
+//! descending. Useful for reasoning about the baseline inliner's size
+//! threshold (`VmConfig::max_inline_size`) and the Section 5 trade-off.
+//!
+//! ```text
+//! methlen SPECjbb2000 [--small]
+//! ```
+
+use dchm_workloads::{catalog, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "SPECjbb2000".into());
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+    let Some(w) = catalog(scale).into_iter().find(|w| w.name == name) else {
+        eprintln!("unknown benchmark {name}; use a Table 1 name");
+        std::process::exit(2);
+    };
+    let mut rows: Vec<(usize, String)> = w
+        .program
+        .methods
+        .iter()
+        .map(|md| {
+            (
+                md.code.len(),
+                format!("{}::{}", w.program.class(md.owner).name, md.name),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    println!("{} ({} methods)", w.name, rows.len());
+    for (len, name) in rows {
+        println!("{len:>4} instrs  {name}");
+    }
+}

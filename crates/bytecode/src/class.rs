@@ -1,0 +1,203 @@
+//! Class, method and field definitions.
+
+use crate::ids::{ClassId, FieldId, MethodId, SelectorId};
+use crate::instr::Instr;
+use crate::value::{Ty, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Java-style member visibility (simplified: no `protected`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Visibility {
+    /// Visible everywhere.
+    Public,
+    /// Visible within the declaring "package" (we model one package per
+    /// top-level workload component; see [`crate::ClassDef::package`]).
+    Package,
+    /// Visible only inside the declaring class.
+    Private,
+}
+
+/// What kind of method this is; determines dispatch and frame layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Ordinary instance method, dispatched virtually unless private.
+    Instance,
+    /// Static method, dispatched through the JTOC.
+    Static,
+    /// Instance initializer, always invoked with `CallSpecial`.
+    Constructor,
+    /// Abstract declaration on an interface (no body).
+    Abstract,
+}
+
+/// A method signature: parameter types (excluding the receiver) and the
+/// optional return type.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MethodSig {
+    /// Parameter types, excluding the receiver.
+    pub params: Vec<Ty>,
+    /// Return type; `None` models `void`.
+    pub ret: Option<Ty>,
+}
+
+impl MethodSig {
+    /// Creates a signature.
+    pub fn new(params: Vec<Ty>, ret: Option<Ty>) -> Self {
+        MethodSig { params, ret }
+    }
+
+    /// A `void f()` signature.
+    pub fn void() -> Self {
+        MethodSig {
+            params: vec![],
+            ret: None,
+        }
+    }
+}
+
+/// A field definition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Field name (unique within its class).
+    pub name: String,
+    /// Declaring class.
+    pub owner: ClassId,
+    /// Declared type.
+    pub ty: Ty,
+    /// True for `static` fields.
+    pub is_static: bool,
+    /// Member visibility.
+    pub visibility: Visibility,
+    /// Storage slot: offset into the object's field vector for instance
+    /// fields, or into the JTOC static area for static fields. Assigned at
+    /// link time by [`crate::ProgramBuilder::finish`].
+    pub slot: u32,
+    /// Initial value for static fields (instance fields zero-init and are
+    /// then set by constructors).
+    pub initial: Value,
+}
+
+/// A method definition with its bytecode body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// Interned selector for `name`; virtual dispatch matches selectors.
+    pub selector: SelectorId,
+    /// Declaring class.
+    pub owner: ClassId,
+    /// Kind (instance/static/constructor/abstract).
+    pub kind: MethodKind,
+    /// Member visibility. Private instance methods are statically bound.
+    pub visibility: Visibility,
+    /// Signature.
+    pub sig: MethodSig,
+    /// Number of virtual registers the body uses (params included).
+    pub num_regs: u16,
+    /// Bytecode body (empty for `Abstract`).
+    pub code: Vec<Instr>,
+}
+
+impl MethodDef {
+    /// Number of frame slots occupied by arguments on entry (receiver
+    /// included for instance methods/constructors).
+    pub fn arg_count(&self) -> usize {
+        let recv = match self.kind {
+            MethodKind::Instance | MethodKind::Constructor | MethodKind::Abstract => 1,
+            MethodKind::Static => 0,
+        };
+        recv + self.sig.params.len()
+    }
+
+    /// True if this method takes a receiver.
+    pub fn has_receiver(&self) -> bool {
+        !matches!(self.kind, MethodKind::Static)
+    }
+
+    /// True if virtual dispatch applies (instance, non-private).
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.kind, MethodKind::Instance) && self.visibility != Visibility::Private
+    }
+}
+
+/// A class or interface definition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Class name (unique within the program).
+    pub name: String,
+    /// Package name; `Package` visibility is scoped to this.
+    pub package: String,
+    /// Superclass; `None` only for the hierarchy root(s).
+    pub super_class: Option<ClassId>,
+    /// Implemented interfaces (directly declared).
+    pub interfaces: Vec<ClassId>,
+    /// True for interfaces (no fields, abstract methods only).
+    pub is_interface: bool,
+    /// Methods declared by this class (not inherited ones).
+    pub methods: Vec<MethodId>,
+    /// Fields declared by this class (not inherited ones).
+    pub fields: Vec<FieldId>,
+
+    // ---- link-time computed ----
+    /// Virtual method table: `vtable[slot]` is the implementation this class
+    /// uses for the selector assigned to `slot`. Mirrors a Jikes TIB's
+    /// method portion.
+    pub vtable: Vec<MethodId>,
+    /// Selector -> vtable slot for this class.
+    pub vslot: HashMap<SelectorId, u32>,
+    /// Total number of instance field slots including inherited ones.
+    pub instance_slots: u32,
+    /// All instance fields in slot order, inherited first.
+    pub all_instance_fields: Vec<FieldId>,
+}
+
+impl ClassDef {
+    /// vtable slot for `sel`, if the class (or a superclass) declares it.
+    pub fn vtable_slot(&self, sel: SelectorId) -> Option<u32> {
+        self.vslot.get(&sel).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_void() {
+        let s = MethodSig::void();
+        assert!(s.params.is_empty());
+        assert!(s.ret.is_none());
+    }
+
+    #[test]
+    fn arg_count_counts_receiver() {
+        let m = MethodDef {
+            name: "f".into(),
+            selector: SelectorId(0),
+            owner: ClassId(0),
+            kind: MethodKind::Instance,
+            visibility: Visibility::Public,
+            sig: MethodSig::new(vec![Ty::Int, Ty::Double], Some(Ty::Int)),
+            num_regs: 3,
+            code: vec![],
+        };
+        assert_eq!(m.arg_count(), 3);
+        assert!(m.has_receiver());
+        assert!(m.is_virtual());
+
+        let s = MethodDef {
+            kind: MethodKind::Static,
+            ..m.clone()
+        };
+        assert_eq!(s.arg_count(), 2);
+        assert!(!s.has_receiver());
+        assert!(!s.is_virtual());
+
+        let p = MethodDef {
+            visibility: Visibility::Private,
+            ..m
+        };
+        assert!(!p.is_virtual());
+    }
+}

@@ -1,0 +1,153 @@
+//! Human-readable disassembly of bytecode.
+
+use crate::instr::{Instr, Op};
+use crate::program::Program;
+use crate::ids::MethodId;
+use std::fmt;
+use std::fmt::Write as _;
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::ConstI { dst, val } => write!(f, "{dst} = const {val}"),
+            Op::ConstD { dst, val } => write!(f, "{dst} = const {val}"),
+            Op::ConstNull { dst } => write!(f, "{dst} = null"),
+            Op::Mov { dst, src } => write!(f, "{dst} = {src}"),
+            Op::IBin { op, dst, a, b } => write!(f, "{dst} = {a} {op:?} {b}"),
+            Op::INeg { dst, a } => write!(f, "{dst} = ineg {a}"),
+            Op::DBin { op, dst, a, b } => write!(f, "{dst} = {a} d{op:?} {b}"),
+            Op::DNeg { dst, a } => write!(f, "{dst} = dneg {a}"),
+            Op::I2D { dst, a } => write!(f, "{dst} = i2d {a}"),
+            Op::D2I { dst, a } => write!(f, "{dst} = d2i {a}"),
+            Op::ICmp { op, dst, a, b } => write!(f, "{dst} = {a} {op} {b}"),
+            Op::DCmp { op, dst, a, b } => write!(f, "{dst} = {a} d{op} {b}"),
+            Op::RefEq { dst, a, b } => write!(f, "{dst} = refeq {a}, {b}"),
+            Op::New { dst, class } => write!(f, "{dst} = new {class}"),
+            Op::GetField { dst, obj, field } => write!(f, "{dst} = {obj}.{field}"),
+            Op::PutField { obj, field, src } => write!(f, "{obj}.{field} = {src}"),
+            Op::GetStatic { dst, field } => write!(f, "{dst} = static {field}"),
+            Op::PutStatic { field, src } => write!(f, "static {field} = {src}"),
+            Op::CallVirtual { dst, sel, obj, args } => {
+                write_call(f, *dst, &format!("virtual {obj}.{sel}"), args)
+            }
+            Op::CallSpecial {
+                dst,
+                class,
+                sel,
+                obj,
+                args,
+            } => write_call(f, *dst, &format!("special {class}::{sel}({obj})"), args),
+            Op::CallStatic { dst, method, args } => {
+                write_call(f, *dst, &format!("static {method}"), args)
+            }
+            Op::CallInterface {
+                dst,
+                iface,
+                sel,
+                obj,
+                args,
+            } => write_call(f, *dst, &format!("interface {iface}::{sel}({obj})"), args),
+            Op::InstanceOf { dst, obj, class } => {
+                write!(f, "{dst} = {obj} instanceof {class}")
+            }
+            Op::CheckCast { obj, class } => write!(f, "checkcast {obj} as {class}"),
+            Op::NewArr { dst, kind, len } => write!(f, "{dst} = new {kind}[{len}]"),
+            Op::ALoad { dst, arr, idx } => write!(f, "{dst} = {arr}[{idx}]"),
+            Op::AStore { arr, idx, src } => write!(f, "{arr}[{idx}] = {src}"),
+            Op::ALen { dst, arr } => write!(f, "{dst} = len {arr}"),
+            Op::Intrinsic { dst, kind, args } => {
+                write_call(f, *dst, &format!("intrinsic {kind:?}"), args)
+            }
+            Op::NotifyCtorExit { obj, class } => write!(f, "notify-ctor-exit {obj} : {class}"),
+            Op::NotifyInstStore { obj, class, field } => {
+                write!(f, "notify-inst-store {obj}.{field} : {class}")
+            }
+            Op::NotifyStaticStore { field } => write!(f, "notify-static-store {field}"),
+        }
+    }
+}
+
+fn write_call(
+    f: &mut fmt::Formatter<'_>,
+    dst: Option<crate::ids::Reg>,
+    what: &str,
+    args: &[crate::ids::Reg],
+) -> fmt::Result {
+    if let Some(d) = dst {
+        write!(f, "{d} = ")?;
+    }
+    write!(f, "call {what}(")?;
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Op(op) => write!(f, "{op}"),
+            Instr::Jmp(t) => write!(f, "jmp {t}"),
+            Instr::BrIf { cond, target } => write!(f, "br_if {cond} -> {target}"),
+            Instr::Ret(Some(r)) => write!(f, "ret {r}"),
+            Instr::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// Disassembles one method with resolved names.
+pub fn disasm_method(p: &Program, mid: MethodId) -> String {
+    let m = p.method(mid);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}::{} [{:?}, {} regs, {} instrs]",
+        p.class(m.owner).name,
+        m.name,
+        m.kind,
+        m.num_regs,
+        m.code.len()
+    );
+    for (i, instr) in m.code.iter().enumerate() {
+        let _ = writeln!(out, "  {i:4}: {instr}");
+    }
+    out
+}
+
+/// Disassembles the whole program.
+pub fn disasm_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, _) in p.methods.iter().enumerate() {
+        out.push_str(&disasm_method(p, MethodId::from_index(i)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::class::MethodSig;
+
+    #[test]
+    fn disasm_contains_names_and_indices() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Widget").build();
+        let mut m = pb.static_method(c, "main", MethodSig::void());
+        let r = m.reg();
+        m.const_i(r, 42);
+        m.print_int(r);
+        m.ret(None);
+        let mid = m.build();
+        let p = pb.finish().unwrap();
+        let s = super::disasm_method(&p, mid);
+        assert!(s.contains("Widget::main"));
+        assert!(s.contains("const 42"));
+        assert!(s.contains("PrintInt"));
+        let full = super::disasm_program(&p);
+        assert!(full.contains("Widget::main"));
+    }
+}

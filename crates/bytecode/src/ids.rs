@@ -1,0 +1,159 @@
+//! Strongly-typed identifiers used across the whole system.
+//!
+//! Every entity (class, method, field, selector) has a program-global index.
+//! Newtypes keep them from being mixed up ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a class (or interface) in a [`crate::Program`].
+    ClassId,
+    "C"
+);
+id_type!(
+    /// Identifies a method in a [`crate::Program`] (program-global, not per class).
+    MethodId,
+    "M"
+);
+id_type!(
+    /// Identifies a field in a [`crate::Program`] (program-global, not per class).
+    FieldId,
+    "F"
+);
+id_type!(
+    /// An interned method selector (name). Virtual dispatch matches selectors.
+    SelectorId,
+    "S"
+);
+
+/// A virtual register inside one method frame.
+///
+/// Registers `0..nparams` hold the arguments on entry; register 0 is the
+/// receiver (`this`) for instance methods.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// Returns the raw frame slot of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A branch target: an instruction index inside one method's code.
+///
+/// While a method is being built the label may be forward-declared and
+/// unresolved; [`crate::builder::MethodBuilder::build`] patches all uses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Returns the instruction index this label points at.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let c = ClassId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(format!("{c}"), "C7");
+        assert_eq!(format!("{c:?}"), "C7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(MethodId(1));
+        set.insert(MethodId(2));
+        set.insert(MethodId(1));
+        assert_eq!(set.len(), 2);
+        assert!(MethodId(1) < MethodId(2));
+    }
+
+    #[test]
+    fn reg_and_label_display() {
+        assert_eq!(format!("{}", Reg(3)), "r3");
+        assert_eq!(format!("{}", Label(9)), "@9");
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn from_index_overflow_panics() {
+        let _ = FieldId::from_index(usize::MAX);
+    }
+}

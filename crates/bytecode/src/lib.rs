@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # dchm-bytecode
+//!
+//! A register-based, Java-like bytecode and class model. This crate is the
+//! substrate for the [CGO 2006 "Dynamic Class Hierarchy Mutation"]
+//! reproduction: it models exactly the parts of the Java platform the paper's
+//! technique depends on — single-inheritance class hierarchies with
+//! interfaces, virtual/special/static/interface method invocation, static and
+//! instance fields, constructors, and arrays.
+//!
+//! The instruction set is register-based (in the style of Dalvik/Lua) rather
+//! than stack-based. The downstream optimizer ([`dchm-ir`]) and the mutation
+//! engine only care about dataflow through fields and branches, which a
+//! register ISA exposes directly.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dchm_bytecode::{ProgramBuilder, MethodSig, Ty, Value, CmpOp};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let object = pb.class("Object").build();
+//! let point = pb.class("Point").extends(object).build();
+//! let x = pb.instance_field(point, "x", Ty::Int);
+//!
+//! // int getX() { return this.x; }
+//! let mut m = pb.method(point, "getX", MethodSig::new(vec![], Some(Ty::Int)));
+//! let r = m.reg();
+//! m.get_field(r, m.this(), x);
+//! m.ret(Some(r));
+//! m.build();
+//!
+//! let program = pb.finish().expect("verifies");
+//! assert_eq!(program.class(point).name, "Point");
+//! ```
+//!
+//! [CGO 2006 "Dynamic Class Hierarchy Mutation"]: https://doi.org/10.1109/CGO.2006.13
+//! [`dchm-ir`]: ../dchm_ir/index.html
+
+pub mod asm;
+pub mod asm_print;
+pub mod builder;
+pub mod class;
+pub mod disasm;
+pub mod ids;
+pub mod instr;
+pub mod loops;
+pub mod program;
+pub mod value;
+pub mod verify;
+
+pub use asm::{assemble, AsmError};
+pub use asm_print::print_asm;
+pub use builder::{ClassBuilder, MethodBuilder, ProgramBuilder};
+pub use class::{ClassDef, FieldDef, MethodDef, MethodKind, MethodSig, Visibility};
+pub use ids::{ClassId, FieldId, Label, MethodId, Reg, SelectorId};
+pub use instr::{DBinOp, IBinOp, Instr, IntrinsicKind, Op};
+pub use loops::{loop_nesting, LoopInfo};
+pub use program::{Program, ResolvedCall};
+pub use value::{CmpOp, ElemKind, Ty, Value};
+pub use verify::{verify_program, VerifyError};

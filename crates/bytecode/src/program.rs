@@ -1,0 +1,427 @@
+//! The linked program: classes, methods, fields, selector table and
+//! hierarchy queries.
+
+use crate::class::{ClassDef, FieldDef, MethodDef, MethodKind};
+use crate::ids::{ClassId, FieldId, MethodId, SelectorId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of statically resolving a call site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResolvedCall {
+    /// The method that would run if dispatch happened on the named class.
+    pub method: MethodId,
+    /// The vtable slot used at run time, `None` for statically-bound calls.
+    pub vslot: Option<u32>,
+}
+
+/// A complete, linked program.
+///
+/// Produced by [`crate::ProgramBuilder::finish`]; all layout (field slots,
+/// vtables) has been computed and the bytecode has passed verification.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Program {
+    /// All classes, indexed by [`ClassId`].
+    pub classes: Vec<ClassDef>,
+    /// All methods, indexed by [`MethodId`].
+    pub methods: Vec<MethodDef>,
+    /// All fields, indexed by [`FieldId`].
+    pub fields: Vec<FieldDef>,
+    /// Interned selector names, indexed by [`SelectorId`].
+    pub selectors: Vec<String>,
+    /// The entry point (a static method), if one was set.
+    pub entry: Option<MethodId>,
+    /// Number of static field slots in the JTOC static area.
+    pub num_static_slots: u32,
+    /// Direct subclasses of each class (link-time computed).
+    pub children: Vec<Vec<ClassId>>,
+}
+
+impl Program {
+    /// The class definition for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.index()]
+    }
+
+    /// The method definition for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn method(&self, id: MethodId) -> &MethodDef {
+        &self.methods[id.index()]
+    }
+
+    /// The field definition for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn field(&self, id: FieldId) -> &FieldDef {
+        &self.fields[id.index()]
+    }
+
+    /// The name behind a selector.
+    #[inline]
+    pub fn selector_name(&self, sel: SelectorId) -> &str {
+        &self.selectors[sel.index()]
+    }
+
+    /// Looks up a selector by name.
+    pub fn selector(&self, name: &str) -> Option<SelectorId> {
+        self.selectors
+            .iter()
+            .position(|s| s == name)
+            .map(SelectorId::from_index)
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId::from_index)
+    }
+
+    /// Looks up a method by owner class and name.
+    pub fn method_by_name(&self, class: ClassId, name: &str) -> Option<MethodId> {
+        self.class(class)
+            .methods
+            .iter()
+            .copied()
+            .find(|&m| self.method(m).name == name)
+    }
+
+    /// Looks up a field by owner class and name.
+    pub fn field_by_name(&self, class: ClassId, name: &str) -> Option<FieldId> {
+        self.class(class)
+            .fields
+            .iter()
+            .copied()
+            .find(|&f| self.field(f).name == name)
+    }
+
+    /// True if `sub` is `sup` or a (transitive) subclass of it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.class(c).super_class;
+        }
+        false
+    }
+
+    /// True if `class` (or a superclass) implements `iface` (transitively
+    /// through interface extension).
+    pub fn implements(&self, class: ClassId, iface: ClassId) -> bool {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            for &i in &self.class(c).interfaces {
+                if i == iface || self.implements(i, iface) {
+                    return true;
+                }
+            }
+            if c == iface {
+                return true;
+            }
+            cur = self.class(c).super_class;
+        }
+        false
+    }
+
+    /// True if an instance of `class` passes `instanceof target` — subclass
+    /// or interface implementation.
+    pub fn instance_of(&self, class: ClassId, target: ClassId) -> bool {
+        if self.class(target).is_interface {
+            self.implements(class, target)
+        } else {
+            self.is_subclass(class, target)
+        }
+    }
+
+    /// Resolves virtual dispatch of `sel` on exact run-time class `class`.
+    pub fn resolve_virtual(&self, class: ClassId, sel: SelectorId) -> Option<MethodId> {
+        let c = self.class(class);
+        c.vtable_slot(sel).map(|slot| c.vtable[slot as usize])
+    }
+
+    /// Resolves an `invokespecial`-style statically-bound call: searches
+    /// `class` and then its superclasses for a concrete method named `sel`.
+    pub fn resolve_special(&self, class: ClassId, sel: SelectorId) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            for &m in &self.class(c).methods {
+                let md = self.method(m);
+                if md.selector == sel && md.kind != MethodKind::Abstract {
+                    return Some(m);
+                }
+            }
+            cur = self.class(c).super_class;
+        }
+        None
+    }
+
+    /// All transitive subclasses of `class`, excluding `class` itself.
+    pub fn all_subclasses(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut stack = self.children[class.index()].clone();
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            stack.extend(self.children[c.index()].iter().copied());
+        }
+        out
+    }
+
+    /// All concrete (non-interface) classes in the program.
+    pub fn concrete_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_interface)
+            .map(|(i, _)| ClassId::from_index(i))
+    }
+
+    /// Counts (classes, methods) like the paper's Table 1 (interfaces count
+    /// as classes, abstract methods count as methods).
+    pub fn table1_counts(&self) -> (usize, usize) {
+        (self.classes.len(), self.methods.len())
+    }
+
+    /// Computes field slots, vtables and the subclass index.
+    ///
+    /// Called by [`crate::ProgramBuilder::finish`]; classes must form a
+    /// forest (acyclic), which the verifier checks beforehand.
+    pub(crate) fn link(&mut self) {
+        let n = self.classes.len();
+        self.children = vec![Vec::new(); n];
+        for i in 0..n {
+            if let Some(sup) = self.classes[i].super_class {
+                self.children[sup.index()].push(ClassId::from_index(i));
+            }
+        }
+
+        // Topological order: parents before children.
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        fn visit(
+            i: usize,
+            classes: &[ClassDef],
+            visited: &mut [bool],
+            order: &mut Vec<usize>,
+        ) {
+            if visited[i] {
+                return;
+            }
+            if let Some(sup) = classes[i].super_class {
+                visit(sup.index(), classes, visited, order);
+            }
+            visited[i] = true;
+            order.push(i);
+        }
+        for i in 0..n {
+            visit(i, &self.classes, &mut visited, &mut order);
+        }
+
+        // Assign static slots globally and instance slots per hierarchy.
+        let mut static_slot = 0u32;
+        for f in &mut self.fields {
+            if f.is_static {
+                f.slot = static_slot;
+                static_slot += 1;
+            }
+        }
+        self.num_static_slots = static_slot;
+
+        for &i in &order {
+            let (base_slots, base_fields, base_vtable, base_vslot) =
+                match self.classes[i].super_class {
+                    Some(sup) => {
+                        let s = &self.classes[sup.index()];
+                        (
+                            s.instance_slots,
+                            s.all_instance_fields.clone(),
+                            s.vtable.clone(),
+                            s.vslot.clone(),
+                        )
+                    }
+                    None => (0, Vec::new(), Vec::new(), HashMap::new()),
+                };
+
+            let mut slot = base_slots;
+            let mut all_fields = base_fields;
+            for &fid in &self.classes[i].fields.clone() {
+                if !self.fields[fid.index()].is_static {
+                    self.fields[fid.index()].slot = slot;
+                    all_fields.push(fid);
+                    slot += 1;
+                }
+            }
+
+            let mut vtable = base_vtable;
+            let mut vslot = base_vslot;
+            for &mid in &self.classes[i].methods.clone() {
+                let md = &self.methods[mid.index()];
+                if md.is_virtual() || md.kind == MethodKind::Abstract {
+                    match vslot.get(&md.selector) {
+                        Some(&s) => vtable[s as usize] = mid,
+                        None => {
+                            vslot.insert(md.selector, vtable.len() as u32);
+                            vtable.push(mid);
+                        }
+                    }
+                }
+            }
+
+            // Interface methods also claim vtable slots so that interface
+            // dispatch can resolve through the implementing class's table.
+            let ifaces = self.classes[i].interfaces.clone();
+            for iface in ifaces {
+                for &mid in &self.class(iface).methods.clone() {
+                    let sel = self.methods[mid.index()].selector;
+                    if let std::collections::hash_map::Entry::Vacant(e) = vslot.entry(sel) {
+                        e.insert(vtable.len() as u32);
+                        vtable.push(mid); // abstract fallback; concrete impl overrides above
+                    }
+                }
+            }
+
+            let c = &mut self.classes[i];
+            c.instance_slots = slot;
+            c.all_instance_fields = all_fields;
+            c.vtable = vtable;
+            c.vslot = vslot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::class::MethodSig;
+    use crate::value::Ty;
+
+    /// Builds the paper's Figure 1 zoo skeleton (no method bodies needed).
+    fn zoo() -> (crate::Program, Vec<crate::ClassId>) {
+        let mut pb = ProgramBuilder::new();
+        let zoo_animal = pb.class("ZooAnimal").build();
+        let bear = pb.class("Bear").extends(zoo_animal).build();
+        let cat = pb.class("Cat").extends(zoo_animal).build();
+        let panda = pb.class("Panda").extends(bear).build();
+        let polar = pb.class("Polar").extends(bear).build();
+        let leopard = pb.class("Leopard").extends(cat).build();
+        let p = pb.finish().unwrap();
+        (p, vec![zoo_animal, bear, cat, panda, polar, leopard])
+    }
+
+    #[test]
+    fn subclass_queries() {
+        let (p, ids) = zoo();
+        let [zoo_animal, bear, cat, panda, polar, leopard]: [crate::ClassId; 6] =
+            ids.try_into().unwrap();
+        assert!(p.is_subclass(panda, bear));
+        assert!(p.is_subclass(panda, zoo_animal));
+        assert!(p.is_subclass(bear, bear));
+        assert!(!p.is_subclass(bear, panda));
+        assert!(!p.is_subclass(leopard, bear));
+        let mut subs = p.all_subclasses(bear);
+        subs.sort();
+        assert_eq!(subs, vec![panda, polar]);
+        let mut all = p.all_subclasses(zoo_animal);
+        all.sort();
+        assert_eq!(all.len(), 5);
+        assert!(!all.contains(&zoo_animal));
+        assert!(p.instance_of(polar, zoo_animal));
+        assert!(!p.instance_of(polar, cat));
+    }
+
+    #[test]
+    fn field_layout_inherits_super_slots() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").build();
+        let b = pb.class("B").extends(a).build();
+        let fa = pb.instance_field(a, "x", Ty::Int);
+        let fb1 = pb.instance_field(b, "y", Ty::Int);
+        let fb2 = pb.instance_field(b, "z", Ty::Double);
+        let fs = pb.static_field(a, "count", Ty::Int, 0i64.into());
+        let p = pb.finish().unwrap();
+        assert_eq!(p.field(fa).slot, 0);
+        assert_eq!(p.field(fb1).slot, 1);
+        assert_eq!(p.field(fb2).slot, 2);
+        assert_eq!(p.class(a).instance_slots, 1);
+        assert_eq!(p.class(b).instance_slots, 3);
+        assert_eq!(p.field(fs).slot, 0);
+        assert_eq!(p.num_static_slots, 1);
+        assert_eq!(p.class(b).all_instance_fields, vec![fa, fb1, fb2]);
+    }
+
+    #[test]
+    fn vtable_overriding() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").build();
+        let b = pb.class("B").extends(a).build();
+
+        let mut m = pb.method(a, "f", MethodSig::new(vec![], Some(Ty::Int)));
+        let r = m.reg();
+        m.const_i(r, 1);
+        m.ret(Some(r));
+        let mf_a = m.build();
+
+        let mut m = pb.method(a, "g", MethodSig::new(vec![], Some(Ty::Int)));
+        let r = m.reg();
+        m.const_i(r, 2);
+        m.ret(Some(r));
+        let mg_a = m.build();
+
+        let mut m = pb.method(b, "f", MethodSig::new(vec![], Some(Ty::Int)));
+        let r = m.reg();
+        m.const_i(r, 3);
+        m.ret(Some(r));
+        let mf_b = m.build();
+
+        let p = pb.finish().unwrap();
+        let sel_f = p.selector("f").unwrap();
+        let sel_g = p.selector("g").unwrap();
+        assert_eq!(p.resolve_virtual(a, sel_f), Some(mf_a));
+        assert_eq!(p.resolve_virtual(b, sel_f), Some(mf_b));
+        assert_eq!(p.resolve_virtual(b, sel_g), Some(mg_a));
+        // Same selector shares the same slot in both tables.
+        assert_eq!(
+            p.class(a).vtable_slot(sel_f),
+            p.class(b).vtable_slot(sel_f)
+        );
+        // invokespecial resolution from B finds B::f; from A finds A::f.
+        assert_eq!(p.resolve_special(b, sel_f), Some(mf_b));
+        assert_eq!(p.resolve_special(a, sel_f), Some(mf_a));
+        assert_eq!(p.resolve_special(b, sel_g), Some(mg_a));
+    }
+
+    #[test]
+    fn interface_implementation() {
+        let mut pb = ProgramBuilder::new();
+        let iface = pb.class("Runnable").interface().build();
+        pb.abstract_method(iface, "run", MethodSig::void());
+        let a = pb.class("A").implements(iface).build();
+        let mut m = pb.method(a, "run", MethodSig::void());
+        m.ret(None);
+        let run_a = m.build();
+        let p = pb.finish().unwrap();
+        assert!(p.implements(a, iface));
+        assert!(p.instance_of(a, iface));
+        let sel = p.selector("run").unwrap();
+        assert_eq!(p.resolve_virtual(a, sel), Some(run_a));
+    }
+
+    #[test]
+    fn table1_counts_count_everything() {
+        let (p, _) = zoo();
+        let (c, m) = p.table1_counts();
+        assert_eq!(c, 6);
+        assert_eq!(m, 0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Object-lifetime-constant analysis (paper Section 4, Figure 8).
+//!
+//! An *object lifetime constant* is an instance field that a constructor
+//! sets to a compile-time constant and that nothing ever overwrites. When a
+//! *private reference field* of an exact type is always assigned a fresh
+//! instance built by that constructor, and the reference never escapes its
+//! declaring class, every method call through that reference may be inlined
+//! with those fields specialized to their constants — with **no value
+//! guards** (the paper's Fig. 7 `DisplayScreen.rows/cols` example).
+//!
+//! The escape requirements follow the paper verbatim and are conservative:
+//! the reference is never stored to another field, never passed as an
+//! argument, never returned (we additionally treat plain register copies as
+//! escapes to keep the analysis linear).
+
+use dchm_bytecode::{
+    ClassId, FieldId, Instr, MethodId, MethodKind, Op, Program, Reg, Value, Visibility,
+};
+use dchm_vm::OlcInfo;
+use std::collections::{HashMap, HashSet};
+
+/// The analysis result: OLC info per qualifying private reference field.
+#[derive(Clone, Debug, Default)]
+pub struct OlcReport {
+    /// Keyed by the private reference field.
+    pub infos: HashMap<FieldId, OlcInfo>,
+}
+
+impl OlcReport {
+    /// Number of qualifying reference fields.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// True if nothing qualified.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+}
+
+/// Step 1: for `class`, the fields its constructor assigns to constants
+/// (`<field, constructor, value>` tuples), provided nothing else ever
+/// assigns them.
+fn ctor_constants(program: &Program, class: ClassId) -> HashMap<FieldId, Value> {
+    let Some(&ctor) = program
+        .class(class)
+        .methods
+        .iter()
+        .find(|&&m| program.method(m).kind == MethodKind::Constructor)
+    else {
+        return HashMap::new();
+    };
+
+    // Constants assigned to `this` fields in the constructor.
+    let mut consts: HashMap<Reg, Value> = HashMap::new();
+    let mut assigned: HashMap<FieldId, Option<Value>> = HashMap::new(); // None = non-const
+    for instr in &program.method(ctor).code {
+        let Instr::Op(op) = instr else { continue };
+        match op {
+            Op::ConstI { dst, val } => {
+                consts.insert(*dst, Value::Int(*val));
+            }
+            Op::ConstD { dst, val } => {
+                consts.insert(*dst, Value::Double(*val));
+            }
+            Op::PutField { obj, field, src } if *obj == Reg(0) => {
+                let v = consts.get(src).copied();
+                match assigned.get(field) {
+                    // Second assignment in the ctor: keep only if same const.
+                    Some(Some(prev)) if v.is_some_and(|nv| nv.key_eq(*prev)) => {}
+                    Some(_) => {
+                        assigned.insert(*field, None);
+                    }
+                    None => {
+                        assigned.insert(*field, v);
+                    }
+                }
+            }
+            _ => {
+                if let Some(d) = op.def() {
+                    consts.remove(&d);
+                }
+            }
+        }
+    }
+
+    // Global check: the field is never assigned outside this constructor.
+    let mut out = HashMap::new();
+    'field: for (field, v) in assigned {
+        let Some(v) = v else { continue };
+        for (mi, md) in program.methods.iter().enumerate() {
+            if MethodId::from_index(mi) == ctor {
+                continue;
+            }
+            for instr in &md.code {
+                if let Instr::Op(Op::PutField { field: f, .. } | Op::PutStatic { field: f, .. }) =
+                    instr
+                {
+                    if *f == field {
+                        continue 'field;
+                    }
+                }
+            }
+        }
+        out.insert(field, v);
+    }
+    out
+}
+
+/// How a register holding a fresh `new C` progresses toward a field store.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Fresh {
+    New(ClassId),
+    Constructed(ClassId),
+}
+
+/// Step 2 per declaring class: does `ref_field` only ever receive
+/// `new C(...)` values (same class, its single constructor)?
+fn always_fresh_assignment(program: &Program, ref_field: FieldId, target: ClassId) -> bool {
+    let mut saw_assignment = false;
+    for md in &program.methods {
+        let mut fresh: HashMap<Reg, Fresh> = HashMap::new();
+        for instr in &md.code {
+            let Instr::Op(op) = instr else {
+                continue;
+            };
+            match op {
+                Op::New { dst, class } => {
+                    fresh.insert(*dst, Fresh::New(*class));
+                }
+                Op::CallSpecial {
+                    class, obj, dst, ..
+                } => {
+                    if let Some(Fresh::New(c)) = fresh.get(obj).copied() {
+                        if c == *class {
+                            fresh.insert(*obj, Fresh::Constructed(c));
+                        } else {
+                            fresh.remove(obj);
+                        }
+                    }
+                    if let Some(d) = dst {
+                        fresh.remove(d);
+                    }
+                }
+                Op::PutField { field, src, .. } | Op::PutStatic { field, src }
+                    if *field == ref_field =>
+                {
+                    saw_assignment = true;
+                    if fresh.get(src) != Some(&Fresh::Constructed(target)) {
+                        return false;
+                    }
+                }
+                _ => {
+                    if let Some(d) = op.def() {
+                        fresh.remove(&d);
+                    }
+                }
+            }
+        }
+    }
+    saw_assignment
+}
+
+/// Escape check: every load of `ref_field` is used only as a call receiver
+/// or for field reads off the referee.
+fn never_escapes(program: &Program, ref_field: FieldId) -> bool {
+    for md in &program.methods {
+        // Registers currently holding the reference.
+        let mut held: HashSet<Reg> = HashSet::new();
+        for instr in &md.code {
+            match instr {
+                Instr::Op(op) => {
+                    // Check uses before processing the def.
+                    let mut escapes = false;
+                    match op {
+                        Op::GetField { .. } | Op::ALen { .. } => {
+                            // Reading through the reference is fine.
+                        }
+                        Op::CallVirtual { obj, args, .. }
+                        | Op::CallSpecial { obj, args, .. }
+                        | Op::CallInterface { obj, args, .. } => {
+                            // Receiver position is fine; argument is escape.
+                            let _ = obj;
+                            if args.iter().any(|a| held.contains(a)) {
+                                escapes = true;
+                            }
+                        }
+                        Op::CallStatic { args, .. }
+                            if args.iter().any(|a| held.contains(a)) => {
+                                escapes = true;
+                            }
+                        Op::PutField { src, .. } | Op::PutStatic { src, .. }
+                            // Re-storing to its own field is handled by the
+                            // fresh-assignment rule; storing to anything is
+                            // conservatively an escape unless it's the field
+                            // itself (checked there).
+                            if held.contains(src) => {
+                                escapes = true;
+                            }
+                        Op::AStore { src, .. }
+                            if held.contains(src) => {
+                                escapes = true;
+                            }
+                        Op::Mov { src, .. } | Op::RefEq { a: src, .. }
+                            // Copies are conservatively escapes (tracking
+                            // aliases would complicate the linear scan).
+                            if held.contains(src) => {
+                                escapes = true;
+                            }
+                        _ => {}
+                    }
+                    if escapes {
+                        return false;
+                    }
+                    if let Some(d) = op.def() {
+                        held.remove(&d);
+                    }
+                    if let Op::GetField { dst, field, .. } | Op::GetStatic { dst, field } = op {
+                        if *field == ref_field {
+                            held.insert(*dst);
+                        }
+                    }
+                }
+                Instr::Ret(Some(r))
+                    if held.contains(r) => {
+                        return false;
+                    }
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Runs the full Figure 8 analysis.
+///
+/// `targets` restricts which referenced classes are considered (the paper
+/// analyzes private reference fields pointing at *mutable* classes); pass
+/// `None` to consider every class.
+pub fn analyze_olc(program: &Program, targets: Option<&HashSet<ClassId>>) -> OlcReport {
+    let mut report = OlcReport::default();
+
+    // Cache step 1 per class.
+    let mut ctor_cache: HashMap<ClassId, HashMap<FieldId, Value>> = HashMap::new();
+
+    for (fi, fd) in program.fields.iter().enumerate() {
+        if fd.visibility != Visibility::Private {
+            continue;
+        }
+        let dchm_bytecode::Ty::Ref(target) = fd.ty else {
+            continue;
+        };
+        if let Some(ts) = targets {
+            if !ts.contains(&target) {
+                continue;
+            }
+        }
+        let ref_field = FieldId::from_index(fi);
+        let bindings = ctor_cache
+            .entry(target)
+            .or_insert_with(|| ctor_constants(program, target))
+            .clone();
+        if bindings.is_empty() {
+            continue;
+        }
+        if !always_fresh_assignment(program, ref_field, target) {
+            continue;
+        }
+        if !never_escapes(program, ref_field) {
+            continue;
+        }
+        report.infos.insert(
+            ref_field,
+            OlcInfo {
+                ref_field,
+                exact_class: target,
+                bindings,
+            },
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_bytecode::{MethodSig, ProgramBuilder, Ty};
+
+    /// Builds the paper's Figure 7 shape: `DisplayScreen { rows=24, cols=80 }`
+    /// held by `DeliveryTransaction.deliveryScreen` (private, exact type).
+    fn fig7(escape: bool, reassign_rows: bool) -> (dchm_bytecode::Program, FieldId, FieldId, FieldId, ClassId)
+    {
+        let mut pb = ProgramBuilder::new();
+        let screen = pb.class("DisplayScreen").package("spec.jbb.infra").build();
+        let rows = pb.instance_field(screen, "rows", Ty::Int);
+        let cols = pb.instance_field(screen, "cols", Ty::Int);
+        let mut m = pb.ctor(screen, vec![]);
+        let this = m.this();
+        let r = m.imm(24);
+        m.put_field(this, rows, r);
+        let c = m.imm(80);
+        m.put_field(this, cols, c);
+        m.ret(None);
+        m.build();
+        let mut m = pb.method(screen, "area", MethodSig::new(vec![], Some(Ty::Int)));
+        let this = m.this();
+        let a = m.reg();
+        let b = m.reg();
+        m.get_field(a, this, rows);
+        m.get_field(b, this, cols);
+        let out = m.reg();
+        m.imul(out, a, b);
+        m.ret(Some(out));
+        m.build();
+        if reassign_rows {
+            let mut m = pb.method(screen, "resize", MethodSig::new(vec![Ty::Int], None));
+            let this = m.this();
+            let v = m.param(0);
+            m.put_field(this, rows, v);
+            m.ret(None);
+            m.build();
+        }
+
+        let tx = pb.class("DeliveryTransaction").package("spec.jbb").build();
+        let screen_field = pb.private_field(tx, "deliveryScreen", Ty::Ref(screen));
+        let mut m = pb.ctor(tx, vec![]);
+        let this = m.this();
+        let s = m.reg();
+        m.new_init(s, screen, vec![]);
+        m.put_field(this, screen_field, s);
+        m.ret(None);
+        m.build();
+        let mut m = pb.method(tx, "display", MethodSig::new(vec![], Some(Ty::Int)));
+        let this = m.this();
+        let s = m.reg();
+        m.get_field(s, this, screen_field);
+        let out = m.reg();
+        m.call_virtual(Some(out), s, "area", vec![]);
+        m.ret(Some(out));
+        m.build();
+        if escape {
+            // leak(): returns the screen reference.
+            let mut m = pb.method(tx, "leak", MethodSig::new(vec![], Some(Ty::Ref(screen))));
+            let this = m.this();
+            let s = m.reg();
+            m.get_field(s, this, screen_field);
+            m.ret(Some(s));
+            m.build();
+        }
+        (pb.finish().unwrap(), rows, cols, screen_field, screen)
+    }
+
+    #[test]
+    fn fig7_rows_cols_are_olc() {
+        let (p, rows, cols, screen_field, screen) = fig7(false, false);
+        let report = analyze_olc(&p, None);
+        let info = report.infos.get(&screen_field).expect("deliveryScreen qualifies");
+        assert_eq!(info.exact_class, screen);
+        assert_eq!(info.bindings.get(&rows), Some(&Value::Int(24)));
+        assert_eq!(info.bindings.get(&cols), Some(&Value::Int(80)));
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn escaping_reference_disqualifies() {
+        let (p, _, _, screen_field, _) = fig7(true, false);
+        let report = analyze_olc(&p, None);
+        assert!(!report.infos.contains_key(&screen_field));
+    }
+
+    #[test]
+    fn reassigned_field_is_not_constant() {
+        let (p, rows, cols, screen_field, _) = fig7(false, true);
+        let report = analyze_olc(&p, None);
+        // deliveryScreen still qualifies, but only cols is constant: rows is
+        // reassigned by resize().
+        let info = report.infos.get(&screen_field).expect("still qualifies");
+        assert!(!info.bindings.contains_key(&rows));
+        assert_eq!(info.bindings.get(&cols), Some(&Value::Int(80)));
+    }
+
+    #[test]
+    fn target_filter_respected() {
+        let (p, _, _, screen_field, screen) = fig7(false, false);
+        let none: HashSet<ClassId> = HashSet::new();
+        assert!(analyze_olc(&p, Some(&none)).is_empty());
+        let just: HashSet<ClassId> = [screen].into_iter().collect();
+        assert!(analyze_olc(&p, Some(&just))
+            .infos
+            .contains_key(&screen_field));
+    }
+
+    #[test]
+    fn non_private_field_ignored() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").build();
+        let f = pb.instance_field(a, "x", Ty::Int);
+        let mut m = pb.ctor(a, vec![]);
+        let this = m.this();
+        let v = m.imm(1);
+        m.put_field(this, f, v);
+        m.ret(None);
+        m.build();
+        let b = pb.class("B").build();
+        // Package-visible (not private) reference field.
+        let rf = pb.instance_field(b, "a", Ty::Ref(a));
+        let mut m = pb.ctor(b, vec![]);
+        let this = m.this();
+        let s = m.reg();
+        m.new_init(s, a, vec![]);
+        m.put_field(this, rf, s);
+        m.ret(None);
+        m.build();
+        let p = pb.finish().unwrap();
+        assert!(analyze_olc(&p, None).is_empty());
+    }
+}

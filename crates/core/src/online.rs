@@ -1,0 +1,317 @@
+//! Fully-online dynamic class hierarchy mutation — the paper's future work
+//! (Sec. 9: "we will try to move our offline profiling and static analysis
+//! to a JVM ... investigate the feasibility of a complete online Java
+//! solution").
+//!
+//! An [`OnlineSession`] owns one VM and moves it through three phases while
+//! the *same process* keeps running the application:
+//!
+//! 1. **Hot profiling** — plain execution; the adaptive system's per-method
+//!    cycle counters play the role of the offline VTune run.
+//! 2. **Value sampling** — EQ 1 runs over the live profile to pick
+//!    candidate state fields; a [`ValueProfiler`] observer starts
+//!    histogramming stores to them.
+//! 3. **Mutating** — the plan is built from the live histograms, OLC
+//!    analysis runs, and the engine is installed *in place*
+//!    ([`MutationEngine::install_online`]): compiled methods are
+//!    re-instrumented, live objects adopted, and execution continues with
+//!    dynamic class hierarchy mutation active.
+//!
+//! Phase transitions happen between host calls (no on-stack replacement),
+//! which for SPECjbb-style workloads means between warehouses — exactly
+//! where a production JVM would take such actions.
+
+use crate::analysis::{build_plan, find_state_fields, AnalysisConfig};
+use crate::engine::MutationEngine;
+use crate::olc::analyze_olc;
+use crate::plan::MutationPlan;
+use dchm_bytecode::Program;
+use dchm_profile::{HotMethodReport, ValueProfiler};
+use dchm_vm::{Vm, VmConfig};
+
+/// Where the session currently is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Executing normally, accumulating the hot-method profile.
+    HotProfiling,
+    /// Candidate fields chosen; value histograms accumulating.
+    ValueSampling,
+    /// Plan installed; mutation active.
+    Mutating,
+}
+
+/// A VM that profiles, analyzes and mutates itself while running.
+pub struct OnlineSession {
+    vm: Vm,
+    phase: Phase,
+    analysis: AnalysisConfig,
+    profiler: Option<ValueProfiler>,
+    candidates: Vec<dchm_bytecode::FieldId>,
+    plan: Option<MutationPlan>,
+}
+
+impl OnlineSession {
+    /// Starts a session in the hot-profiling phase.
+    pub fn new(program: Program, vm_config: VmConfig, analysis: AnalysisConfig) -> Self {
+        OnlineSession {
+            vm: Vm::new(program, vm_config),
+            phase: Phase::HotProfiling,
+            analysis,
+            profiler: None,
+            candidates: Vec::new(),
+            plan: None,
+        }
+    }
+
+    /// The VM; drive the workload through this between phase transitions.
+    pub fn vm_mut(&mut self) -> &mut Vm {
+        &mut self.vm
+    }
+
+    /// Shared access to the VM (stats, output).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The installed plan (after [`Self::install_mutation`]).
+    pub fn plan(&self) -> Option<&MutationPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Transition 1 → 2: run EQ 1 over the live profile and start value
+    /// sampling on the candidate state fields. Returns the candidate count.
+    ///
+    /// # Panics
+    /// Panics if not in the hot-profiling phase.
+    pub fn begin_value_sampling(&mut self) -> usize {
+        assert_eq!(self.phase, Phase::HotProfiling, "wrong phase");
+        let hot = HotMethodReport::from_vm(&self.vm);
+        let candidates = find_state_fields(&self.vm.state.program, &hot, &self.analysis);
+        self.candidates = candidates.iter().map(|c| c.field).collect();
+        let profiler = ValueProfiler::new(self.candidates.iter().copied());
+        self.profiler = Some(profiler.clone());
+        self.vm.attach_observer(Box::new(profiler));
+        self.phase = Phase::ValueSampling;
+        candidates.len()
+    }
+
+    /// Heap census: seed the value histograms from the *current* values of
+    /// the candidate fields — live objects for instance fields, the static
+    /// area for static fields. Stores that happened before sampling began
+    /// (constructor initialization during warm-up) are invisible to the
+    /// observer; the heap itself carries their outcome.
+    fn census(&self, values: &mut dchm_profile::ValueReport) {
+        let vm = &self.vm;
+        let program = &vm.state.program;
+        for &f in &self.candidates {
+            let fd = program.field(f);
+            if fd.is_static {
+                values.add_static(f, vm.state.get_static(f), 1);
+            }
+        }
+        let inst: Vec<_> = self
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&f| !program.field(f).is_static)
+            .collect();
+        if inst.is_empty() {
+            return;
+        }
+        for (obj, class) in vm.state.heap.iter_live_objects() {
+            for &f in &inst {
+                let owner = program.field(f).owner;
+                if program.is_subclass(class, owner) {
+                    let v = vm.state.get_field(obj, f);
+                    values.add_instance(class, f, v, 1);
+                }
+            }
+        }
+    }
+
+    /// Transition 2 → 3: build the plan from the live histograms, run OLC
+    /// analysis, and install the mutation engine into the running VM.
+    /// Returns the number of mutable classes found.
+    ///
+    /// # Panics
+    /// Panics if not in the value-sampling phase or if called mid-call.
+    pub fn install_mutation(&mut self) -> usize {
+        assert_eq!(self.phase, Phase::ValueSampling, "wrong phase");
+        let profiler = self.profiler.take().expect("profiler attached");
+        self.vm.detach_observer();
+        let hot = HotMethodReport::from_vm(&self.vm);
+        let mut values = profiler.report();
+        self.census(&mut values);
+        let program = self.vm.state.program.clone();
+        let plan = build_plan(&program, &hot, &values, &self.analysis);
+        let targets = plan.classes.iter().map(|c| c.class).collect();
+        let olc = analyze_olc(&program, Some(&targets));
+        let n = plan.classes.len();
+        self.plan = Some(plan.clone());
+        let engine = MutationEngine::new(plan, olc);
+        engine.install_online(&mut self.vm);
+        self.phase = Phase::Mutating;
+        n
+    }
+}
+
+impl std::fmt::Debug for OnlineSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineSession")
+            .field("phase", &self.phase)
+            .field("plan", &self.plan.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty, Value};
+
+    /// A worker whose mode is set once; the driver method runs one batch of
+    /// calls per invocation (so phase transitions happen between batches).
+    fn program() -> (Program, dchm_bytecode::MethodId, dchm_bytecode::MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Worker").build();
+        let mode = pb.private_field(c, "mode", Ty::Int);
+        let mut m = pb.ctor(c, vec![Ty::Int]);
+        let this = m.this();
+        let v = m.param(0);
+        m.put_field(this, mode, v);
+        m.ret(None);
+        m.build();
+        let mut m = pb.method(c, "step", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+        let this = m.this();
+        let x = m.param(0);
+        let mv = m.reg();
+        m.get_field(mv, this, mode);
+        let alt = m.label();
+        let out = m.reg();
+        m.br_icmp_imm(CmpOp::Ne, mv, 2, alt);
+        let k = m.imm(3);
+        m.imul(out, x, k);
+        m.ret(Some(out));
+        m.bind(alt);
+        let k = m.imm(5);
+        m.imul(out, x, k);
+        m.iadd_imm(out, out, 1);
+        m.ret(Some(out));
+        m.build();
+        // setup() -> Worker stored in a static field.
+        let holder = pb.static_field(c, "the", Ty::Ref(c), Value::Null);
+        let mut m = pb.static_method(c, "setup", MethodSig::void());
+        let o = m.reg();
+        let two = m.imm(2);
+        m.new_init(o, c, vec![two]);
+        m.put_static(holder, o);
+        m.ret(None);
+        let setup = m.build();
+        // batch(n): n steps on the worker.
+        let mut m = pb.static_method(c, "batch", MethodSig::new(vec![Ty::Int], None));
+        let n = m.param(0);
+        let o = m.reg();
+        m.get_static(o, holder);
+        let i = m.reg();
+        m.const_i(i, 0);
+        let head = m.label();
+        let done = m.label();
+        m.bind(head);
+        m.br_icmp(CmpOp::Ge, i, n, done);
+        let r = m.reg();
+        m.call_virtual(Some(r), o, "step", vec![i]);
+        m.sink_int(r);
+        m.iadd_imm(i, i, 1);
+        m.jmp(head);
+        m.bind(done);
+        m.ret(None);
+        let batch = m.build();
+        (pb.finish().unwrap(), setup, batch)
+    }
+
+    fn fast() -> VmConfig {
+        let mut c = VmConfig::default();
+        c.sample_period = 8_000;
+        c.opt1_samples = 2;
+        c.opt2_samples = 4;
+        c
+    }
+
+    #[test]
+    fn online_session_mutates_mid_run_and_preserves_output() {
+        let (p, setup, batch) = program();
+
+        // Reference: the whole run, never mutated.
+        let mut plain = Vm::new(p.clone(), fast());
+        plain.call_static(setup, &[]).unwrap();
+        for _ in 0..6 {
+            plain.call_static(batch, &[Value::Int(800)]).unwrap();
+        }
+        let expect = plain.state.output.checksum;
+
+        // Online: profile for 2 batches, sample values for 2, mutate, run 2.
+        let mut s = OnlineSession::new(p, fast(), AnalysisConfig::default());
+        s.vm_mut().call_static(setup, &[]).unwrap();
+        for _ in 0..2 {
+            s.vm_mut().call_static(batch, &[Value::Int(800)]).unwrap();
+        }
+        assert_eq!(s.phase(), Phase::HotProfiling);
+        let candidates = s.begin_value_sampling();
+        assert!(candidates >= 1, "mode must be a candidate state field");
+        for _ in 0..2 {
+            s.vm_mut().call_static(batch, &[Value::Int(800)]).unwrap();
+        }
+        // `mode` was stored before sampling began (in setup) — the online
+        // histogram may be empty. The session must handle both outcomes;
+        // with a ctor store missing, the plan may be empty.
+        let classes = s.install_mutation();
+        assert_eq!(s.phase(), Phase::Mutating);
+        for _ in 0..2 {
+            s.vm_mut().call_static(batch, &[Value::Int(800)]).unwrap();
+        }
+        assert_eq!(
+            s.vm().state.output.checksum,
+            expect,
+            "online mutation changed behaviour"
+        );
+        // If a plan was installed, the pre-existing worker object must have
+        // been adopted (its state matched the hot value at install time).
+        if classes > 0 {
+            assert!(s.vm().stats().tib_flips >= 1, "existing object adopted");
+            assert!(s.vm().stats().special_tibs >= 1);
+        }
+    }
+
+    #[test]
+    fn online_plan_found_when_stores_happen_during_sampling() {
+        // Same program, but the driver re-creates the worker during the
+        // sampling phase so the ctor store is observed.
+        let (p, setup, batch) = program();
+        let mut s = OnlineSession::new(p, fast(), AnalysisConfig::default());
+        s.vm_mut().call_static(setup, &[]).unwrap();
+        for _ in 0..2 {
+            s.vm_mut().call_static(batch, &[Value::Int(800)]).unwrap();
+        }
+        s.begin_value_sampling();
+        // Worker re-created: ctor stores mode=2 under observation.
+        s.vm_mut().call_static(setup, &[]).unwrap();
+        for _ in 0..2 {
+            s.vm_mut().call_static(batch, &[Value::Int(800)]).unwrap();
+        }
+        let classes = s.install_mutation();
+        assert!(classes >= 1, "Worker must be mutable when stores are seen");
+        let plan = s.plan().unwrap();
+        assert_eq!(plan.classes.len(), classes);
+        // Continue running; specialized code must be reachable.
+        for _ in 0..2 {
+            s.vm_mut().call_static(batch, &[Value::Int(800)]).unwrap();
+        }
+        assert!(s.vm().stats().special_compiles >= 1);
+        assert!(s.vm().stats().tib_flips >= 1);
+    }
+}

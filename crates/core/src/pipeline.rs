@@ -1,0 +1,172 @@
+//! The end-to-end offline pipeline (paper Figure 3):
+//!
+//! 1. identify hot methods (profiling run #1),
+//! 2. derive state fields for hot classes (EQ 1 static analysis),
+//! 3. find hot states (profiling run #2 with value sampling),
+//! 4. run object-lifetime-constant analysis,
+//! 5. feed everything into a fresh VM at startup.
+
+use crate::analysis::{build_plan, find_state_fields, AnalysisConfig};
+use crate::engine::MutationEngine;
+use crate::olc::{analyze_olc, OlcReport};
+use crate::plan::MutationPlan;
+use dchm_bytecode::Program;
+use dchm_profile::{profile_field_values, profile_hot_methods, HotMethodReport};
+use dchm_vm::{Vm, VmConfig};
+
+/// Pipeline configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineConfig {
+    /// Static-analysis tunables (EQ 1 parameters, state caps).
+    pub analysis: AnalysisConfig,
+    /// VM configuration used for the two profiling runs.
+    pub profile_vm: VmConfig,
+}
+
+/// Everything the offline pipeline produced.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The program (unchanged).
+    pub program: Program,
+    /// The mutation plan.
+    pub plan: MutationPlan,
+    /// Object-lifetime-constant analysis results.
+    pub olc: OlcReport,
+    /// Hot-method profile from run #1 (diagnostics).
+    pub hot: HotMethodReport,
+}
+
+impl Prepared {
+    /// Builds a VM with the mutation engine installed.
+    pub fn make_vm(&self, config: VmConfig) -> Vm {
+        let engine = MutationEngine::new(self.plan.clone(), self.olc.clone());
+        engine.attach(self.program.clone(), config)
+    }
+
+    /// Builds a mutation-off VM over the same program (the baseline the
+    /// paper's speedups compare against).
+    pub fn make_baseline_vm(&self, config: VmConfig) -> Vm {
+        Vm::new(self.program.clone(), config)
+    }
+}
+
+/// Runs the offline pipeline. `driver` runs the workload on a profiling VM
+/// and is invoked twice (hot-method run, value-sampling run).
+pub fn prepare(
+    program: Program,
+    cfg: &PipelineConfig,
+    driver: impl Fn(&mut Vm),
+) -> Prepared {
+    // Step 1: hot methods.
+    let hot = profile_hot_methods(program.clone(), cfg.profile_vm.clone(), &driver);
+    // Step 2: candidate state fields.
+    let candidates = find_state_fields(&program, &hot, &cfg.analysis);
+    // Step 3: value sampling on the candidates.
+    let values = profile_field_values(
+        program.clone(),
+        cfg.profile_vm.clone(),
+        candidates.iter().map(|c| c.field),
+        &driver,
+    );
+    let plan = build_plan(&program, &hot, &values, &cfg.analysis);
+    // Step 4: OLC analysis restricted to the mutable classes.
+    let targets = plan.classes.iter().map(|c| c.class).collect();
+    let olc = analyze_olc(&program, Some(&targets));
+    Prepared {
+        program,
+        plan,
+        olc,
+        hot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty};
+
+    /// Logic-simulator-flavoured program: a Gate with a `kind` field and an
+    /// eval() branching on it, hammered in a loop.
+    fn gates() -> (Program, dchm_bytecode::ClassId) {
+        let mut pb = ProgramBuilder::new();
+        let gate = pb.class("Gate").build();
+        let kind = pb.instance_field(gate, "kind", Ty::Int);
+        let mut m = pb.ctor(gate, vec![Ty::Int]);
+        let this = m.this();
+        let k = m.param(0);
+        m.put_field(this, kind, k);
+        m.ret(None);
+        m.build();
+        let mut m = pb.method(gate, "eval", MethodSig::new(vec![Ty::Int, Ty::Int], Some(Ty::Int)));
+        let this = m.this();
+        let a = m.param(0);
+        let b = m.param(1);
+        let k = m.reg();
+        m.get_field(k, this, kind);
+        let l_or = m.label();
+        let out = m.reg();
+        m.br_icmp_imm(CmpOp::Ne, k, 0, l_or);
+        m.ibin(dchm_bytecode::IBinOp::And, out, a, b);
+        m.ret(Some(out));
+        m.bind(l_or);
+        m.ibin(dchm_bytecode::IBinOp::Or, out, a, b);
+        m.ret(Some(out));
+        m.build();
+
+        let mut m = pb.static_method(gate, "main", MethodSig::void());
+        let g0 = m.reg();
+        let zero = m.imm(0);
+        m.new_init(g0, gate, vec![zero]);
+        let i = m.reg();
+        m.const_i(i, 0);
+        let head = m.label();
+        let done = m.label();
+        m.bind(head);
+        let lim = m.imm(4000);
+        m.br_icmp(CmpOp::Ge, i, lim, done);
+        let one = m.imm(1);
+        let v = m.reg();
+        m.call_virtual(Some(v), g0, "eval", vec![i, one]);
+        m.sink_int(v);
+        m.iadd_imm(i, i, 1);
+        m.jmp(head);
+        m.bind(done);
+        m.ret(None);
+        let main = m.build();
+        pb.set_entry(main);
+        (pb.finish().unwrap(), gate)
+    }
+
+    #[test]
+    fn pipeline_end_to_end_preserves_behaviour() {
+        let (p, gate) = gates();
+        let cfg = PipelineConfig::default();
+        let prepared = prepare(p, &cfg, |vm| {
+            vm.run_entry().unwrap();
+        });
+        assert!(prepared.plan.class(gate).is_some());
+
+        let mut fast = VmConfig::default();
+        fast.sample_period = 10_000;
+        fast.opt1_samples = 2;
+        fast.opt2_samples = 4;
+
+        let mut base = prepared.make_baseline_vm(fast.clone());
+        base.run_entry().unwrap();
+        let mut mutated = prepared.make_vm(fast);
+        mutated.run_entry().unwrap();
+        assert_eq!(base.state.output.checksum, mutated.state.output.checksum);
+        assert!(mutated.stats().special_tibs > 0);
+    }
+
+    #[test]
+    fn plan_survives_json_roundtrip_through_pipeline() {
+        let (p, _) = gates();
+        let prepared = prepare(p, &PipelineConfig::default(), |vm| {
+            vm.run_entry().unwrap();
+        });
+        let json = prepared.plan.to_json().unwrap();
+        let back = MutationPlan::from_json(&json).unwrap();
+        assert_eq!(prepared.plan, back);
+    }
+}

@@ -1,0 +1,165 @@
+//! Hot states combining static AND instance parts — the hardest case in
+//! Figure 4: the instance part selects the special TIB, the static part
+//! gates whether that TIB carries special or general code.
+
+use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty, Value};
+use dchm_core::plan::{HotState, MutableClass, MutationPlan};
+use dchm_core::{MutationEngine, OlcReport};
+use dchm_vm::{CodeSlot, Vm, VmConfig};
+
+fn fast() -> VmConfig {
+    let mut c = VmConfig::default();
+    c.sample_period = 6_000;
+    c.opt1_samples = 2;
+    c.opt2_samples = 4;
+    c
+}
+
+/// `Meter.read()` depends on instance `unit` and static `calibration`.
+#[test]
+fn static_part_gates_special_code_in_special_tibs() {
+    let mut pb = ProgramBuilder::new();
+    let meter = pb.class("Meter").build();
+    let unit = pb.instance_field(meter, "unit", Ty::Int);
+    let calib = pb.static_field(meter, "calibration", Ty::Int, 1i64.into());
+    let mut m = pb.ctor(meter, vec![Ty::Int]);
+    let this = m.this();
+    let u = m.param(0);
+    m.put_field(this, unit, u);
+    m.ret(None);
+    m.build();
+    // int read(int raw): branches on both fields.
+    let mut m = pb.method(meter, "read", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let this = m.this();
+    let raw = m.param(0);
+    let uv = m.reg();
+    m.get_field(uv, this, unit);
+    let cv = m.reg();
+    m.get_static(cv, calib);
+    let out = m.reg();
+    let metric = m.label();
+    m.br_icmp_imm(CmpOp::Ne, uv, 0, metric);
+    m.imul(out, raw, cv);
+    m.ret(Some(out));
+    m.bind(metric);
+    let k = m.imm(10);
+    m.imul(out, raw, k);
+    m.imul(out, out, cv);
+    m.ret(Some(out));
+    m.build();
+    // Host entry points.
+    let mut m = pb.static_method(meter, "mk", MethodSig::new(vec![Ty::Int], Some(Ty::Ref(meter))));
+    let u = m.param(0);
+    let o = m.reg();
+    m.new_init(o, meter, vec![u]);
+    m.ret(Some(o));
+    let mk = m.build();
+    let mut m = pb.static_method(
+        meter,
+        "drive",
+        MethodSig::new(vec![Ty::Ref(meter), Ty::Int], Some(Ty::Int)),
+    );
+    let o = m.param(0);
+    let n = m.param(1);
+    let acc = m.reg();
+    m.const_i(acc, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let r = m.reg();
+    m.call_virtual(Some(r), o, "read", vec![i]);
+    m.iadd(acc, acc, r);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    let drive = m.build();
+    let mut m = pb.static_method(meter, "setcal", MethodSig::new(vec![Ty::Int], None));
+    let v = m.param(0);
+    m.put_static(calib, v);
+    m.ret(None);
+    let setcal = m.build();
+    let p = pb.finish().unwrap();
+
+    // Hand-written plan: hot state = (unit=0, calibration=1).
+    let plan = MutationPlan {
+        classes: vec![MutableClass {
+            class: meter,
+            instance_state_fields: vec![unit],
+            static_state_fields: vec![calib],
+            hot_states: vec![HotState {
+                instance_values: vec![(unit, Value::Int(0))],
+                static_values: vec![(calib, Value::Int(1))],
+                frequency: 1.0,
+            }],
+            mutable_methods: vec![p.method_by_name(meter, "read").unwrap()],
+            field_scores: vec![],
+        }],
+        mutation_level: 2,
+        k: 0,
+    };
+    let engine = MutationEngine::new(plan, OlcReport::default());
+    let mut vm = engine.attach(p.clone(), fast());
+
+    // Baseline result for comparison.
+    let mut base = Vm::new(p.clone(), fast());
+    let bobj = base.call_static(mk, &[Value::Int(0)]).unwrap().unwrap();
+    let Value::Ref(bref) = bobj else { panic!() };
+    base.state.add_handle(bref);
+    let mut expect = 0i64;
+    for _ in 0..3 {
+        let Value::Int(x) = base.call_static(drive, &[bobj, Value::Int(2000)]).unwrap().unwrap() else { panic!() };
+        expect += x;
+    }
+    base.call_static(setcal, &[Value::Int(3)]).unwrap();
+    let Value::Int(x) = base.call_static(drive, &[bobj, Value::Int(2000)]).unwrap().unwrap() else { panic!() };
+    expect += x;
+
+    // Mutated run.
+    let obj = vm.call_static(mk, &[Value::Int(0)]).unwrap().unwrap();
+    let Value::Ref(oref) = obj else { panic!() };
+    vm.state.add_handle(oref);
+    let class_tib = vm.state.class_tib(meter);
+    // Instance part matches -> special TIB regardless of code state.
+    assert_ne!(vm.state.heap.object(oref).tib, class_tib);
+    let special_tib = vm.state.heap.object(oref).tib;
+
+    let mut got = 0i64;
+    for _ in 0..3 {
+        let Value::Int(x) = vm.call_static(drive, &[obj, Value::Int(2000)]).unwrap().unwrap() else { panic!() };
+        got += x;
+    }
+    // By now read() is hot: special code installed in the special TIB while
+    // calibration == 1 (the hot static value).
+    let sel = vm.state.program.selector("read").unwrap();
+    let vslot = vm.state.program.class(meter).vtable_slot(sel).unwrap();
+    let slot_hot = vm.state.tib_slot(special_tib, vslot);
+    let CodeSlot::Code(cid_hot) = slot_hot else {
+        panic!("expected compiled code in special TIB")
+    };
+    assert!(
+        vm.state.compiled(cid_hot).special,
+        "special TIB must hold SPECIAL code while statics match"
+    );
+
+    // Leave the hot static state: special TIB must fall back to general
+    // code (Fig. 4 bottom), but the object's TIB pointer stays special
+    // (instance part still matches).
+    vm.call_static(setcal, &[Value::Int(3)]).unwrap();
+    assert_eq!(vm.state.heap.object(oref).tib, special_tib);
+    let slot_cold = vm.state.tib_slot(special_tib, vslot);
+    let CodeSlot::Code(cid_cold) = slot_cold else {
+        panic!("expected compiled code")
+    };
+    assert!(
+        !vm.state.compiled(cid_cold).special,
+        "leaving the hot static state must restore general code"
+    );
+    let Value::Int(x) = vm.call_static(drive, &[obj, Value::Int(2000)]).unwrap().unwrap() else { panic!() };
+    got += x;
+
+    assert_eq!(got, expect, "combined-state mutation changed results");
+}

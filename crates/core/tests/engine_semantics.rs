@@ -1,0 +1,283 @@
+//! Engine semantics beyond the happy path: static-only mutable classes
+//! (JTOC / class-TIB patching, Fig. 4 bottom), leaving a hot state,
+//! multi-field joint states, and the Fig. 6 rule that subclass instances
+//! are never mutated.
+
+use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty, Value};
+use dchm_core::plan::{HotState, MutableClass, MutationPlan};
+use dchm_core::{MutationEngine, OlcReport};
+use dchm_vm::{Vm, VmConfig};
+
+fn fast() -> VmConfig {
+    let mut c = VmConfig::default();
+    c.sample_period = 8_000;
+    c.opt1_samples = 2;
+    c.opt2_samples = 4;
+    c
+}
+
+/// Static-only mutable class: `Calc.scale()` branches on static `mode`.
+/// The engine must patch statically-bound dispatch (the JTOC) when the
+/// static state enters/leaves the hot value, with identical results.
+#[test]
+fn static_state_patches_jtoc_and_restores() {
+    let mut pb = ProgramBuilder::new();
+    let calc = pb.class("Calc").build();
+    let mode = pb.static_field(calc, "mode", Ty::Int, 0i64.into());
+    let mut m = pb.static_method(calc, "scale", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let x = m.param(0);
+    let mv = m.reg();
+    m.get_static(mv, mode);
+    let other = m.label();
+    let out = m.reg();
+    m.br_icmp_imm(CmpOp::Ne, mv, 7, other);
+    let two = m.imm(2);
+    m.imul(out, x, two);
+    m.ret(Some(out));
+    m.bind(other);
+    let three = m.imm(3);
+    m.imul(out, x, three);
+    m.iadd_imm(out, out, 1);
+    m.ret(Some(out));
+    let scale = m.build();
+
+    // Driver: run a loop in mode 7 (hot), then switch to mode 1, loop again.
+    let mut m = pb.static_method(calc, "main", MethodSig::new(vec![], Some(Ty::Int)));
+    let seven = m.imm(7);
+    m.put_static(mode, seven);
+    let acc = m.reg();
+    m.const_i(acc, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let h1 = m.label();
+    let d1 = m.label();
+    m.bind(h1);
+    let lim = m.imm(4000);
+    m.br_icmp(CmpOp::Ge, i, lim, d1);
+    let v = m.reg();
+    m.call_static(Some(v), scale, vec![i]);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(i, i, 1);
+    m.jmp(h1);
+    m.bind(d1);
+    // Leave the hot state.
+    let one = m.imm(1);
+    m.put_static(mode, one);
+    let j = m.reg();
+    m.const_i(j, 0);
+    let h2 = m.label();
+    let d2 = m.label();
+    m.bind(h2);
+    let lim2 = m.imm(1000);
+    m.br_icmp(CmpOp::Ge, j, lim2, d2);
+    let v = m.reg();
+    m.call_static(Some(v), scale, vec![j]);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(j, j, 1);
+    m.jmp(h2);
+    m.bind(d2);
+    m.ret(Some(acc));
+    let main = m.build();
+    pb.set_entry(main);
+    let p = pb.finish().unwrap();
+
+    let plan = MutationPlan {
+        classes: vec![MutableClass {
+            class: calc,
+            instance_state_fields: vec![],
+            static_state_fields: vec![mode],
+            hot_states: vec![HotState {
+                instance_values: vec![],
+                static_values: vec![(mode, Value::Int(7))],
+                frequency: 0.8,
+            }],
+            mutable_methods: vec![scale],
+            field_scores: vec![],
+        }],
+        mutation_level: 2,
+        k: 0,
+    };
+
+    let mut baseline = Vm::new(p.clone(), fast());
+    let expect = baseline.run_entry().unwrap();
+
+    let engine = MutationEngine::new(plan, OlcReport::default());
+    let mut vm = engine.attach(p, fast());
+    let got = vm.run_entry().unwrap();
+    assert_eq!(got, expect, "static-state mutation changed results");
+    // Special code was generated for the static method and installed via
+    // the static dispatch override at some point.
+    assert!(vm.stats().special_compiles >= 1);
+    assert!(vm.stats().code_patches > 0);
+    // After leaving the hot state the override must be gone.
+    let scale_mid = vm.state.program.class(calc);
+    let scale_id = scale_mid
+        .methods
+        .iter()
+        .copied()
+        .find(|&mm| vm.state.program.method(mm).name == "scale")
+        .unwrap();
+    assert_eq!(
+        vm.state.static_override[scale_id.index()], None,
+        "leaving the hot state must restore general dispatch"
+    );
+}
+
+/// Joint two-field hot states: both fields must match for the special TIB;
+/// changing either field transitions correctly.
+#[test]
+fn multi_field_joint_states() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("Pair").build();
+    let a = pb.instance_field(c, "a", Ty::Int);
+    let b = pb.instance_field(c, "b", Ty::Int);
+    pb.trivial_ctor(c);
+    let mut m = pb.method(c, "seta", MethodSig::new(vec![Ty::Int], None));
+    let this = m.this();
+    let v = m.param(0);
+    m.put_field(this, a, v);
+    m.ret(None);
+    m.build();
+    let mut m = pb.method(c, "setb", MethodSig::new(vec![Ty::Int], None));
+    let this = m.this();
+    let v = m.param(0);
+    m.put_field(this, b, v);
+    m.ret(None);
+    m.build();
+    let mut m = pb.method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+    let this = m.this();
+    let av = m.reg();
+    m.get_field(av, this, a);
+    let bv = m.reg();
+    m.get_field(bv, this, b);
+    let out = m.reg();
+    m.iadd(out, av, bv);
+    m.ret(Some(out));
+    let f = m.build();
+    let mut m = pb.static_method(c, "mk", MethodSig::new(vec![], Some(Ty::Ref(c))));
+    let o = m.reg();
+    m.new_init(o, c, vec![]);
+    m.ret(Some(o));
+    let mk = m.build();
+    let mut m = pb.static_method(c, "set", MethodSig::new(vec![Ty::Ref(c), Ty::Int, Ty::Int], None));
+    let o = m.param(0);
+    let x = m.param(1);
+    let y = m.param(2);
+    m.call_virtual(None, o, "seta", vec![x]);
+    m.call_virtual(None, o, "setb", vec![y]);
+    m.ret(None);
+    let set = m.build();
+    let p = pb.finish().unwrap();
+
+    let plan = MutationPlan {
+        classes: vec![MutableClass {
+            class: c,
+            instance_state_fields: vec![a, b],
+            static_state_fields: vec![],
+            hot_states: vec![
+                HotState {
+                    instance_values: vec![(a, Value::Int(1)), (b, Value::Int(2))],
+                    static_values: vec![],
+                    frequency: 0.5,
+                },
+                HotState {
+                    instance_values: vec![(a, Value::Int(3)), (b, Value::Int(4))],
+                    static_values: vec![],
+                    frequency: 0.5,
+                },
+            ],
+            mutable_methods: vec![f],
+            field_scores: vec![],
+        }],
+        mutation_level: 2,
+        k: 0,
+    };
+    let engine = MutationEngine::new(plan, OlcReport::default());
+    let mut vm = engine.attach(p, fast());
+    let obj = vm.call_static(mk, &[]).unwrap().unwrap();
+    let Value::Ref(oref) = obj else { panic!() };
+    vm.state.add_handle(oref);
+    let class_tib = vm.state.class_tib(c);
+
+    // (1,2) matches state 0.
+    vm.call_static(set, &[obj, Value::Int(1), Value::Int(2)]).unwrap();
+    let tib_12 = vm.state.heap.object(oref).tib;
+    assert_ne!(tib_12, class_tib);
+
+    // (1,4) matches nothing -> class TIB.
+    vm.call_static(set, &[obj, Value::Int(1), Value::Int(4)]).unwrap();
+    assert_eq!(vm.state.heap.object(oref).tib, class_tib);
+
+    // (3,4) matches state 1 -> a *different* special TIB.
+    vm.call_static(set, &[obj, Value::Int(3), Value::Int(4)]).unwrap();
+    let tib_34 = vm.state.heap.object(oref).tib;
+    assert_ne!(tib_34, class_tib);
+    assert_ne!(tib_34, tib_12);
+}
+
+/// Fig. 6: special TIBs belong to the mutable class only; instances of a
+/// subclass never have their TIB flipped even when they store matching
+/// values into the inherited state field.
+#[test]
+fn subclass_instances_are_never_mutated() {
+    let mut pb = ProgramBuilder::new();
+    let base = pb.class("B").build();
+    let st = pb.instance_field(base, "st", Ty::Int);
+    pb.trivial_ctor(base);
+    let mut m = pb.method(base, "set", MethodSig::new(vec![Ty::Int], None));
+    let this = m.this();
+    let v = m.param(0);
+    m.put_field(this, st, v);
+    m.ret(None);
+    m.build();
+    let mut m = pb.method(base, "get", MethodSig::new(vec![], Some(Ty::Int)));
+    let this = m.this();
+    let r = m.reg();
+    m.get_field(r, this, st);
+    m.ret(Some(r));
+    let get = m.build();
+    let sub = pb.class("Sub").extends(base).build();
+    pb.trivial_ctor(sub);
+    let mut m = pb.static_method(base, "mk_sub", MethodSig::new(vec![], Some(Ty::Ref(sub))));
+    let o = m.reg();
+    m.new_init(o, sub, vec![]);
+    m.ret(Some(o));
+    let mk_sub = m.build();
+    let mut m = pb.static_method(base, "setv", MethodSig::new(vec![Ty::Ref(base), Ty::Int], None));
+    let o = m.param(0);
+    let v = m.param(1);
+    m.call_virtual(None, o, "set", vec![v]);
+    m.ret(None);
+    let setv = m.build();
+    let p = pb.finish().unwrap();
+
+    let plan = MutationPlan {
+        classes: vec![MutableClass {
+            class: base,
+            instance_state_fields: vec![st],
+            static_state_fields: vec![],
+            hot_states: vec![HotState {
+                instance_values: vec![(st, Value::Int(5))],
+                static_values: vec![],
+                frequency: 1.0,
+            }],
+            mutable_methods: vec![get],
+            field_scores: vec![],
+        }],
+        mutation_level: 2,
+        k: 0,
+    };
+    let engine = MutationEngine::new(plan, OlcReport::default());
+    let mut vm = engine.attach(p, fast());
+    let obj = vm.call_static(mk_sub, &[]).unwrap().unwrap();
+    let Value::Ref(oref) = obj else { panic!() };
+    vm.state.add_handle(oref);
+    let sub_tib = vm.state.heap.object(oref).tib;
+
+    vm.call_static(setv, &[obj, Value::Int(5)]).unwrap();
+    assert_eq!(
+        vm.state.heap.object(oref).tib, sub_tib,
+        "subclass instance must keep its own class TIB (Fig. 6)"
+    );
+    assert_eq!(vm.stats().tib_flips, 0);
+}

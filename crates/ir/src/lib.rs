@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # dchm-ir
+//!
+//! The optimizer IR for the DCHM reproduction — the stand-in for the Jikes
+//! RVM optimizing compiler the paper builds on.
+//!
+//! A [`Function`] is a control-flow graph of basic blocks over the same
+//! straight-line [`Op`](dchm_bytecode::Op) set as the bytecode; only control
+//! flow is restructured (explicit block terminators instead of labels).
+//! Bytecode is lifted with [`lift()`](lift::lift), optimized by the passes in [`passes`],
+//! and executed directly by the VM's evaluator.
+//!
+//! The passes implement the optimization vocabulary the paper's technique
+//! feeds: constant propagation, copy propagation, branch folding (the paper's
+//! "branch elimination"), dead-code elimination, strength reduction, method
+//! inlining, and — the key enabler — [`passes::specialize::specialize`], which folds a
+//! *state field* of the receiver (or a static state field) to a constant so
+//! the rest of the pipeline can prune the method down to the code for one
+//! object state.
+//!
+//! ```
+//! use dchm_bytecode::{ProgramBuilder, MethodSig, Ty, CmpOp};
+//! use dchm_ir::{lift, passes, OptConfig};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let c = pb.class("C").build();
+//! let mut m = pb.static_method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+//! let a = m.imm(2);
+//! let b = m.imm(3);
+//! let r = m.reg();
+//! m.iadd(r, a, b);
+//! m.ret(Some(r));
+//! let mid = m.build();
+//! let p = pb.finish().unwrap();
+//!
+//! let mut f = lift(&p.method(mid).code, p.method(mid).num_regs, 0);
+//! passes::run_pipeline(&mut f, &OptConfig::level(2));
+//! // 2 + 3 folded: the optimized function returns a constant.
+//! assert!(f.size() <= 2);
+//! ```
+
+pub mod cost;
+pub mod func;
+pub mod lift;
+pub mod passes;
+pub mod pretty;
+
+pub use cost::{op_cost, op_size, CostModel};
+pub use func::{Block, BlockId, Function, Term};
+pub use lift::lift;
+pub use passes::OptConfig;

@@ -1,0 +1,199 @@
+//! Lifting linear bytecode into the CFG IR.
+
+use crate::func::{Block, BlockId, Function, Term};
+use dchm_bytecode::{Instr, Reg};
+use std::collections::HashMap;
+
+/// Lifts a bytecode body into a [`Function`].
+///
+/// Block leaders are: instruction 0, every branch target, and every
+/// instruction following a branch/jump. The mapping is purely structural —
+/// no optimization happens here, so the baseline tier executes exactly the
+/// frontend's code.
+///
+/// # Panics
+/// Panics on malformed code (labels out of range, missing terminator);
+/// verified programs never trigger this.
+pub fn lift(code: &[Instr], num_regs: u16, arg_count: u16) -> Function {
+    assert!(!code.is_empty(), "cannot lift empty code");
+
+    // 1. Find leaders.
+    let mut is_leader = vec![false; code.len()];
+    is_leader[0] = true;
+    for (i, instr) in code.iter().enumerate() {
+        match instr {
+            Instr::Jmp(t) => {
+                is_leader[t.index()] = true;
+                if i + 1 < code.len() {
+                    is_leader[i + 1] = true;
+                }
+            }
+            Instr::BrIf { target, .. } => {
+                is_leader[target.index()] = true;
+                if i + 1 < code.len() {
+                    is_leader[i + 1] = true;
+                }
+            }
+            Instr::Ret(_) => {
+                if i + 1 < code.len() {
+                    is_leader[i + 1] = true;
+                }
+            }
+            Instr::Op(_) => {}
+        }
+    }
+
+    // 2. Assign block ids to leaders in instruction order.
+    let mut block_of: HashMap<usize, BlockId> = HashMap::new();
+    let mut leaders: Vec<usize> = Vec::new();
+    for (i, &l) in is_leader.iter().enumerate() {
+        if l {
+            block_of.insert(i, BlockId::from_index(leaders.len()));
+            leaders.push(i);
+        }
+    }
+
+    // 3. Emit blocks.
+    let mut blocks = Vec::with_capacity(leaders.len());
+    for (bi, &start) in leaders.iter().enumerate() {
+        let end = leaders.get(bi + 1).copied().unwrap_or(code.len());
+        let mut ops = Vec::new();
+        let mut term: Option<Term> = None;
+        for (i, instr) in code[start..end].iter().enumerate() {
+            let at = start + i;
+            match instr {
+                Instr::Op(op) => ops.push(op.clone()),
+                Instr::Jmp(t) => {
+                    term = Some(Term::Jmp(block_of[&t.index()]));
+                    debug_assert_eq!(at + 1, end);
+                }
+                Instr::BrIf { cond, target } => {
+                    let fall = at + 1;
+                    term = Some(Term::Br {
+                        cond: *cond,
+                        t: block_of[&target.index()],
+                        f: block_of[&fall],
+                    });
+                    debug_assert_eq!(at + 1, end);
+                }
+                Instr::Ret(v) => {
+                    term = Some(Term::Ret(*v));
+                    debug_assert_eq!(at + 1, end);
+                }
+            }
+        }
+        // A block that ends because the next instruction is a leader (pure
+        // fallthrough) jumps to that leader.
+        let term = term.unwrap_or_else(|| Term::Jmp(block_of[&end]));
+        blocks.push(Block { ops, term });
+    }
+
+    let f = Function {
+        blocks,
+        num_regs,
+        arg_count,
+    };
+    debug_assert!(f.validate().is_ok(), "lift produced invalid IR");
+    f
+}
+
+/// Convenience for tests: lifts and returns together with the registers
+/// holding arguments.
+pub fn lift_with_args(code: &[Instr], num_regs: u16, arg_count: u16) -> (Function, Vec<Reg>) {
+    let f = lift(code, num_regs, arg_count);
+    let args = (0..arg_count).map(Reg).collect();
+    (f, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Term;
+    use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty};
+
+    fn body(build: impl FnOnce(&mut dchm_bytecode::MethodBuilder<'_>)) -> (Vec<Instr>, u16) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C").build();
+        let mut m = pb.static_method(c, "f", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+        build(&mut m);
+        let mid = m.build();
+        let p = pb.finish().unwrap();
+        (p.method(mid).code.clone(), p.method(mid).num_regs)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (code, nregs) = body(|m| {
+            let r = m.reg();
+            m.const_i(r, 1);
+            m.ret(Some(r));
+        });
+        let f = lift(&code, nregs, 1);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].ops.len(), 1);
+        assert!(matches!(f.blocks[0].term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn loop_produces_back_edge() {
+        let (code, nregs) = body(|m| {
+            let n = m.param(0);
+            let i = m.reg();
+            m.const_i(i, 0);
+            let head = m.label();
+            let done = m.label();
+            m.bind(head);
+            m.br_icmp(CmpOp::Ge, i, n, done);
+            m.iadd_imm(i, i, 1);
+            m.jmp(head);
+            m.bind(done);
+            m.ret(Some(i));
+        });
+        let f = lift(&code, nregs, 1);
+        assert!(f.validate().is_ok());
+        // Some block jumps backwards to the loop head.
+        let mut has_back_edge = false;
+        for (i, b) in f.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                if s.index() <= i {
+                    has_back_edge = true;
+                }
+            }
+        }
+        assert!(has_back_edge);
+        // Exactly one return.
+        let rets = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::Ret(_)))
+            .count();
+        assert_eq!(rets, 1);
+    }
+
+    #[test]
+    fn fallthrough_block_gets_jmp() {
+        // br_if makes the following instr a leader; the branch block's false
+        // edge must point at it.
+        let (code, nregs) = body(|m| {
+            let n = m.param(0);
+            let skip = m.label();
+            m.br_icmp_imm(CmpOp::Gt, n, 10, skip);
+            m.iadd_imm(n, n, 1);
+            m.bind(skip);
+            m.ret(Some(n));
+        });
+        let f = lift(&code, nregs, 1);
+        assert!(f.validate().is_ok());
+        let entry = &f.blocks[0];
+        match entry.term {
+            Term::Br { t, f: fb, .. } => assert_ne!(t, fb),
+            ref other => panic!("expected Br, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty code")]
+    fn empty_code_panics() {
+        lift(&[], 0, 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Sparse conditional constant propagation with branch folding.
+//!
+//! A worklist fixpoint over block entry states; when a branch condition is
+//! a known constant only the taken edge propagates (SCCP-style), which is
+//! what lets state specialization delete entire alternative-state arms of a
+//! mutable method.
+
+use crate::func::{Function, Term};
+use dchm_bytecode::{IntrinsicKind, Op, Reg, Value};
+
+/// The constant lattice. "Unvisited" (the classical Top) is represented by
+/// a block having no entry state yet, so only two levels remain here.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Lat {
+    /// Known constant.
+    Const(Value),
+    /// Known non-constant.
+    Bot,
+}
+
+impl Lat {
+    fn merge(self, other: Lat) -> Lat {
+        match (self, other) {
+            (Lat::Const(a), Lat::Const(b)) if a.key_eq(b) => Lat::Const(a),
+            _ => Lat::Bot,
+        }
+    }
+}
+
+fn merge_states(a: &mut [Lat], b: &[Lat]) -> bool {
+    let mut changed = false;
+    for (x, &y) in a.iter_mut().zip(b) {
+        let m = x.merge(y);
+        if m != *x {
+            *x = m;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Evaluates a pure op given operand lattice values; `None` when the result
+/// is unknown or folding would erase a trap (division by a constant zero).
+fn eval_op(op: &Op, get: &dyn Fn(Reg) -> Lat) -> Option<Value> {
+    let int = |r: Reg| match get(r) {
+        Lat::Const(Value::Int(v)) => Some(v),
+        _ => None,
+    };
+    let dbl = |r: Reg| match get(r) {
+        Lat::Const(Value::Double(v)) => Some(v),
+        _ => None,
+    };
+    match op {
+        Op::ConstI { val, .. } => Some(Value::Int(*val)),
+        Op::ConstD { val, .. } => Some(Value::Double(*val)),
+        Op::ConstNull { .. } => Some(Value::Null),
+        Op::Mov { src, .. } => match get(*src) {
+            Lat::Const(v) => Some(v),
+            _ => None,
+        },
+        Op::IBin { op, a, b, .. } => {
+            let (a, b) = (int(*a)?, int(*b)?);
+            op.eval(a, b).map(Value::Int)
+        }
+        Op::INeg { a, .. } => Some(Value::Int(int(*a)?.wrapping_neg())),
+        Op::DBin { op, a, b, .. } => Some(Value::Double(op.eval(dbl(*a)?, dbl(*b)?))),
+        Op::DNeg { a, .. } => Some(Value::Double(-dbl(*a)?)),
+        Op::I2D { a, .. } => Some(Value::Double(int(*a)? as f64)),
+        Op::D2I { a, .. } => Some(Value::Int(dbl(*a)? as i64)),
+        Op::ICmp { op, a, b, .. } => Some(Value::Int(op.eval_int(int(*a)?, int(*b)?) as i64)),
+        Op::DCmp { op, a, b, .. } => {
+            Some(Value::Int(op.eval_double(dbl(*a)?, dbl(*b)?) as i64))
+        }
+        Op::RefEq { a, b, .. } => {
+            // Only null-ness is tracked as a reference constant.
+            match (get(*a), get(*b)) {
+                (Lat::Const(Value::Null), Lat::Const(Value::Null)) => Some(Value::Int(1)),
+                _ => None,
+            }
+        }
+        Op::Intrinsic {
+            kind,
+            args,
+            dst: Some(_),
+        } => match kind {
+            IntrinsicKind::DSqrt => Some(Value::Double(dbl(args[0])?.sqrt())),
+            IntrinsicKind::DAbs => Some(Value::Double(dbl(args[0])?.abs())),
+            IntrinsicKind::IAbs => Some(Value::Int(int(args[0])?.wrapping_abs())),
+            IntrinsicKind::IMin => Some(Value::Int(int(args[0])?.min(int(args[1])?))),
+            IntrinsicKind::IMax => Some(Value::Int(int(args[0])?.max(int(args[1])?))),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn transfer(state: &mut Vec<Lat>, op: &Op) {
+    let folded = eval_op(op, &|r: Reg| state[r.index()]);
+    if let Some(d) = op.def() {
+        state[d.index()] = match folded {
+            Some(v) => Lat::Const(v),
+            None => Lat::Bot,
+        };
+    }
+}
+
+fn const_to_op(dst: Reg, v: Value) -> Option<Op> {
+    match v {
+        Value::Int(val) => Some(Op::ConstI { dst, val }),
+        Value::Double(val) => Some(Op::ConstD { dst, val }),
+        Value::Null => Some(Op::ConstNull { dst }),
+        Value::Ref(_) => None, // heap references are never compile-time constants
+    }
+}
+
+/// Runs constant propagation + branch folding; returns the rewrite count.
+pub fn constprop(f: &mut Function) -> usize {
+    let nregs = f.num_regs as usize;
+    let nblocks = f.blocks.len();
+    let mut in_states: Vec<Option<Vec<Lat>>> = vec![None; nblocks];
+    in_states[0] = Some(vec![Lat::Bot; nregs]); // args/locals unknown at entry
+
+    let mut work = vec![0usize];
+    while let Some(bi) = work.pop() {
+        let mut state = in_states[bi].clone().expect("worklist invariant");
+        for op in &f.blocks[bi].ops {
+            transfer(&mut state, op);
+        }
+        // Determine live out-edges (conditional propagation).
+        let succs: Vec<usize> = match &f.blocks[bi].term {
+            Term::Jmp(b) => vec![b.index()],
+            Term::Br { cond, t, f: fb } => match state[cond.index()] {
+                Lat::Const(Value::Int(v)) => {
+                    vec![if v != 0 { t.index() } else { fb.index() }]
+                }
+                _ => vec![t.index(), fb.index()],
+            },
+            Term::Ret(_) | Term::Unreachable => vec![],
+        };
+        for s in succs {
+            match &mut in_states[s] {
+                Some(existing) => {
+                    if merge_states(existing, &state) {
+                        work.push(s);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    work.push(s);
+                }
+            }
+        }
+    }
+
+    // Rewrite using the solved entry states.
+    let mut rewrites = 0;
+    for bi in 0..nblocks {
+        let Some(mut state) = in_states[bi].clone() else {
+            continue; // unreachable; simplify_cfg will drop it
+        };
+        for op in &mut f.blocks[bi].ops {
+            let folded = eval_op(op, &|r: Reg| state[r.index()]);
+            if let (Some(v), Some(dst)) = (folded, op.def()) {
+                if let Some(new_op) = const_to_op(dst, v) {
+                    let already_const = matches!(
+                        op,
+                        Op::ConstI { .. } | Op::ConstD { .. } | Op::ConstNull { .. }
+                    );
+                    if !already_const {
+                        *op = new_op;
+                        rewrites += 1;
+                    }
+                }
+            }
+            transfer(&mut state, op);
+        }
+        if let Term::Br { cond, t, f: fb } = f.blocks[bi].term {
+            if let Lat::Const(Value::Int(v)) = state[cond.index()] {
+                f.blocks[bi].term = Term::Jmp(if v != 0 { t } else { fb });
+                rewrites += 1;
+            }
+        }
+    }
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, BlockId};
+    use dchm_bytecode::{CmpOp, IBinOp};
+
+    fn func_of(blocks: Vec<Block>, num_regs: u16) -> Function {
+        Function {
+            blocks,
+            num_regs,
+            arg_count: 0,
+        }
+    }
+
+    #[test]
+    fn folds_arith_chain() {
+        let mut b = Block::new(Term::Ret(Some(Reg(2))));
+        b.ops = vec![
+            Op::ConstI { dst: Reg(0), val: 2 },
+            Op::ConstI { dst: Reg(1), val: 3 },
+            Op::IBin {
+                op: IBinOp::Add,
+                dst: Reg(2),
+                a: Reg(0),
+                b: Reg(1),
+            },
+        ];
+        let mut f = func_of(vec![b], 3);
+        let n = constprop(&mut f);
+        assert_eq!(n, 1);
+        assert_eq!(
+            f.blocks[0].ops[2],
+            Op::ConstI { dst: Reg(2), val: 5 }
+        );
+    }
+
+    #[test]
+    fn folds_branch_on_constant() {
+        let mut b0 = Block::new(Term::Br {
+            cond: Reg(1),
+            t: BlockId(1),
+            f: BlockId(2),
+        });
+        b0.ops = vec![
+            Op::ConstI { dst: Reg(0), val: 7 },
+            Op::ICmp {
+                op: CmpOp::Gt,
+                dst: Reg(1),
+                a: Reg(0),
+                b: Reg(0),
+            },
+        ];
+        let b1 = Block::new(Term::Ret(None));
+        let b2 = Block::new(Term::Ret(None));
+        let mut f = func_of(vec![b0, b1, b2], 2);
+        constprop(&mut f);
+        // 7 > 7 is false -> jump to the false block.
+        assert_eq!(f.blocks[0].term, Term::Jmp(BlockId(2)));
+    }
+
+    #[test]
+    fn does_not_fold_div_by_zero() {
+        let mut b = Block::new(Term::Ret(Some(Reg(2))));
+        b.ops = vec![
+            Op::ConstI { dst: Reg(0), val: 7 },
+            Op::ConstI { dst: Reg(1), val: 0 },
+            Op::IBin {
+                op: IBinOp::Div,
+                dst: Reg(2),
+                a: Reg(0),
+                b: Reg(1),
+            },
+        ];
+        let mut f = func_of(vec![b], 3);
+        constprop(&mut f);
+        // The trap is preserved.
+        assert!(matches!(
+            f.blocks[0].ops[2],
+            Op::IBin {
+                op: IBinOp::Div,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn merge_conflicting_paths_is_bot() {
+        // b0 branches on arg r0 to b1 (r1 = 1) or b2 (r1 = 2); join b3
+        // returns r1 — must NOT be folded.
+        let b0 = Block::new(Term::Br {
+            cond: Reg(0),
+            t: BlockId(1),
+            f: BlockId(2),
+        });
+        let mut b1 = Block::new(Term::Jmp(BlockId(3)));
+        b1.ops = vec![Op::ConstI { dst: Reg(1), val: 1 }];
+        let mut b2 = Block::new(Term::Jmp(BlockId(3)));
+        b2.ops = vec![Op::ConstI { dst: Reg(1), val: 2 }];
+        let mut b3 = Block::new(Term::Ret(Some(Reg(2))));
+        b3.ops = vec![Op::Mov {
+            dst: Reg(2),
+            src: Reg(1),
+        }];
+        let mut f = func_of(vec![b0, b1, b2, b3], 3);
+        f.arg_count = 1;
+        constprop(&mut f);
+        assert_eq!(
+            f.blocks[3].ops[0],
+            Op::Mov {
+                dst: Reg(2),
+                src: Reg(1)
+            }
+        );
+    }
+
+    #[test]
+    fn conditional_propagation_ignores_dead_arm() {
+        // r0 = 1; br r0 ? b1 : b2. b2 sets r1 = 99, b1 sets r1 = 5;
+        // join returns r1. Since only b1 is reachable, r1 folds to 5.
+        let mut b0 = Block::new(Term::Br {
+            cond: Reg(0),
+            t: BlockId(1),
+            f: BlockId(2),
+        });
+        b0.ops = vec![Op::ConstI { dst: Reg(0), val: 1 }];
+        let mut b1 = Block::new(Term::Jmp(BlockId(3)));
+        b1.ops = vec![Op::ConstI { dst: Reg(1), val: 5 }];
+        let mut b2 = Block::new(Term::Jmp(BlockId(3)));
+        b2.ops = vec![Op::ConstI { dst: Reg(1), val: 99 }];
+        let mut b3 = Block::new(Term::Ret(Some(Reg(2))));
+        b3.ops = vec![Op::Mov {
+            dst: Reg(2),
+            src: Reg(1),
+        }];
+        let mut f = func_of(vec![b0, b1, b2, b3], 3);
+        constprop(&mut f);
+        assert_eq!(
+            f.blocks[3].ops[0],
+            Op::ConstI { dst: Reg(2), val: 5 }
+        );
+    }
+
+    #[test]
+    fn folds_pure_intrinsics() {
+        let mut b = Block::new(Term::Ret(Some(Reg(1))));
+        b.ops = vec![
+            Op::ConstD {
+                dst: Reg(0),
+                val: 9.0,
+            },
+            Op::Intrinsic {
+                dst: Some(Reg(1)),
+                kind: IntrinsicKind::DSqrt,
+                args: vec![Reg(0)],
+            },
+        ];
+        let mut f = func_of(vec![b], 2);
+        constprop(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[1],
+            Op::ConstD {
+                dst: Reg(1),
+                val: 3.0
+            }
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Local (per-block) copy propagation.
+
+use crate::func::{Function, Term};
+use dchm_bytecode::{Op, Reg};
+use std::collections::HashMap;
+
+/// Propagates copies within each block and drops no-op moves; returns the
+/// rewrite count.
+pub fn copyprop(f: &mut Function) -> usize {
+    let mut rewrites = 0;
+    for block in &mut f.blocks {
+        let mut copy_of: HashMap<Reg, Reg> = HashMap::new();
+        let resolve = |m: &HashMap<Reg, Reg>, r: Reg| m.get(&r).copied().unwrap_or(r);
+
+        let mut new_ops = Vec::with_capacity(block.ops.len());
+        for mut op in block.ops.drain(..) {
+            // Substitute uses first.
+            let before = op.clone();
+            op.map_uses(|r| resolve(&copy_of, r));
+            if op != before {
+                rewrites += 1;
+            }
+            // A def invalidates any mapping involving the defined register.
+            if let Some(d) = op.def() {
+                copy_of.remove(&d);
+                copy_of.retain(|_, v| *v != d);
+            }
+            // Record new copies; drop no-op moves.
+            if let Op::Mov { dst, src } = op {
+                if dst == src {
+                    rewrites += 1;
+                    continue;
+                }
+                copy_of.insert(dst, src);
+            }
+            new_ops.push(op);
+        }
+        block.ops = new_ops;
+
+        // Terminator uses see the block's final copy map.
+        match &mut block.term {
+            Term::Br { cond, .. } => {
+                let r = resolve(&copy_of, *cond);
+                if r != *cond {
+                    *cond = r;
+                    rewrites += 1;
+                }
+            }
+            Term::Ret(Some(v)) => {
+                let r = resolve(&copy_of, *v);
+                if r != *v {
+                    *v = r;
+                    rewrites += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Block;
+    use dchm_bytecode::IBinOp;
+
+    #[test]
+    fn propagates_through_mov_chain() {
+        let mut b = Block::new(Term::Ret(Some(Reg(3))));
+        b.ops = vec![
+            Op::Mov {
+                dst: Reg(1),
+                src: Reg(0),
+            },
+            Op::Mov {
+                dst: Reg(2),
+                src: Reg(1),
+            },
+            Op::IBin {
+                op: IBinOp::Add,
+                dst: Reg(3),
+                a: Reg(2),
+                b: Reg(2),
+            },
+        ];
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs: 4,
+            arg_count: 1,
+        };
+        copyprop(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[2],
+            Op::IBin {
+                op: IBinOp::Add,
+                dst: Reg(3),
+                a: Reg(0),
+                b: Reg(0),
+            }
+        );
+    }
+
+    #[test]
+    fn redefinition_kills_copy() {
+        let mut b = Block::new(Term::Ret(Some(Reg(2))));
+        b.ops = vec![
+            Op::Mov {
+                dst: Reg(1),
+                src: Reg(0),
+            },
+            // r0 is redefined; r1 must NOT be rewritten to r0 afterwards.
+            Op::ConstI {
+                dst: Reg(0),
+                val: 9,
+            },
+            Op::Mov {
+                dst: Reg(2),
+                src: Reg(1),
+            },
+        ];
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs: 3,
+            arg_count: 1,
+        };
+        copyprop(&mut f);
+        assert_eq!(
+            f.blocks[0].ops[2],
+            Op::Mov {
+                dst: Reg(2),
+                src: Reg(1),
+            }
+        );
+    }
+
+    #[test]
+    fn drops_self_moves_created_by_substitution() {
+        let mut b = Block::new(Term::Ret(Some(Reg(1))));
+        b.ops = vec![
+            Op::Mov {
+                dst: Reg(1),
+                src: Reg(0),
+            },
+            Op::Mov {
+                dst: Reg(0),
+                src: Reg(1),
+            }, // becomes r0 = r0 and is dropped... but r0 redefined!
+        ];
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs: 2,
+            arg_count: 1,
+        };
+        copyprop(&mut f);
+        // r0 = r1 where r1 = r0: substitution yields r0 = r0, dropped.
+        assert_eq!(f.blocks[0].ops.len(), 1);
+        // The (conceptual) redefinition of r0 killed the r1 -> r0 mapping,
+        // so the return value stays r1 (same value either way).
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Reg(1))));
+    }
+
+    #[test]
+    fn terminator_condition_rewritten() {
+        use crate::func::BlockId;
+        let mut b = Block::new(Term::Br {
+            cond: Reg(1),
+            t: BlockId(1),
+            f: BlockId(1),
+        });
+        b.ops = vec![Op::Mov {
+            dst: Reg(1),
+            src: Reg(0),
+        }];
+        let ret = Block::new(Term::Ret(None));
+        let mut f = Function {
+            blocks: vec![b, ret],
+            num_regs: 2,
+            arg_count: 1,
+        };
+        copyprop(&mut f);
+        assert!(matches!(f.blocks[0].term, Term::Br { cond: Reg(0), .. }));
+    }
+}

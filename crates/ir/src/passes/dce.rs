@@ -1,0 +1,194 @@
+//! Global dead-code elimination via backward liveness.
+
+use crate::func::{Function, Term};
+
+/// Removes pure ops whose results are never used; returns the removal count.
+///
+/// Ops with side effects (stores, calls, potentially-trapping loads and
+/// divisions, allocation, mutation patch points) are always kept, so the
+/// pass can never change observable behaviour.
+pub fn dce(f: &mut Function) -> usize {
+    let nblocks = f.blocks.len();
+    let nregs = f.num_regs as usize;
+
+    // live_in[b]: registers live at block entry. Fixpoint.
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; nregs]; nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nblocks).rev() {
+            let mut live = vec![false; nregs];
+            // live-out = union of successors' live-in, plus terminator uses.
+            for s in f.blocks[bi].term.successors() {
+                for (r, &l) in live_in[s.index()].iter().enumerate() {
+                    if l {
+                        live[r] = true;
+                    }
+                }
+            }
+            match f.blocks[bi].term {
+                Term::Br { cond, .. } => live[cond.index()] = true,
+                Term::Ret(Some(v)) => live[v.index()] = true,
+                _ => {}
+            }
+            // Backward over ops.
+            for op in f.blocks[bi].ops.iter().rev() {
+                let needed =
+                    op.has_side_effect() || op.def().is_some_and(|d| live[d.index()]);
+                if let Some(d) = op.def() {
+                    live[d.index()] = false;
+                }
+                if needed {
+                    op.for_each_use(|r| live[r.index()] = true);
+                }
+            }
+            if live != live_in[bi] {
+                live_in[bi] = live;
+                changed = true;
+            }
+        }
+    }
+
+    // Removal sweep (recompute liveness per block backwards, dropping dead
+    // pure ops).
+    let mut removed = 0;
+    for bi in 0..nblocks {
+        let mut live = vec![false; nregs];
+        for s in f.blocks[bi].term.successors() {
+            for (r, &l) in live_in[s.index()].iter().enumerate() {
+                if l {
+                    live[r] = true;
+                }
+            }
+        }
+        match f.blocks[bi].term {
+            Term::Br { cond, .. } => live[cond.index()] = true,
+            Term::Ret(Some(v)) => live[v.index()] = true,
+            _ => {}
+        }
+        let mut keep = vec![true; f.blocks[bi].ops.len()];
+        for (i, op) in f.blocks[bi].ops.iter().enumerate().rev() {
+            let needed = op.has_side_effect() || op.def().is_some_and(|d| live[d.index()]);
+            if let Some(d) = op.def() {
+                live[d.index()] = false;
+            }
+            if needed {
+                op.for_each_use(|r| live[r.index()] = true);
+            } else {
+                keep[i] = false;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            let mut it = keep.iter();
+            f.blocks[bi].ops.retain(|_| *it.next().unwrap());
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, BlockId};
+    use dchm_bytecode::{IBinOp, IntrinsicKind, Op, Reg};
+
+    #[test]
+    fn removes_dead_const() {
+        let mut b = Block::new(Term::Ret(Some(Reg(0))));
+        b.ops = vec![
+            Op::ConstI { dst: Reg(1), val: 5 }, // dead
+            Op::ConstI { dst: Reg(0), val: 1 },
+        ];
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs: 2,
+            arg_count: 0,
+        };
+        assert_eq!(dce(&mut f), 1);
+        assert_eq!(f.blocks[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = Block::new(Term::Ret(None));
+        b.ops = vec![
+            Op::ConstI { dst: Reg(0), val: 5 },
+            Op::Intrinsic {
+                dst: None,
+                kind: IntrinsicKind::SinkInt,
+                args: vec![Reg(0)],
+            },
+        ];
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs: 1,
+            arg_count: 0,
+        };
+        assert_eq!(dce(&mut f), 0);
+        assert_eq!(f.blocks[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn dead_chain_removed_transitively_across_iterations() {
+        // r0 = 1; r1 = r0 + r0; ret r2 — both ops dead (r1 unused).
+        let mut b = Block::new(Term::Ret(Some(Reg(2))));
+        b.ops = vec![
+            Op::ConstI { dst: Reg(0), val: 1 },
+            Op::IBin {
+                op: IBinOp::Add,
+                dst: Reg(1),
+                a: Reg(0),
+                b: Reg(0),
+            },
+        ];
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs: 3,
+            arg_count: 0,
+        };
+        let removed = dce(&mut f);
+        assert_eq!(removed, 2);
+        assert!(f.blocks[0].ops.is_empty());
+    }
+
+    #[test]
+    fn cross_block_liveness_keeps_def() {
+        // b0 defines r0 (pure), b1 uses it — must be kept.
+        let mut b0 = Block::new(Term::Jmp(BlockId(1)));
+        b0.ops = vec![Op::ConstI { dst: Reg(0), val: 7 }];
+        let b1 = Block::new(Term::Ret(Some(Reg(0))));
+        let mut f = Function {
+            blocks: vec![b0, b1],
+            num_regs: 1,
+            arg_count: 0,
+        };
+        assert_eq!(dce(&mut f), 0);
+        assert_eq!(f.blocks[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn loop_liveness_converges() {
+        // b0: r0 = 0 -> b1; b1: r1 = r0+r0, br r1 -> b1 / b2; b2: ret.
+        let mut b0 = Block::new(Term::Jmp(BlockId(1)));
+        b0.ops = vec![Op::ConstI { dst: Reg(0), val: 0 }];
+        let mut b1 = Block::new(Term::Br {
+            cond: Reg(1),
+            t: BlockId(1),
+            f: BlockId(2),
+        });
+        b1.ops = vec![Op::IBin {
+            op: IBinOp::Add,
+            dst: Reg(1),
+            a: Reg(0),
+            b: Reg(0),
+        }];
+        let b2 = Block::new(Term::Ret(None));
+        let mut f = Function {
+            blocks: vec![b0, b1, b2],
+            num_regs: 2,
+            arg_count: 0,
+        };
+        assert_eq!(dce(&mut f), 0); // everything is live through the loop
+    }
+}

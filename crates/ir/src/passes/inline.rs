@@ -1,0 +1,270 @@
+//! Mechanical call-site inlining.
+//!
+//! The *decision* of what to inline (static heuristics, guarded inlining,
+//! the paper's specialization-inlining trade-off) lives in the VM compiler;
+//! this module only performs the splice.
+
+use crate::func::{Block, BlockId, Function, Term};
+use dchm_bytecode::{Op, Reg};
+
+/// Where a call op sits inside a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Block containing the call.
+    pub block: BlockId,
+    /// Index of the call op within the block.
+    pub op_index: usize,
+}
+
+/// Inlines `callee` at `site` in `caller`.
+///
+/// `arg_regs` are the caller registers holding the callee's arguments in
+/// frame order (receiver first for instance methods); `dst` receives the
+/// return value if any. The call op at the site is removed and replaced by
+/// a jump through a renamed copy of the callee's CFG.
+///
+/// # Panics
+/// Panics if `site` does not point at an op, or register renumbering
+/// overflows `u16`.
+pub fn inline_call(
+    caller: &mut Function,
+    site: CallSite,
+    callee: &Function,
+    arg_regs: &[Reg],
+    dst: Option<Reg>,
+) {
+    assert_eq!(
+        arg_regs.len(),
+        callee.arg_count as usize,
+        "argument count mismatch"
+    );
+    let reg_base = caller.num_regs;
+    caller.num_regs = caller
+        .num_regs
+        .checked_add(callee.num_regs)
+        .expect("register overflow during inlining");
+    let map_reg = |r: Reg| Reg(r.0 + reg_base);
+
+    let block_base = caller.blocks.len() as u32;
+    let map_block = |b: BlockId| BlockId(b.0 + block_base);
+
+    // Split the call block: ops after the call move to a continuation block.
+    let call_block = &mut caller.blocks[site.block.index()];
+    let tail_ops = call_block.ops.split_off(site.op_index + 1);
+    let call_op = call_block.ops.pop().expect("call site out of range");
+    debug_assert!(call_op.is_call(), "inline target is not a call");
+    let cont_term = std::mem::replace(
+        &mut call_block.term,
+        Term::Jmp(map_block(BlockId::ENTRY)),
+    );
+
+    // Marshal arguments into the callee's (renamed) parameter registers.
+    for (i, &src) in arg_regs.iter().enumerate() {
+        call_block.ops.push(Op::Mov {
+            dst: Reg(i as u16 + reg_base),
+            src,
+        });
+    }
+
+    // Continuation block: receives the tail ops and the original terminator.
+    let cont_id = BlockId::from_index(caller.blocks.len() + callee.blocks.len());
+
+    // Copy callee blocks with renamed registers; returns become jumps to the
+    // continuation (with a Mov into `dst` when a value is returned).
+    for cb in &callee.blocks {
+        let mut ops: Vec<Op> = cb.ops.clone();
+        for op in &mut ops {
+            op.map_regs(map_reg);
+        }
+        let term = match &cb.term {
+            Term::Jmp(b) => Term::Jmp(map_block(*b)),
+            Term::Br { cond, t, f } => Term::Br {
+                cond: map_reg(*cond),
+                t: map_block(*t),
+                f: map_block(*f),
+            },
+            Term::Ret(val) => {
+                if let (Some(d), Some(v)) = (dst, val) {
+                    ops.push(Op::Mov {
+                        dst: d,
+                        src: map_reg(*v),
+                    });
+                }
+                Term::Jmp(cont_id)
+            }
+            Term::Unreachable => Term::Unreachable,
+        };
+        caller.blocks.push(Block { ops, term });
+    }
+
+    caller.blocks.push(Block {
+        ops: tail_ops,
+        term: cont_term,
+    });
+    debug_assert!(caller.validate().is_ok(), "inlining produced invalid IR");
+}
+
+/// Finds the first call site matching a predicate, scanning blocks in order.
+pub fn find_call_site(
+    f: &Function,
+    mut pred: impl FnMut(&Op) -> bool,
+) -> Option<(CallSite, Op)> {
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (oi, op) in b.ops.iter().enumerate() {
+            if op.is_call() && pred(op) {
+                return Some((
+                    CallSite {
+                        block: BlockId::from_index(bi),
+                        op_index: oi,
+                    },
+                    op.clone(),
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_bytecode::{IBinOp, MethodId};
+
+    /// callee: fn add1(x) -> x + 1  (arg r0, 2 regs)
+    fn callee_add1() -> Function {
+        let mut b = Block::new(Term::Ret(Some(Reg(1))));
+        b.ops = vec![
+            Op::ConstI { dst: Reg(1), val: 1 },
+            Op::IBin {
+                op: IBinOp::Add,
+                dst: Reg(1),
+                a: Reg(0),
+                b: Reg(1),
+            },
+        ];
+        Function {
+            blocks: vec![b],
+            num_regs: 2,
+            arg_count: 1,
+        }
+    }
+
+    /// caller: r1 = call(r0); ret r1
+    fn caller_fn() -> Function {
+        let mut b = Block::new(Term::Ret(Some(Reg(1))));
+        b.ops = vec![Op::CallStatic {
+            dst: Some(Reg(1)),
+            method: MethodId(0),
+            args: vec![Reg(0)],
+        }];
+        Function {
+            blocks: vec![b],
+            num_regs: 2,
+            arg_count: 1,
+        }
+    }
+
+    #[test]
+    fn inline_replaces_call_with_body() {
+        let mut caller = caller_fn();
+        let callee = callee_add1();
+        let (site, op) = find_call_site(&caller, |_| true).unwrap();
+        let dst = op.def();
+        inline_call(&mut caller, site, &callee, &[Reg(0)], dst);
+        assert!(caller.validate().is_ok());
+        // No calls remain.
+        assert!(find_call_site(&caller, |_| true).is_none());
+        // Register frames were concatenated.
+        assert_eq!(caller.num_regs, 4);
+        // Blocks: original (now arg-marshal), callee body, continuation.
+        assert_eq!(caller.blocks.len(), 3);
+        // The entry marshals r0 into the renamed callee param (r2).
+        assert!(caller.blocks[0]
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::Mov { dst: Reg(2), src: Reg(0) })));
+        // Return value lands in r1 via a Mov in the inlined body block.
+        assert!(caller.blocks[1]
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::Mov { dst: Reg(1), .. })));
+    }
+
+    #[test]
+    fn inline_mid_block_preserves_tail() {
+        let mut caller = caller_fn();
+        // Add a tail op after the call.
+        caller.blocks[0].ops.push(Op::IBin {
+            op: IBinOp::Add,
+            dst: Reg(1),
+            a: Reg(1),
+            b: Reg(1),
+        });
+        let callee = callee_add1();
+        let (site, op) = find_call_site(&caller, |_| true).unwrap();
+        inline_call(&mut caller, site, &callee, &[Reg(0)], op.def());
+        assert!(caller.validate().is_ok());
+        // The tail op survives in the continuation block.
+        let cont = caller.blocks.last().unwrap();
+        assert!(cont
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::IBin { op: IBinOp::Add, dst: Reg(1), .. })));
+        assert!(matches!(cont.term, Term::Ret(Some(Reg(1)))));
+    }
+
+    #[test]
+    fn void_callee_no_result_mov() {
+        let mut caller = caller_fn();
+        caller.blocks[0].ops[0] = Op::CallStatic {
+            dst: None,
+            method: MethodId(0),
+            args: vec![Reg(0)],
+        };
+        let mut callee = callee_add1();
+        callee.blocks[0].term = Term::Ret(None);
+        let (site, _) = find_call_site(&caller, |_| true).unwrap();
+        inline_call(&mut caller, site, &callee, &[Reg(0)], None);
+        assert!(caller.validate().is_ok());
+        // No Mov into r1 anywhere (besides arg marshal into r2).
+        for b in &caller.blocks {
+            for op in &b.ops {
+                if let Op::Mov { dst, .. } = op {
+                    assert_ne!(*dst, Reg(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branchy_callee_inlines() {
+        // callee: if (x != 0) return 1 else return 2
+        let mut b0 = Block::new(Term::Br {
+            cond: Reg(0),
+            t: BlockId(1),
+            f: BlockId(2),
+        });
+        b0.ops = vec![];
+        let mut b1 = Block::new(Term::Ret(Some(Reg(1))));
+        b1.ops = vec![Op::ConstI { dst: Reg(1), val: 1 }];
+        let mut b2 = Block::new(Term::Ret(Some(Reg(1))));
+        b2.ops = vec![Op::ConstI { dst: Reg(1), val: 2 }];
+        let callee = Function {
+            blocks: vec![b0, b1, b2],
+            num_regs: 2,
+            arg_count: 1,
+        };
+        let mut caller = caller_fn();
+        let (site, op) = find_call_site(&caller, |_| true).unwrap();
+        inline_call(&mut caller, site, &callee, &[Reg(0)], op.def());
+        assert!(caller.validate().is_ok());
+        // Both return paths converge on the continuation block.
+        let cont_id = BlockId::from_index(caller.blocks.len() - 1);
+        let jumps_to_cont = caller
+            .blocks
+            .iter()
+            .filter(|b| b.term.successors().contains(&cont_id))
+            .count();
+        assert_eq!(jumps_to_cont, 2);
+    }
+}

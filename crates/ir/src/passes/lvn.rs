@@ -1,0 +1,386 @@
+//! Local value numbering: common-subexpression and redundant-load
+//! elimination within basic blocks.
+//!
+//! Jikes' opt compiler performs CSE at higher optimization levels; this
+//! pass plays that role at opt2. It matters to the mutation technique
+//! because specialized method bodies frequently expose repeated
+//! subexpressions once state-field loads become constants.
+//!
+//! Availability is tracked with (register, generation) pairs: every
+//! redefinition of a register bumps its generation, invalidating any
+//! recorded expression that mentions the old value. Loads are modeled with
+//! conservative kill sets: a `PutField` kills loads of that field, and any
+//! call or mutation patch point kills all loads (the callee may write
+//! anything).
+
+use crate::func::Function;
+use dchm_bytecode::{FieldId, IntrinsicKind, Op, Reg};
+use std::collections::HashMap;
+
+/// Expression keys. Operands are (register, generation-at-use).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    ConstI(i64),
+    ConstD(u64),
+    IBin(dchm_bytecode::IBinOp, (Reg, u32), (Reg, u32)),
+    INeg((Reg, u32)),
+    DBin(dchm_bytecode::DBinOp, (Reg, u32), (Reg, u32)),
+    DNeg((Reg, u32)),
+    I2D((Reg, u32)),
+    D2I((Reg, u32)),
+    ICmp(dchm_bytecode::CmpOp, (Reg, u32), (Reg, u32)),
+    DCmp(dchm_bytecode::CmpOp, (Reg, u32), (Reg, u32)),
+    Intrinsic(IntrinsicKind, Vec<(Reg, u32)>),
+    FieldLoad(FieldId, (Reg, u32)),
+    StaticLoad(FieldId),
+    ArrayLen((Reg, u32)),
+}
+
+struct Block1 {
+    gen: HashMap<Reg, u32>,
+    avail: HashMap<Key, Reg>,
+}
+
+impl Block1 {
+    fn new() -> Self {
+        Block1 {
+            gen: HashMap::new(),
+            avail: HashMap::new(),
+        }
+    }
+
+    fn use_of(&self, r: Reg) -> (Reg, u32) {
+        (r, self.gen.get(&r).copied().unwrap_or(0))
+    }
+
+    fn kill_reg(&mut self, r: Reg) {
+        *self.gen.entry(r).or_insert(0) += 1;
+        // Expressions whose *home* was overwritten are gone; expressions
+        // mentioning the old generation are invalid automatically (keys
+        // embed generations).
+        self.avail.retain(|_, home| *home != r);
+    }
+
+    fn kill_field_loads(&mut self, field: FieldId) {
+        self.avail
+            .retain(|k, _| !matches!(k, Key::FieldLoad(f, _) if *f == field));
+    }
+
+    fn kill_static_load(&mut self, field: FieldId) {
+        self.avail
+            .retain(|k, _| !matches!(k, Key::StaticLoad(f) if *f == field));
+    }
+
+    fn kill_all_loads(&mut self) {
+        self.avail.retain(|k, _| {
+            !matches!(
+                k,
+                Key::FieldLoad(..) | Key::StaticLoad(..) | Key::ArrayLen(..)
+            )
+        });
+    }
+}
+
+fn key_of(op: &Op, st: &Block1) -> Option<Key> {
+    Some(match op {
+        Op::ConstI { val, .. } => Key::ConstI(*val),
+        Op::ConstD { val, .. } => Key::ConstD(val.to_bits()),
+        Op::IBin { op, a, b, .. } => {
+            let (mut ka, mut kb) = (st.use_of(*a), st.use_of(*b));
+            if op.commutative() && kb < ka {
+                std::mem::swap(&mut ka, &mut kb);
+            }
+            Key::IBin(*op, ka, kb)
+        }
+        Op::INeg { a, .. } => Key::INeg(st.use_of(*a)),
+        Op::DBin { op, a, b, .. } => Key::DBin(*op, st.use_of(*a), st.use_of(*b)),
+        Op::DNeg { a, .. } => Key::DNeg(st.use_of(*a)),
+        Op::I2D { a, .. } => Key::I2D(st.use_of(*a)),
+        Op::D2I { a, .. } => Key::D2I(st.use_of(*a)),
+        Op::ICmp { op, a, b, .. } => Key::ICmp(*op, st.use_of(*a), st.use_of(*b)),
+        Op::DCmp { op, a, b, .. } => Key::DCmp(*op, st.use_of(*a), st.use_of(*b)),
+        Op::Intrinsic {
+            kind,
+            args,
+            dst: Some(_),
+        } if !kind.has_effect() => {
+            Key::Intrinsic(*kind, args.iter().map(|&r| st.use_of(r)).collect())
+        }
+        Op::GetField { obj, field, .. } => Key::FieldLoad(*field, st.use_of(*obj)),
+        Op::GetStatic { field, .. } => Key::StaticLoad(*field),
+        Op::ALen { arr, .. } => Key::ArrayLen(st.use_of(*arr)),
+        _ => return None,
+    })
+}
+
+/// Runs local value numbering over every block; returns the rewrite count.
+pub fn lvn(f: &mut Function) -> usize {
+    let mut rewrites = 0;
+    for block in &mut f.blocks {
+        let mut st = Block1::new();
+        for op in &mut block.ops {
+            let key = key_of(op, &st);
+            let dst = op.def();
+            if let (Some(key), Some(dst)) = (key, dst) {
+                if let Some(&home) = st.avail.get(&key) {
+                    // Available: replace with a copy.
+                    if home != dst {
+                        *op = Op::Mov { dst, src: home };
+                        rewrites += 1;
+                    }
+                    st.kill_reg(dst);
+                    // dst now aliases home's value; record nothing new
+                    // (copyprop will forward it).
+                } else {
+                    st.kill_reg(dst);
+                    st.avail.insert(key, dst);
+                }
+                continue;
+            }
+            // Non-CSE-able op: apply kill sets.
+            match op {
+                Op::PutField { field, .. } => st.kill_field_loads(*field),
+                Op::PutStatic { field, .. } => st.kill_static_load(*field),
+                Op::CallVirtual { .. }
+                | Op::CallSpecial { .. }
+                | Op::CallStatic { .. }
+                | Op::CallInterface { .. }
+                | Op::NotifyCtorExit { .. }
+                | Op::NotifyInstStore { .. }
+                | Op::NotifyStaticStore { .. } => st.kill_all_loads(),
+                // Array stores may alias any array of the same kind; be
+                // maximally conservative and kill lengths/loads too.
+                Op::AStore { .. } => st.kill_all_loads(),
+                _ => {}
+            }
+            if let Some(d) = op.def() {
+                st.kill_reg(d);
+            }
+        }
+    }
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, Term};
+    use dchm_bytecode::IBinOp;
+
+    fn run(ops: Vec<Op>, nregs: u16) -> (Vec<Op>, usize) {
+        let mut b = Block::new(Term::Ret(Some(Reg(0))));
+        b.ops = ops;
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs: nregs,
+            arg_count: 2,
+        };
+        let n = lvn(&mut f);
+        (f.blocks[0].ops.clone(), n)
+    }
+
+    #[test]
+    fn duplicate_add_becomes_mov() {
+        let (ops, n) = run(
+            vec![
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(3),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            4,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(
+            ops[1],
+            Op::Mov {
+                dst: Reg(3),
+                src: Reg(2)
+            }
+        );
+    }
+
+    #[test]
+    fn commutative_operands_match_swapped() {
+        let (ops, n) = run(
+            vec![
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(3),
+                    a: Reg(1),
+                    b: Reg(0),
+                },
+            ],
+            4,
+        );
+        assert_eq!(n, 1);
+        assert!(matches!(ops[1], Op::Mov { .. }));
+        // Subtraction is NOT commutative.
+        let (ops, n) = run(
+            vec![
+                Op::IBin {
+                    op: IBinOp::Sub,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Op::IBin {
+                    op: IBinOp::Sub,
+                    dst: Reg(3),
+                    a: Reg(1),
+                    b: Reg(0),
+                },
+            ],
+            4,
+        );
+        assert_eq!(n, 0);
+        assert!(!matches!(ops[1], Op::Mov { .. }));
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let (ops, n) = run(
+            vec![
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Op::ConstI { dst: Reg(0), val: 9 }, // operand changes
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(3),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            4,
+        );
+        assert_eq!(n, 0);
+        assert!(!matches!(ops[2], Op::Mov { .. }));
+    }
+
+    #[test]
+    fn home_overwrite_invalidates() {
+        let (ops, n) = run(
+            vec![
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Op::ConstI { dst: Reg(2), val: 9 }, // home clobbered
+                Op::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(3),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            4,
+        );
+        assert_eq!(n, 0);
+        assert!(!matches!(ops[2], Op::Mov { .. }));
+    }
+
+    #[test]
+    fn redundant_field_load_eliminated_until_store() {
+        let f7 = FieldId(7);
+        let (ops, n) = run(
+            vec![
+                Op::GetField {
+                    dst: Reg(2),
+                    obj: Reg(0),
+                    field: f7,
+                },
+                Op::GetField {
+                    dst: Reg(3),
+                    obj: Reg(0),
+                    field: f7,
+                }, // redundant
+                Op::PutField {
+                    obj: Reg(0),
+                    field: f7,
+                    src: Reg(1),
+                },
+                Op::GetField {
+                    dst: Reg(3),
+                    obj: Reg(0),
+                    field: f7,
+                }, // NOT redundant (store intervened)
+            ],
+            4,
+        );
+        assert_eq!(n, 1);
+        assert!(matches!(ops[1], Op::Mov { .. }));
+        assert!(matches!(ops[3], Op::GetField { .. }));
+    }
+
+    #[test]
+    fn calls_kill_loads() {
+        let f7 = FieldId(7);
+        let (ops, n) = run(
+            vec![
+                Op::GetField {
+                    dst: Reg(2),
+                    obj: Reg(0),
+                    field: f7,
+                },
+                Op::CallStatic {
+                    dst: None,
+                    method: dchm_bytecode::MethodId(0),
+                    args: vec![],
+                },
+                Op::GetField {
+                    dst: Reg(3),
+                    obj: Reg(0),
+                    field: f7,
+                },
+            ],
+            4,
+        );
+        assert_eq!(n, 0);
+        assert!(matches!(ops[2], Op::GetField { .. }));
+    }
+
+    #[test]
+    fn const_dedup() {
+        let (ops, n) = run(
+            vec![
+                Op::ConstI {
+                    dst: Reg(2),
+                    val: 42,
+                },
+                Op::ConstI {
+                    dst: Reg(3),
+                    val: 42,
+                },
+            ],
+            4,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(
+            ops[1],
+            Op::Mov {
+                dst: Reg(3),
+                src: Reg(2)
+            }
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Optimization passes and the per-level pipeline.
+//!
+//! The pipeline mirrors the Jikes RVM optimizing compiler's role in the
+//! paper: `opt0` is a straight translation, `opt1` adds the scalar
+//! optimizations, `opt2` runs them to a fixpoint (and is the level at which
+//! the paper performs mutation — specialized method versions are produced
+//! by running [`specialize::specialize`] before this pipeline).
+
+pub mod constprop;
+pub mod copyprop;
+pub mod dce;
+pub mod inline;
+pub mod lvn;
+pub mod simplify;
+pub mod specialize;
+pub mod strength;
+
+pub use inline::inline_call;
+pub use specialize::{specialize, Bindings};
+
+use crate::func::Function;
+
+/// Pipeline configuration, keyed off the optimization level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Optimization level (0, 1 or 2).
+    pub level: u8,
+    /// Maximum cleanup iterations (each runs all scalar passes once).
+    pub max_iterations: usize,
+    /// Enable strength reduction.
+    pub strength: bool,
+    /// Enable local value numbering (CSE + redundant-load elimination).
+    pub lvn: bool,
+}
+
+impl OptConfig {
+    /// The standard configuration for an optimization level.
+    pub fn level(level: u8) -> Self {
+        match level {
+            0 => OptConfig {
+                level: 0,
+                max_iterations: 0,
+                strength: false,
+                lvn: false,
+            },
+            1 => OptConfig {
+                level: 1,
+                max_iterations: 2,
+                strength: true,
+                lvn: false,
+            },
+            _ => OptConfig {
+                level: 2,
+                max_iterations: 5,
+                strength: true,
+                lvn: true,
+            },
+        }
+    }
+}
+
+/// What the pipeline did; feeds the compilation-cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total number of rewrites applied across all passes and iterations.
+    pub rewrites: usize,
+    /// Number of full iterations run.
+    pub iterations: usize,
+}
+
+/// Runs the scalar pipeline (constant propagation with branch folding, copy
+/// propagation, strength reduction, dead-code elimination, CFG simplification)
+/// until a fixpoint or the configured iteration cap.
+pub fn run_pipeline(f: &mut Function, cfg: &OptConfig) -> PipelineStats {
+    let mut stats = PipelineStats::default();
+    for _ in 0..cfg.max_iterations {
+        let mut n = 0;
+        n += constprop::constprop(f);
+        if cfg.lvn {
+            n += lvn::lvn(f);
+        }
+        n += copyprop::copyprop(f);
+        if cfg.strength {
+            n += strength::strength_reduce(f);
+        }
+        n += dce::dce(f);
+        n += simplify::simplify_cfg(f);
+        stats.rewrites += n;
+        stats.iterations += 1;
+        if n == 0 {
+            break;
+        }
+    }
+    debug_assert!(f.validate().is_ok(), "pipeline produced invalid IR");
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::lift;
+    use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty};
+
+    /// The paper's SalaryDB `raise()` shape: a 4-way branch on a field.
+    /// After specializing `grade = 2`, the pipeline must collapse the method
+    /// to (close to) a single multiply.
+    #[test]
+    fn specialized_salarydb_raise_collapses() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("SalaryEmployee").build();
+        let grade = pb.private_field(c, "grade", Ty::Int);
+        let salary = pb.private_field(c, "salary", Ty::Double);
+
+        let mut m = pb.method(c, "raise", MethodSig::void());
+        let this = m.this();
+        let g = m.reg();
+        m.get_field(g, this, grade);
+        let l1 = m.label();
+        let l2 = m.label();
+        let l3 = m.label();
+        let done = m.label();
+        let s = m.reg();
+
+        m.br_icmp_imm(CmpOp::Ne, g, 0, l1);
+        m.get_field(s, this, salary);
+        let one = m.imm_d(1.0);
+        m.dadd(s, s, one);
+        m.put_field(this, salary, s);
+        m.jmp(done);
+
+        m.bind(l1);
+        m.br_icmp_imm(CmpOp::Ne, g, 1, l2);
+        m.get_field(s, this, salary);
+        let two = m.imm_d(2.0);
+        m.dadd(s, s, two);
+        m.put_field(this, salary, s);
+        m.jmp(done);
+
+        m.bind(l2);
+        m.br_icmp_imm(CmpOp::Ne, g, 2, l3);
+        m.get_field(s, this, salary);
+        let k = m.imm_d(1.01);
+        m.dmul(s, s, k);
+        m.put_field(this, salary, s);
+        m.jmp(done);
+
+        m.bind(l3);
+        m.get_field(s, this, salary);
+        let k2 = m.imm_d(1.02);
+        m.dmul(s, s, k2);
+        m.put_field(this, salary, s);
+
+        m.bind(done);
+        m.ret(None);
+        let mid = m.build();
+        let p = pb.finish().unwrap();
+        let md = p.method(mid);
+
+        let mut general = lift(&md.code, md.num_regs, 1);
+        let mut special = general.clone();
+        run_pipeline(&mut general, &OptConfig::level(2));
+
+        let mut b = Bindings::default();
+        b.instance.insert(grade, dchm_bytecode::Value::Int(2));
+        let replaced = specialize(&mut special, &b);
+        assert!(replaced > 0);
+        run_pipeline(&mut special, &OptConfig::level(2));
+
+        // The specialized version must be much smaller: all grade branches
+        // fold away, leaving load-salary / mul / store.
+        assert!(
+            special.size() * 2 < general.size(),
+            "special {} vs general {}",
+            special.size(),
+            general.size()
+        );
+    }
+
+    #[test]
+    fn level0_does_nothing() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C").build();
+        let mut m = pb.static_method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+        let a = m.imm(2);
+        let b = m.imm(3);
+        let r = m.reg();
+        m.iadd(r, a, b);
+        m.ret(Some(r));
+        let mid = m.build();
+        let p = pb.finish().unwrap();
+        let md = p.method(mid);
+        let mut f = lift(&md.code, md.num_regs, 0);
+        let before = f.clone();
+        let stats = run_pipeline(&mut f, &OptConfig::level(0));
+        assert_eq!(f, before);
+        assert_eq!(stats.rewrites, 0);
+    }
+
+    #[test]
+    fn pipeline_reaches_fixpoint() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C").build();
+        let mut m = pb.static_method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+        let a = m.imm(2);
+        let b = m.imm(3);
+        let r = m.reg();
+        m.iadd(r, a, b);
+        let r2 = m.reg();
+        m.imul(r2, r, r);
+        m.ret(Some(r2));
+        let mid = m.build();
+        let p = pb.finish().unwrap();
+        let md = p.method(mid);
+        let mut f = lift(&md.code, md.num_regs, 0);
+        run_pipeline(&mut f, &OptConfig::level(2));
+        // Everything folds to `ret 25`.
+        assert_eq!(f.size(), 2, "{f:?}"); // one const op + ret
+        // Re-running finds nothing to do.
+        let stats = run_pipeline(&mut f, &OptConfig::level(2));
+        assert_eq!(stats.rewrites, 0);
+    }
+}

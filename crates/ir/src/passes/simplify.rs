@@ -1,0 +1,231 @@
+//! CFG simplification: unreachable-block removal, jump threading and
+//! straight-line block merging.
+
+use crate::func::{BlockId, Function, Term};
+
+/// Simplifies the CFG to a fixpoint; returns the number of structural
+/// changes.
+pub fn simplify_cfg(f: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let changes = thread_jumps(f) + drop_unreachable(f) + merge_chains(f);
+        total += changes;
+        if changes == 0 {
+            return total;
+        }
+    }
+}
+
+/// Retargets edges that point at empty forwarding blocks (no ops, `Jmp`)
+/// directly at the final destination.
+fn thread_jumps(f: &mut Function) -> usize {
+    let n = f.blocks.len();
+    // Resolve forwarding chains with cycle protection.
+    let resolve = |start: BlockId, f: &Function| -> BlockId {
+        let mut seen = vec![false; n];
+        let mut cur = start;
+        loop {
+            if seen[cur.index()] {
+                return cur; // empty-jump cycle (infinite loop); leave as-is
+            }
+            seen[cur.index()] = true;
+            let b = f.block(cur);
+            match b.term {
+                Term::Jmp(next) if b.ops.is_empty() && next != cur => cur = next,
+                _ => return cur,
+            }
+        }
+    };
+
+    let mut changes = 0;
+    for i in 0..n {
+        let mut term = f.blocks[i].term.clone();
+        let mut changed = false;
+        term.map_successors(|s| {
+            let r = resolve(s, f);
+            if r != s {
+                changed = true;
+            }
+            r
+        });
+        if changed {
+            f.blocks[i].term = term;
+            changes += 1;
+        }
+    }
+    changes
+}
+
+/// Merges a block into its unique `Jmp` successor when that successor has no
+/// other predecessors.
+fn merge_chains(f: &mut Function) -> usize {
+    let mut changes = 0;
+    loop {
+        let preds = f.predecessors();
+        let mut merged = false;
+        for i in 0..f.blocks.len() {
+            let Term::Jmp(succ) = f.blocks[i].term else {
+                continue;
+            };
+            if succ.index() == i {
+                continue; // self-loop
+            }
+            if succ == BlockId::ENTRY {
+                continue; // entry must stay block 0
+            }
+            if preds[succ.index()].len() != 1 {
+                continue;
+            }
+            // Splice succ into i.
+            let succ_block = std::mem::replace(
+                &mut f.blocks[succ.index()],
+                crate::func::Block::new(Term::Unreachable),
+            );
+            f.blocks[i].ops.extend(succ_block.ops);
+            f.blocks[i].term = succ_block.term;
+            changes += 1;
+            merged = true;
+            break; // predecessor sets changed; recompute
+        }
+        if !merged {
+            break;
+        }
+    }
+    changes
+}
+
+/// Removes blocks unreachable from entry, compacting ids.
+fn drop_unreachable(f: &mut Function) -> usize {
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![BlockId::ENTRY];
+    reachable[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.successors() {
+            if !reachable[s.index()] {
+                reachable[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return 0;
+    }
+    let mut remap = vec![BlockId(0); n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reachable[i] {
+            remap[i] = BlockId(next);
+            next += 1;
+        }
+    }
+    let removed = n - next as usize;
+    let old_blocks = std::mem::take(&mut f.blocks);
+    for (i, mut b) in old_blocks.into_iter().enumerate() {
+        if reachable[i] {
+            b.term.map_successors(|s| remap[s.index()]);
+            f.blocks.push(b);
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Block;
+    use dchm_bytecode::{Op, Reg};
+
+    #[test]
+    fn drops_unreachable_blocks() {
+        let b0 = Block::new(Term::Jmp(BlockId(2)));
+        let b1 = Block::new(Term::Ret(None)); // unreachable
+        let b2 = Block::new(Term::Ret(None));
+        let mut f = Function {
+            blocks: vec![b0, b1, b2],
+            num_regs: 0,
+            arg_count: 0,
+        };
+        let changes = simplify_cfg(&mut f);
+        assert!(changes > 0);
+        assert!(f.validate().is_ok());
+        // b1 removed; entry now reaches the single remaining ret (merged or
+        // retargeted).
+        assert!(f.blocks.len() <= 2);
+    }
+
+    #[test]
+    fn threads_empty_jump_chain() {
+        // b0 -> b1(empty) -> b2(empty) -> b3
+        let b0 = Block::new(Term::Jmp(BlockId(1)));
+        let b1 = Block::new(Term::Jmp(BlockId(2)));
+        let b2 = Block::new(Term::Jmp(BlockId(3)));
+        let mut b3 = Block::new(Term::Ret(Some(Reg(0))));
+        b3.ops = vec![Op::ConstI { dst: Reg(0), val: 1 }];
+        let mut f = Function {
+            blocks: vec![b0, b1, b2, b3],
+            num_regs: 1,
+            arg_count: 0,
+        };
+        simplify_cfg(&mut f);
+        assert!(f.validate().is_ok());
+        // Everything collapses into a single block.
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].ops.len(), 1);
+        assert!(matches!(f.blocks[0].term, Term::Ret(Some(Reg(0)))));
+    }
+
+    #[test]
+    fn merges_straightline_chain_with_ops() {
+        let mut b0 = Block::new(Term::Jmp(BlockId(1)));
+        b0.ops = vec![Op::ConstI { dst: Reg(0), val: 1 }];
+        let mut b1 = Block::new(Term::Ret(Some(Reg(1))));
+        b1.ops = vec![Op::ConstI { dst: Reg(1), val: 2 }];
+        let mut f = Function {
+            blocks: vec![b0, b1],
+            num_regs: 2,
+            arg_count: 0,
+        };
+        simplify_cfg(&mut f);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_not_merged() {
+        // An infinite empty loop must survive without hanging the pass.
+        let b0 = Block::new(Term::Jmp(BlockId(1)));
+        let b1 = Block::new(Term::Jmp(BlockId(1)));
+        let mut f = Function {
+            blocks: vec![b0, b1],
+            num_regs: 0,
+            arg_count: 0,
+        };
+        simplify_cfg(&mut f);
+        assert!(f.validate().is_ok());
+        assert_eq!(f.blocks.len(), 2);
+    }
+
+    #[test]
+    fn diamond_not_overmerged() {
+        let b0 = Block::new(Term::Br {
+            cond: Reg(0),
+            t: BlockId(1),
+            f: BlockId(2),
+        });
+        let mut b1 = Block::new(Term::Jmp(BlockId(3)));
+        b1.ops = vec![Op::ConstI { dst: Reg(1), val: 1 }];
+        let mut b2 = Block::new(Term::Jmp(BlockId(3)));
+        b2.ops = vec![Op::ConstI { dst: Reg(1), val: 2 }];
+        let b3 = Block::new(Term::Ret(Some(Reg(1))));
+        let mut f = Function {
+            blocks: vec![b0, b1, b2, b3],
+            num_regs: 2,
+            arg_count: 1,
+        };
+        simplify_cfg(&mut f);
+        assert!(f.validate().is_ok());
+        // Join block has two predecessors; nothing merges into it.
+        assert_eq!(f.blocks.len(), 4);
+    }
+}

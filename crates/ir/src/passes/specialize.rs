@@ -1,0 +1,181 @@
+//! State specialization — the optimization at the heart of dynamic class
+//! hierarchy mutation.
+//!
+//! Given the *hot state* of a mutable class (known constant values for some
+//! of its state fields, per the paper's Section 2), this pass replaces loads
+//! of those fields — `GetField` on the receiver for instance state fields,
+//! `GetStatic` for static state fields — with constants. The scalar pipeline
+//! then folds the state-dependent branches and deletes the arms for every
+//! other state, yielding the "special compiled code" installed into special
+//! TIBs. No value guards are needed: the VM only dispatches into this code
+//! through a special TIB that is kept consistent with the object's actual
+//! state (paper Figure 4/5).
+
+use crate::func::Function;
+use dchm_bytecode::{FieldId, Op, Reg, Value};
+use std::collections::HashMap;
+
+/// Constant bindings for a specialization: field -> known value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Bindings {
+    /// Instance state fields of the receiver, by field id.
+    pub instance: HashMap<FieldId, Value>,
+    /// Static state fields, by field id.
+    pub statics: HashMap<FieldId, Value>,
+}
+
+impl Bindings {
+    /// True if there is nothing to specialize.
+    pub fn is_empty(&self) -> bool {
+        self.instance.is_empty() && self.statics.is_empty()
+    }
+
+    /// Number of bound fields.
+    pub fn len(&self) -> usize {
+        self.instance.len() + self.statics.len()
+    }
+}
+
+fn const_op(dst: Reg, v: Value) -> Option<Op> {
+    match v {
+        Value::Int(val) => Some(Op::ConstI { dst, val }),
+        Value::Double(val) => Some(Op::ConstD { dst, val }),
+        Value::Null => Some(Op::ConstNull { dst }),
+        Value::Ref(_) => None,
+    }
+}
+
+/// Specializes `f` under `bindings`; returns the number of replaced loads.
+///
+/// Instance-field bindings apply only to loads through the receiver
+/// register (`r0`), and only when `r0` is never redefined in the function —
+/// otherwise a reassigned receiver could alias a different object. Static
+/// bindings apply everywhere.
+pub fn specialize(f: &mut Function, bindings: &Bindings) -> usize {
+    if bindings.is_empty() {
+        return 0;
+    }
+    let receiver = Reg(0);
+    let receiver_stable = f.arg_count >= 1
+        && f.blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .all(|op| op.def() != Some(receiver));
+
+    let mut replaced = 0;
+    for block in &mut f.blocks {
+        for op in &mut block.ops {
+            let new_op = match op {
+                Op::GetField { dst, obj, field }
+                    if receiver_stable && *obj == receiver =>
+                {
+                    bindings
+                        .instance
+                        .get(field)
+                        .and_then(|&v| const_op(*dst, v))
+                }
+                Op::GetStatic { dst, field } => {
+                    bindings.statics.get(field).and_then(|&v| const_op(*dst, v))
+                }
+                _ => None,
+            };
+            if let Some(n) = new_op {
+                *op = n;
+                replaced += 1;
+            }
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, Term};
+
+    fn getfield_fn(obj: Reg) -> Function {
+        let mut b = Block::new(Term::Ret(Some(Reg(1))));
+        b.ops = vec![Op::GetField {
+            dst: Reg(1),
+            obj,
+            field: FieldId(7),
+        }];
+        Function {
+            blocks: vec![b],
+            num_regs: 3,
+            arg_count: 1,
+        }
+    }
+
+    #[test]
+    fn replaces_receiver_field_load() {
+        let mut f = getfield_fn(Reg(0));
+        let mut b = Bindings::default();
+        b.instance.insert(FieldId(7), Value::Int(42));
+        assert_eq!(specialize(&mut f, &b), 1);
+        assert_eq!(f.blocks[0].ops[0], Op::ConstI { dst: Reg(1), val: 42 });
+    }
+
+    #[test]
+    fn ignores_non_receiver_loads() {
+        let mut f = getfield_fn(Reg(2)); // not the receiver
+        let mut b = Bindings::default();
+        b.instance.insert(FieldId(7), Value::Int(42));
+        assert_eq!(specialize(&mut f, &b), 0);
+    }
+
+    #[test]
+    fn skips_when_receiver_redefined() {
+        let mut f = getfield_fn(Reg(0));
+        f.blocks[0].ops.insert(
+            0,
+            Op::Mov {
+                dst: Reg(0),
+                src: Reg(2),
+            },
+        );
+        let mut b = Bindings::default();
+        b.instance.insert(FieldId(7), Value::Int(42));
+        assert_eq!(specialize(&mut f, &b), 0);
+    }
+
+    #[test]
+    fn statics_replaced_everywhere() {
+        let mut blk = Block::new(Term::Ret(Some(Reg(1))));
+        blk.ops = vec![Op::GetStatic {
+            dst: Reg(1),
+            field: FieldId(3),
+        }];
+        let mut f = Function {
+            blocks: vec![blk],
+            num_regs: 2,
+            arg_count: 0,
+        };
+        let mut b = Bindings::default();
+        b.statics.insert(FieldId(3), Value::Double(2.5));
+        assert_eq!(specialize(&mut f, &b), 1);
+        assert_eq!(
+            f.blocks[0].ops[0],
+            Op::ConstD {
+                dst: Reg(1),
+                val: 2.5
+            }
+        );
+    }
+
+    #[test]
+    fn other_fields_untouched() {
+        let mut f = getfield_fn(Reg(0));
+        let mut b = Bindings::default();
+        b.instance.insert(FieldId(99), Value::Int(1));
+        assert_eq!(specialize(&mut f, &b), 0);
+    }
+
+    #[test]
+    fn empty_bindings_noop() {
+        let mut f = getfield_fn(Reg(0));
+        let before = f.clone();
+        assert_eq!(specialize(&mut f, &Bindings::default()), 0);
+        assert_eq!(f, before);
+    }
+}

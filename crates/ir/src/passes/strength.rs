@@ -1,0 +1,258 @@
+//! Strength reduction: replaces expensive integer operations whose right
+//! operand is a known (block-local) constant with cheaper equivalents.
+
+use crate::func::Function;
+use dchm_bytecode::{IBinOp, Op, Reg};
+use std::collections::HashMap;
+
+/// Applies strength reduction; returns the rewrite count.
+///
+/// Rewrites (with `c` a block-local integer constant):
+///
+/// * `x * 0  -> 0`, `x * 1 -> x`, `x * 2^k -> x << k`
+/// * `x + 0  -> x`, `x - 0 -> x`
+/// * `x / 1  -> x`, `x % 1 -> 0` (trap-free: divisor is a nonzero constant)
+pub fn strength_reduce(f: &mut Function) -> usize {
+    let mut rewrites = 0;
+    let mut next_reg = f.num_regs;
+    for block in &mut f.blocks {
+        let mut consts: HashMap<Reg, i64> = HashMap::new();
+        let mut new_ops: Vec<Op> = Vec::with_capacity(block.ops.len());
+        for op in block.ops.drain(..) {
+            let rewritten = rewrite(&op, &consts, &mut next_reg, &mut new_ops);
+            let emitted = match rewritten {
+                Some(new_op) => {
+                    rewrites += 1;
+                    new_op
+                }
+                None => op,
+            };
+            if let Some(d) = emitted.def() {
+                consts.remove(&d);
+            }
+            if let Op::ConstI { dst, val } = emitted {
+                consts.insert(dst, val);
+            }
+            new_ops.push(emitted);
+        }
+        block.ops = new_ops;
+    }
+    f.num_regs = next_reg;
+    rewrites
+}
+
+/// Rewrites one op if profitable; may push auxiliary ops (shift counts) into
+/// `out` before the returned op.
+fn rewrite(
+    op: &Op,
+    consts: &HashMap<Reg, i64>,
+    next_reg: &mut u16,
+    out: &mut Vec<Op>,
+) -> Option<Op> {
+    let Op::IBin {
+        op: bin,
+        dst,
+        a,
+        b,
+    } = *op
+    else {
+        return None;
+    };
+    // Normalize: put the constant on the right for commutative ops.
+    let (x, c) = match (consts.get(&a), consts.get(&b)) {
+        (_, Some(&c)) => (a, c),
+        (Some(&c), None) if bin.commutative() => (b, c),
+        _ => return None,
+    };
+    match bin {
+        IBinOp::Mul => {
+            if c == 0 {
+                Some(Op::ConstI { dst, val: 0 })
+            } else if c == 1 {
+                Some(Op::Mov { dst, src: x })
+            } else if c > 0 && (c as u64).is_power_of_two() {
+                let k = c.trailing_zeros() as i64;
+                let kreg = Reg(*next_reg);
+                *next_reg = next_reg.checked_add(1).expect("register overflow");
+                out.push(Op::ConstI { dst: kreg, val: k });
+                Some(Op::IBin {
+                    op: IBinOp::Shl,
+                    dst,
+                    a: x,
+                    b: kreg,
+                })
+            } else {
+                None
+            }
+        }
+        IBinOp::Add | IBinOp::Sub if c == 0 && x == a => Some(Op::Mov { dst, src: a }),
+        IBinOp::Add if c == 0 => Some(Op::Mov { dst, src: x }),
+        IBinOp::Div if c == 1 && x == a => Some(Op::Mov { dst, src: a }),
+        IBinOp::Rem if c == 1 && x == a => Some(Op::ConstI { dst, val: 0 }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, Term};
+
+    fn run(ops: Vec<Op>, num_regs: u16) -> (Function, usize) {
+        let mut b = Block::new(Term::Ret(Some(Reg(0))));
+        b.ops = ops;
+        let mut f = Function {
+            blocks: vec![b],
+            num_regs,
+            arg_count: 1,
+        };
+        let n = strength_reduce(&mut f);
+        (f, n)
+    }
+
+    #[test]
+    fn mul_by_pow2_becomes_shift() {
+        let (f, n) = run(
+            vec![
+                Op::ConstI { dst: Reg(1), val: 8 },
+                Op::IBin {
+                    op: IBinOp::Mul,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            3,
+        );
+        assert_eq!(n, 1);
+        assert!(f
+            .blocks[0]
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::IBin { op: IBinOp::Shl, a: Reg(0), .. })));
+        // Shift count constant 3 was materialized.
+        assert!(f
+            .blocks[0]
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::ConstI { val: 3, .. })));
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn mul_by_one_becomes_mov_and_commutes() {
+        let (f, n) = run(
+            vec![
+                Op::ConstI { dst: Reg(1), val: 1 },
+                // Constant on the LEFT; Mul commutes.
+                Op::IBin {
+                    op: IBinOp::Mul,
+                    dst: Reg(2),
+                    a: Reg(1),
+                    b: Reg(0),
+                },
+            ],
+            3,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(
+            f.blocks[0].ops[1],
+            Op::Mov {
+                dst: Reg(2),
+                src: Reg(0)
+            }
+        );
+    }
+
+    #[test]
+    fn sub_with_const_on_left_not_rewritten() {
+        // 0 - x is NOT x; Sub is not commutative.
+        let (f, n) = run(
+            vec![
+                Op::ConstI { dst: Reg(1), val: 0 },
+                Op::IBin {
+                    op: IBinOp::Sub,
+                    dst: Reg(2),
+                    a: Reg(1),
+                    b: Reg(0),
+                },
+            ],
+            3,
+        );
+        assert_eq!(n, 0);
+        assert!(matches!(
+            f.blocks[0].ops[1],
+            Op::IBin {
+                op: IBinOp::Sub,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn redefined_const_not_used() {
+        let (f, n) = run(
+            vec![
+                Op::ConstI { dst: Reg(1), val: 4 },
+                Op::Mov {
+                    dst: Reg(1),
+                    src: Reg(0),
+                }, // r1 no longer constant
+                Op::IBin {
+                    op: IBinOp::Mul,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            3,
+        );
+        assert_eq!(n, 0);
+        assert!(matches!(
+            f.blocks[0].ops[2],
+            Op::IBin {
+                op: IBinOp::Mul,
+                ..
+            }
+        ));
+        let _ = f;
+    }
+
+    #[test]
+    fn rem_by_one_is_zero() {
+        let (f, n) = run(
+            vec![
+                Op::ConstI { dst: Reg(1), val: 1 },
+                Op::IBin {
+                    op: IBinOp::Rem,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            3,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(f.blocks[0].ops[1], Op::ConstI { dst: Reg(2), val: 0 });
+    }
+
+    #[test]
+    fn negative_pow2_not_shifted() {
+        let (_, n) = run(
+            vec![
+                Op::ConstI {
+                    dst: Reg(1),
+                    val: -8,
+                },
+                Op::IBin {
+                    op: IBinOp::Mul,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            3,
+        );
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Pretty-printing for IR functions.
+
+use crate::func::{Function, Term};
+use std::fmt;
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Jmp(b) => write!(f, "jmp {b}"),
+            Term::Br { cond, t, f: fb } => write!(f, "br {cond} ? {t} : {fb}"),
+            Term::Ret(Some(r)) => write!(f, "ret {r}"),
+            Term::Ret(None) => write!(f, "ret"),
+            Term::Unreachable => write!(f, "unreachable"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn [{} args, {} regs, {} blocks, size {}]",
+            self.arg_count,
+            self.num_regs,
+            self.blocks.len(),
+            self.size()
+        )?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "b{i}:")?;
+            for op in &b.ops {
+                writeln!(f, "    {op}")?;
+            }
+            writeln!(f, "    {}", b.term)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::func::{Block, BlockId, Function, Term};
+    use dchm_bytecode::{Op, Reg};
+
+    #[test]
+    fn display_shows_blocks_and_ops() {
+        let mut b0 = Block::new(Term::Br {
+            cond: Reg(0),
+            t: BlockId(1),
+            f: BlockId(1),
+        });
+        b0.ops = vec![Op::ConstI { dst: Reg(0), val: 3 }];
+        let b1 = Block::new(Term::Ret(None));
+        let f = Function {
+            blocks: vec![b0, b1],
+            num_regs: 1,
+            arg_count: 0,
+        };
+        let s = format!("{f}");
+        assert!(s.contains("b0:"));
+        assert!(s.contains("b1:"));
+        assert!(s.contains("const 3"));
+        assert!(s.contains("br r0 ? b1 : b1"));
+        assert!(s.contains("ret"));
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # dchm-profile
+//!
+//! The offline profiling pipeline of the paper's Figure 3:
+//!
+//! 1. **Hot-method profiling** ([`hot`]) — the stand-in for Intel VTune:
+//!    run the program once with mutation off and record per-method call
+//!    frequencies and cycle shares.
+//! 2. **Field-value sampling** ([`values`]) — the paper's augmented Jikes
+//!    RVM: watch candidate state fields and histogram the values written to
+//!    them, from which hot states are derived.
+//!
+//! Both profilers are deterministic (the VM's clock is a cycle model), so a
+//! profiling run and a measured run see identical behaviour.
+
+pub mod hot;
+pub mod values;
+
+pub use hot::{profile_hot_methods, HotMethodReport};
+pub use values::{profile_field_values, ValueHistogram, ValueProfiler, ValueReport};

@@ -1,0 +1,541 @@
+//! The optimizing compiler driver: lifts bytecode, instruments mutation
+//! patch points, inlines (including OLC specialization inlining and the
+//! paper's Section 5 inline-vs-specialize trade-off), optionally applies
+//! state specialization, and runs the scalar pipeline for the level.
+
+use crate::hooks::{CompilerHints, PatchSpec};
+use crate::state::VmState;
+use dchm_bytecode::{ClassId, FieldId, MethodId, MethodKind, Op, Program, Reg, Value};
+use dchm_ir::cost::{op_size, CostModel};
+use dchm_ir::passes::inline::{inline_call, CallSite};
+use dchm_ir::passes::{run_pipeline, specialize, Bindings, OptConfig};
+use dchm_ir::{lift, BlockId, Function, Term};
+use std::collections::HashMap;
+
+/// Result of one compilation.
+#[derive(Debug)]
+pub struct CompileOutcome {
+    /// The optimized, executable function.
+    pub func: Function,
+    /// Modeled machine-code size in bytes.
+    pub size_bytes: usize,
+    /// Cycles the compilation cost.
+    pub compile_cycles: u64,
+}
+
+/// Modeled size of a function in bytes.
+pub fn func_size_bytes(f: &Function) -> usize {
+    f.blocks
+        .iter()
+        .map(|b| b.ops.iter().map(op_size).sum::<usize>() + 4)
+        .sum()
+}
+
+/// Compiles `mid` at `level`; `bindings` requests a state-specialized
+/// version (the "special compiled code" of the paper).
+pub fn compile(
+    state: &VmState,
+    mid: MethodId,
+    level: u8,
+    bindings: Option<&Bindings>,
+) -> CompileOutcome {
+    let program = &state.program;
+    let md = program.method(mid);
+    debug_assert!(
+        md.kind != MethodKind::Abstract,
+        "cannot compile abstract method {}",
+        md.name
+    );
+    let arg_count = md.arg_count() as u16;
+    let mut f = lift(&md.code, md.num_regs, arg_count);
+    instrument(&mut f, program, &state.patch_spec, mid);
+
+    if level >= 1 && state.config.enable_inlining {
+        inline_pass(
+            &mut f,
+            program,
+            &state.patch_spec,
+            &state.hints,
+            &state.unique_impl,
+            mid,
+            state.config.max_inline_size,
+            state.config.max_inline_depth,
+        );
+    }
+
+    if let Some(b) = bindings {
+        specialize(&mut f, b);
+    }
+
+    // Compilation cost scales with the *input* size (after inlining, which
+    // is what makes SPECjbb's compile-time increase outpace its code-size
+    // increase — Sec. 7.2). Special versions are generated in the same
+    // compilation session as the general version ("the specialized versions
+    // are generated at the same time", Sec. 3.2.2) and share its front-end
+    // analysis, so they are billed at a fraction of a full compile.
+    let input_bytes = func_size_bytes(&f);
+    let mut compile_cycles = CostModel::compile_cost(input_bytes, level) + 1_000;
+    if bindings.is_some() {
+        compile_cycles = compile_cycles * 2 / 5;
+    }
+
+    run_pipeline(&mut f, &OptConfig::level(level));
+    let size_bytes = func_size_bytes(&f);
+    CompileOutcome {
+        func: f,
+        size_bytes,
+        compile_cycles,
+    }
+}
+
+/// Inserts `Notify*` patch ops after state-field stores and before
+/// constructor returns (paper Fig. 4's instrumentation sites).
+fn instrument(f: &mut Function, program: &Program, spec: &PatchSpec, mid: MethodId) {
+    if spec.is_empty() {
+        return;
+    }
+    let md = program.method(mid);
+    for block in &mut f.blocks {
+        let mut ops = Vec::with_capacity(block.ops.len());
+        for op in block.ops.drain(..) {
+            let notify = match &op {
+                Op::PutField { obj, field, .. } if spec.instance_fields.contains(field) => {
+                    Some(Op::NotifyInstStore {
+                        obj: *obj,
+                        class: program.field(*field).owner,
+                        field: *field,
+                    })
+                }
+                Op::PutStatic { field, .. } if spec.static_fields.contains(field) => {
+                    Some(Op::NotifyStaticStore { field: *field })
+                }
+                _ => None,
+            };
+            ops.push(op);
+            if let Some(n) = notify {
+                ops.push(n);
+            }
+        }
+        block.ops = ops;
+        if md.kind == MethodKind::Constructor
+            && spec.ctor_classes.contains(&md.owner)
+            && matches!(block.term, Term::Ret(_))
+        {
+            block.ops.push(Op::NotifyCtorExit {
+                obj: Reg(0),
+                class: md.owner,
+            });
+        }
+    }
+}
+
+/// A candidate for inlining found during the scan.
+struct Candidate {
+    site: CallSite,
+    target: MethodId,
+    recv: Option<Reg>,
+    args: Vec<Reg>,
+    dst: Option<Reg>,
+    /// Object-lifetime-constant bindings to specialize the callee body with
+    /// before splicing (exact-type receiver, Sec. 4/5).
+    olc: Option<Bindings>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn inline_pass(
+    f: &mut Function,
+    program: &Program,
+    spec: &PatchSpec,
+    hints: &CompilerHints,
+    unique_impl: &HashMap<dchm_bytecode::SelectorId, MethodId>,
+    mid: MethodId,
+    max_size: usize,
+    max_depth: usize,
+) {
+    let mut budget = 12usize;
+    for _round in 0..max_depth {
+        let mut progressed = false;
+        // Re-scan after every splice: indices shift.
+        while budget > 0 {
+            let Some(c) = find_candidate(f, program, hints, unique_impl, mid, max_size) else {
+                break;
+            };
+            let callee_md = program.method(c.target);
+            let mut callee = lift(
+                &callee_md.code,
+                callee_md.num_regs,
+                callee_md.arg_count() as u16,
+            );
+            instrument(&mut callee, program, spec, c.target);
+            if let Some(b) = &c.olc {
+                specialize(&mut callee, b);
+            }
+            let mut arg_regs = Vec::with_capacity(callee.arg_count as usize);
+            if let Some(r) = c.recv {
+                arg_regs.push(r);
+            }
+            arg_regs.extend(&c.args);
+            inline_call(f, c.site, &callee, &arg_regs, c.dst);
+            budget -= 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+/// Scans for the first inlinable call site.
+fn find_candidate(
+    f: &Function,
+    program: &Program,
+    hints: &CompilerHints,
+    unique_impl: &HashMap<dchm_bytecode::SelectorId, MethodId>,
+    mid: MethodId,
+    max_size: usize,
+) -> Option<Candidate> {
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (oi, op) in block.ops.iter().enumerate() {
+            let site = CallSite {
+                block: BlockId::from_index(bi),
+                op_index: oi,
+            };
+            let cand = match op {
+                Op::CallStatic { dst, method, args } => Some(Candidate {
+                    site,
+                    target: *method,
+                    recv: None,
+                    args: args.clone(),
+                    dst: *dst,
+                    olc: None,
+                }),
+                Op::CallSpecial {
+                    dst,
+                    class,
+                    sel,
+                    obj,
+                    args,
+                } => program.resolve_special(*class, *sel).map(|t| Candidate {
+                    site,
+                    target: t,
+                    recv: Some(*obj),
+                    args: args.clone(),
+                    dst: *dst,
+                    olc: None,
+                }),
+                Op::CallVirtual {
+                    dst,
+                    sel,
+                    obj,
+                    args,
+                } => {
+                    // Exact-type receiver through an OLC private reference
+                    // field beats CHA: it also yields constant bindings.
+                    let exact = exact_receiver(block, oi, *obj, hints);
+                    match exact {
+                        Some(olc_info) => {
+                            program.resolve_virtual(olc_info.0, *sel).map(|t| Candidate {
+                                site,
+                                target: t,
+                                recv: Some(*obj),
+                                args: args.clone(),
+                                dst: *dst,
+                                olc: Some(olc_info.1),
+                            })
+                        }
+                        None => unique_impl.get(sel).map(|&t| Candidate {
+                            site,
+                            target: t,
+                            recv: Some(*obj),
+                            args: args.clone(),
+                            dst: *dst,
+                            olc: None,
+                        }),
+                    }
+                }
+                _ => None,
+            };
+            let Some(cand) = cand else { continue };
+            if cand.target == mid {
+                continue; // no direct recursion
+            }
+            let callee = program.method(cand.target);
+            if callee.kind == MethodKind::Abstract || callee.code.is_empty() {
+                continue;
+            }
+            if callee.code.len() > max_size {
+                continue;
+            }
+            // Section 5 trade-off: for a mutable method with M specializable
+            // state fields and no OLC constants, inline only if the call
+            // site passes more than M + k constants; otherwise leave the
+            // call for state specialization through special TIBs.
+            if cand.olc.is_none() {
+                if let Some(&m_fields) = hints.spec_field_count.get(&cand.target) {
+                    if m_fields > 0 {
+                        let n = const_args(block, oi, &cand.args);
+                        if (n as i64) <= m_fields as i64 + hints.k {
+                            continue;
+                        }
+                    }
+                }
+            }
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// If `obj` was loaded, within this block and with no intervening
+/// redefinition, from a private reference field with OLC info, returns the
+/// exact class and the constant bindings.
+fn exact_receiver(
+    block: &dchm_ir::Block,
+    call_idx: usize,
+    obj: Reg,
+    hints: &CompilerHints,
+) -> Option<(ClassId, Bindings)> {
+    for prev in block.ops[..call_idx].iter().rev() {
+        if prev.def() == Some(obj) {
+            if let Op::GetField { field, .. } = prev {
+                if let Some(info) = hints.olc.get(field) {
+                    let mut b = Bindings::default();
+                    b.instance = info.bindings.clone();
+                    return Some((info.exact_class, b));
+                }
+            }
+            return None; // redefined by something else
+        }
+    }
+    None
+}
+
+/// `N` of the Section 5 heuristic: how many argument registers are defined
+/// by constants earlier in the same block.
+fn const_args(block: &dchm_ir::Block, call_idx: usize, args: &[Reg]) -> usize {
+    let mut n = 0;
+    for &a in args {
+        for prev in block.ops[..call_idx].iter().rev() {
+            if prev.def() == Some(a) {
+                if matches!(prev, Op::ConstI { .. } | Op::ConstD { .. }) {
+                    n += 1;
+                }
+                break;
+            }
+        }
+    }
+    n
+}
+
+/// Helper for the mutation engine: builds [`Bindings`] from plain maps.
+pub fn bindings_from(
+    instance: &[(FieldId, Value)],
+    statics: &[(FieldId, Value)],
+) -> Bindings {
+    let mut b = Bindings::default();
+    b.instance = instance.iter().copied().collect();
+    b.statics = statics.iter().copied().collect();
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{VmConfig, VmState};
+    use dchm_bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty};
+
+    /// Program with: class C { int s; void set(int v){ s = v; } },
+    /// a helper `static int add1(int)`, and a main calling both.
+    fn build_state(spec: PatchSpec) -> (VmState, MethodId, MethodId, FieldId, ClassId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C").build();
+        let s = pb.instance_field(c, "s", Ty::Int);
+        pb.trivial_ctor(c);
+
+        let mut m = pb.method(c, "set", MethodSig::new(vec![Ty::Int], None));
+        let this = m.this();
+        let v = m.param(0);
+        m.put_field(this, s, v);
+        m.ret(None);
+        m.build();
+
+        let mut m = pb.static_method(c, "add1", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+        let x = m.param(0);
+        let one = m.imm(1);
+        let r = m.reg();
+        m.iadd(r, x, one);
+        m.ret(Some(r));
+        let add1 = m.build();
+
+        let mut m = pb.static_method(c, "main", MethodSig::new(vec![], Some(Ty::Int)));
+        let obj = m.reg();
+        m.new_init(obj, c, vec![]);
+        let arg = m.imm(41);
+        let out = m.reg();
+        m.call_static(Some(out), add1, vec![arg]);
+        m.call_virtual(None, obj, "set", vec![out]);
+        m.ret(Some(out));
+        let main = m.build();
+        pb.set_entry(main);
+        let p = pb.finish().unwrap();
+        let mut st = VmState::new(p, VmConfig::default());
+        st.patch_spec = spec;
+        (st, main, add1, s, c)
+    }
+
+    #[test]
+    fn instrumentation_adds_notify_after_store() {
+        let mut spec = PatchSpec::default();
+        let (st0, _, _, s, c) = build_state(PatchSpec::default());
+        spec.instance_fields.insert(s);
+        spec.ctor_classes.insert(c);
+        drop(st0);
+        let (st, _, _, s, c) = build_state(spec);
+        let set = st.program.method_by_name(c, "set").unwrap();
+        let out = compile(&st, set, 0, None);
+        let has_notify = out.func.blocks.iter().any(|b| {
+            b.ops.windows(2).any(|w| {
+                matches!(w[0], Op::PutField { .. })
+                    && matches!(w[1], Op::NotifyInstStore { field, .. } if field == s)
+            })
+        });
+        assert!(has_notify, "{}", out.func);
+        // Constructor gets a ctor-exit patch point.
+        let ctor = st.program.method_by_name(c, "<init>").unwrap();
+        let out = compile(&st, ctor, 0, None);
+        let has_ctor_exit = out
+            .func
+            .blocks
+            .iter()
+            .any(|b| b.ops.iter().any(|o| matches!(o, Op::NotifyCtorExit { .. })));
+        assert!(has_ctor_exit);
+    }
+
+    #[test]
+    fn no_instrumentation_when_spec_empty() {
+        let (st, _, _, _, c) = build_state(PatchSpec::default());
+        let set = st.program.method_by_name(c, "set").unwrap();
+        let out = compile(&st, set, 0, None);
+        for b in &out.func.blocks {
+            for op in &b.ops {
+                assert!(!matches!(
+                    op,
+                    Op::NotifyInstStore { .. } | Op::NotifyCtorExit { .. }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn opt1_inlines_static_and_unique_virtual() {
+        let (st, main, _, _, _) = build_state(PatchSpec::default());
+        let o0 = compile(&st, main, 0, None);
+        let o1 = compile(&st, main, 1, None);
+        let calls = |f: &Function| {
+            f.blocks
+                .iter()
+                .flat_map(|b| b.ops.iter())
+                .filter(|o| o.is_call())
+                .count()
+        };
+        // opt0 keeps calls (ctor + add1 + set); opt1 inlines add1 and set
+        // (unique impl) and the trivial ctor.
+        assert!(calls(&o0.func) >= 3);
+        assert_eq!(calls(&o1.func), 0, "{}", o1.func);
+    }
+
+    #[test]
+    fn opt2_folds_inlined_constants() {
+        let (st, main, _, _, _) = build_state(PatchSpec::default());
+        let o2 = compile(&st, main, 2, None);
+        // add1(41) folds to 42: a `const 42` exists and no IBin remains.
+        let has42 = o2
+            .func
+            .blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .any(|o| matches!(o, Op::ConstI { val: 42, .. }));
+        assert!(has42, "{}", o2.func);
+    }
+
+    #[test]
+    fn compile_cost_grows_with_level() {
+        let (st, main, _, _, _) = build_state(PatchSpec::default());
+        let c0 = compile(&st, main, 0, None).compile_cycles;
+        let c2 = compile(&st, main, 2, None).compile_cycles;
+        assert!(c2 > c0);
+    }
+
+    #[test]
+    fn tradeoff_skips_inlining_mutable_class_methods() {
+        let (mut st, main, _, _, c) = build_state(PatchSpec::default());
+        // Mark set() a mutable method with one specializable field; calls
+        // to it with no constant args must NOT be inlined (N=1 const arg
+        // vs M+k=1: 1 > 1 is false).
+        let set = st.program.method_by_name(c, "set").unwrap();
+        st.hints.spec_field_count.insert(set, 1);
+        st.hints.k = 0;
+        let o1 = compile(&st, main, 1, None);
+        let set_calls = o1
+            .func
+            .blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .filter(|o| matches!(o, Op::CallVirtual { .. }))
+            .count();
+        assert_eq!(set_calls, 1, "set() must remain a virtual call");
+        // With a strongly negative k, inlining wins again.
+        st.hints.k = -10;
+        let o1b = compile(&st, main, 1, None);
+        let set_calls_b = o1b
+            .func
+            .blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .filter(|o| matches!(o, Op::CallVirtual { .. }))
+            .count();
+        assert_eq!(set_calls_b, 0);
+    }
+
+    #[test]
+    fn specialized_compile_is_smaller() {
+        // raise()-style method: branch ladder on a state field.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("S").build();
+        let g = pb.instance_field(c, "g", Ty::Int);
+        pb.trivial_ctor(c);
+        let mut m = pb.method(c, "work", MethodSig::new(vec![], Some(Ty::Int)));
+        let this = m.this();
+        let gv = m.reg();
+        m.get_field(gv, this, g);
+        let l1 = m.label();
+        let r = m.reg();
+        m.br_icmp_imm(CmpOp::Ne, gv, 0, l1);
+        m.const_i(r, 100);
+        m.ret(Some(r));
+        m.bind(l1);
+        m.const_i(r, 200);
+        m.ret(Some(r));
+        let work = m.build();
+        let p = pb.finish().unwrap();
+        let st = VmState::new(p, VmConfig::default());
+
+        let general = compile(&st, work, 2, None);
+        let b = bindings_from(&[(g, Value::Int(0))], &[]);
+        let special = compile(&st, work, 2, Some(&b));
+        assert!(special.size_bytes < general.size_bytes);
+        // The specialized version returns the constant directly.
+        assert!(special
+            .func
+            .blocks
+            .iter()
+            .flat_map(|x| x.ops.iter())
+            .any(|o| matches!(o, Op::ConstI { val: 100, .. })));
+        assert!(!special
+            .func
+            .blocks
+            .iter()
+            .flat_map(|x| x.ops.iter())
+            .any(|o| matches!(o, Op::GetField { .. })));
+    }
+}

@@ -1,0 +1,87 @@
+//! Run-time errors (the VM's model of Java exceptions that the paper's
+//! benchmarks never catch: any of these aborts the run).
+
+use std::fmt;
+
+/// A trap raised during execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// Null receiver or array reference.
+    NullPointer,
+    /// Array index out of bounds.
+    ArrayBounds {
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// `checkcast` failure.
+    ClassCast,
+    /// Negative array size.
+    NegativeArraySize(i64),
+    /// The heap cannot satisfy an allocation even after GC.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Configured heap size.
+        heap: usize,
+    },
+    /// The program has no entry point.
+    NoEntry,
+    /// An abstract method was invoked (broken dispatch tables).
+    AbstractCall {
+        /// Human-readable method name.
+        method: String,
+    },
+    /// A selector could not be dispatched on the receiver's class.
+    NoSuchMethod {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The evaluator exceeded the configured fuel (instruction budget);
+    /// guards tests against infinite loops.
+    OutOfFuel,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::NullPointer => write!(f, "null pointer dereference"),
+            RunError::ArrayBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            RunError::DivideByZero => write!(f, "integer division by zero"),
+            RunError::ClassCast => write!(f, "invalid class cast"),
+            RunError::NegativeArraySize(n) => write!(f, "negative array size {n}"),
+            RunError::OutOfMemory { requested, heap } => {
+                write!(f, "out of memory: {requested} bytes requested, heap {heap}")
+            }
+            RunError::NoEntry => write!(f, "program has no entry point"),
+            RunError::AbstractCall { method } => {
+                write!(f, "abstract method invoked: {method}")
+            }
+            RunError::NoSuchMethod { what } => write!(f, "no such method: {what}"),
+            RunError::OutOfFuel => write!(f, "execution fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = RunError::ArrayBounds { index: -1, len: 4 };
+        assert!(format!("{e}").contains("-1"));
+        let e = RunError::OutOfMemory {
+            requested: 64,
+            heap: 1024,
+        };
+        assert!(format!("{e}").contains("64"));
+    }
+}

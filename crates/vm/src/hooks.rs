@@ -1,0 +1,129 @@
+//! The seams between the VM and the mutation engine / profilers.
+
+use crate::state::VmState;
+use dchm_bytecode::value::ObjRef;
+use dchm_bytecode::{ClassId, FieldId, MethodId, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Which program points the compiler must instrument with `Notify*` patch
+/// ops. The mutation engine derives this from its plan; the VM compiles the
+/// checks into *every* tier so state tracking is sound from the first
+/// instruction (the paper patches the same three kinds of sites, Fig. 4).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatchSpec {
+    /// Instance state fields: every `PutField` of one of these is followed
+    /// by a `NotifyInstStore`.
+    pub instance_fields: HashSet<FieldId>,
+    /// Static state fields: every `PutStatic` is followed by a
+    /// `NotifyStaticStore`.
+    pub static_fields: HashSet<FieldId>,
+    /// Classes whose constructors end with a `NotifyCtorExit` (mutable
+    /// classes with instance state fields).
+    pub ctor_classes: HashSet<ClassId>,
+}
+
+impl PatchSpec {
+    /// True if nothing is instrumented.
+    pub fn is_empty(&self) -> bool {
+        self.instance_fields.is_empty()
+            && self.static_fields.is_empty()
+            && self.ctor_classes.is_empty()
+    }
+}
+
+/// Object-lifetime-constant information for one private reference field
+/// (paper Sec. 4): the field always holds an instance of `exact_class`
+/// constructed by the same constructor, and `bindings` are the instance
+/// fields that constructor sets to constants and nothing ever overwrites.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OlcInfo {
+    /// The private reference field (e.g. `deliveryScreen` in Fig. 7).
+    pub ref_field: FieldId,
+    /// The exact dynamic type of the referenced object.
+    pub exact_class: ClassId,
+    /// Field -> constant value, valid for the object's whole lifetime.
+    pub bindings: HashMap<FieldId, Value>,
+}
+
+/// Compile-time facts handed to the VM compiler by the mutation engine.
+#[derive(Clone, Debug, Default)]
+pub struct CompilerHints {
+    /// Object-lifetime constants keyed by the private reference field.
+    pub olc: HashMap<FieldId, OlcInfo>,
+    /// `M` of the paper's Section 5 heuristic: the number of specializable
+    /// (state) fields *read by each mutable method*. Methods absent from
+    /// the map have no specialization potential and inline normally.
+    pub spec_field_count: HashMap<MethodId, usize>,
+    /// `k` of the Section 5 heuristic: inline iff `N > M + k`, where `N` is
+    /// the number of constant arguments at the call site.
+    pub k: i64,
+}
+
+/// The runtime half of the mutation engine: invoked from patch points and
+/// recompilation events. Implemented by `dchm-core`; [`NoopHandler`] is the
+/// mutation-off baseline.
+pub trait MutationHandler {
+    /// An instance state field of `class` was just stored on `obj`
+    /// (Fig. 4, middle block). Runs *after* the store.
+    fn on_instance_store(&mut self, vm: &mut VmState, obj: ObjRef, class: ClassId, field: FieldId);
+
+    /// A static state field was just stored (Fig. 4, bottom block).
+    fn on_static_store(&mut self, vm: &mut VmState, field: FieldId);
+
+    /// A constructor of mutable `class` is about to return `obj`
+    /// (Fig. 4, top block).
+    fn on_ctor_exit(&mut self, vm: &mut VmState, obj: ObjRef, class: ClassId);
+
+    /// General compiled code for `method` was just (re)generated and
+    /// installed at `level` (Fig. 5).
+    fn on_recompiled(&mut self, vm: &mut VmState, method: MethodId, level: u8);
+}
+
+/// Mutation disabled: every hook is a no-op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopHandler;
+
+impl MutationHandler for NoopHandler {
+    fn on_instance_store(&mut self, _: &mut VmState, _: ObjRef, _: ClassId, _: FieldId) {}
+    fn on_static_store(&mut self, _: &mut VmState, _: FieldId) {}
+    fn on_ctor_exit(&mut self, _: &mut VmState, _: ObjRef, _: ClassId) {}
+    fn on_recompiled(&mut self, _: &mut VmState, _: MethodId, _: u8) {}
+}
+
+/// Passive observation hooks used by the offline profiler (`dchm-profile`).
+/// Field-store callbacks fire only for fields in the observer's watch set,
+/// returned by [`VmObserver::watched_fields`] once at attach time.
+pub trait VmObserver {
+    /// Fields whose stores should be reported.
+    fn watched_fields(&self) -> HashSet<FieldId>;
+
+    /// An instance field in the watch set was stored.
+    fn on_instance_store(&mut self, class: ClassId, field: FieldId, value: Value);
+
+    /// A static field in the watch set was stored.
+    fn on_static_store(&mut self, field: FieldId, value: Value);
+
+    /// The adaptive system took a method sample (timer tick).
+    fn on_sample(&mut self, method: MethodId) {
+        let _ = method;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_spec_emptiness() {
+        let mut s = PatchSpec::default();
+        assert!(s.is_empty());
+        s.static_fields.insert(FieldId(0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn noop_handler_is_constructible() {
+        // Compile-time check that the trait is object safe.
+        let _h: Box<dyn MutationHandler> = Box::new(NoopHandler);
+    }
+}

@@ -1,0 +1,690 @@
+//! The evaluator: executes compiled IR with deterministic cycle accounting,
+//! TIB-based dispatch, adaptive sampling, and delivery of mutation patch
+//! points to the [`MutationHandler`].
+
+use crate::error::RunError;
+use crate::hooks::{MutationHandler, NoopHandler, VmObserver};
+use crate::state::{CodeSlot, CompiledId, Frame, VmConfig, VmState};
+use crate::stats::VmStats;
+use dchm_bytecode::value::ObjRef;
+use dchm_bytecode::{
+    ClassId, IntrinsicKind, MethodId, MethodKind, Op, Program, Reg, SelectorId, Value,
+};
+use dchm_ir::cost::{op_cost, CostModel};
+use dchm_ir::Term;
+use std::fmt::Write as _;
+
+/// Extra cycles for an IMT conflict stub search (Sec. 3.2.3).
+const IMT_CONFLICT_COST: u64 = 6;
+/// Extra load when dispatching an interface method on a mutable class
+/// (the IMT stores a TIB offset instead of a code pointer — Sec. 3.2.3).
+const IMT_MUTABLE_EXTRA_LOAD: u64 = 1;
+
+enum Flow {
+    Continue,
+    PushedFrame,
+}
+
+/// The virtual machine: state + mutation handler + optional observer.
+pub struct Vm {
+    /// All runtime state (public: the mutation engine manipulates it).
+    pub state: VmState,
+    handler: Box<dyn MutationHandler>,
+    observer: Option<Box<dyn VmObserver>>,
+    watched: Vec<bool>,
+}
+
+impl Vm {
+    /// Creates a VM with mutation disabled ([`NoopHandler`]).
+    pub fn new(program: Program, config: VmConfig) -> Self {
+        Self::with_handler(program, config, Box::new(NoopHandler))
+    }
+
+    /// Creates a VM with a mutation handler attached.
+    pub fn with_handler(
+        program: Program,
+        config: VmConfig,
+        handler: Box<dyn MutationHandler>,
+    ) -> Self {
+        Vm {
+            state: VmState::new(program, config),
+            handler,
+            observer: None,
+            watched: Vec::new(),
+        }
+    }
+
+    /// Replaces the mutation handler (e.g. after installing a plan).
+    pub fn set_handler(&mut self, handler: Box<dyn MutationHandler>) {
+        self.handler = handler;
+    }
+
+    /// Attaches a profiling observer; its watch set is captured now.
+    pub fn attach_observer(&mut self, obs: Box<dyn VmObserver>) {
+        let mut watched = vec![false; self.state.program.fields.len()];
+        for f in obs.watched_fields() {
+            watched[f.index()] = true;
+        }
+        self.watched = watched;
+        self.observer = Some(obs);
+    }
+
+    /// Detaches and returns the observer.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn VmObserver>> {
+        self.watched.clear();
+        self.observer.take()
+    }
+
+    /// Total modeled cycles so far (execution + compilation + GC).
+    pub fn cycles(&self) -> u64 {
+        self.state.clock
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &VmStats {
+        &self.state.stats
+    }
+
+    /// Runs the program entry point.
+    ///
+    /// # Errors
+    /// Propagates any [`RunError`] trap; [`RunError::NoEntry`] if the
+    /// program has none.
+    pub fn run_entry(&mut self) -> Result<Option<Value>, RunError> {
+        let entry = self.state.program.entry.ok_or(RunError::NoEntry)?;
+        self.call_static(entry, &[])
+    }
+
+    /// Calls a static method from the host with `args`.
+    ///
+    /// # Errors
+    /// Propagates any trap raised during execution.
+    ///
+    /// # Panics
+    /// Panics if called re-entrantly (frames not empty) or if `mid` is not
+    /// a static method.
+    pub fn call_static(&mut self, mid: MethodId, args: &[Value]) -> Result<Option<Value>, RunError> {
+        assert!(self.state.frames.is_empty(), "re-entrant call_static");
+        assert_eq!(
+            self.state.program.method(mid).kind,
+            MethodKind::Static,
+            "call_static target must be static"
+        );
+        let cid = self.state.ensure_compiled(mid);
+        self.drain_events();
+        let cm = &self.state.code[cid.index()];
+        let func = cm.func.clone();
+        let mut regs = vec![Value::Int(0); func.num_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        self.state.stats.per_method[mid.index()].invocations += 1;
+        self.state.frames.push(Frame {
+            method: mid,
+            func,
+            regs,
+            block: 0,
+            op: 0,
+            ret_dst: None,
+        });
+        self.run_loop()
+    }
+
+    // -----------------------------------------------------------------
+    // Core loop
+    // -----------------------------------------------------------------
+
+    fn run_loop(&mut self) -> Result<Option<Value>, RunError> {
+        let mut final_ret: Option<Value> = None;
+        'frames: loop {
+            let (func, method) = match self.state.frames.last() {
+                Some(fr) => (fr.func.clone(), fr.method),
+                None => break,
+            };
+            loop {
+                let (bi, mut oi) = {
+                    let fr = self.state.frames.last().expect("frame");
+                    (fr.block as usize, fr.op as usize)
+                };
+                let block = &func.blocks[bi];
+                while oi < block.ops.len() {
+                    let op = &block.ops[oi];
+                    oi += 1;
+                    {
+                        let fr = self.state.frames.last_mut().expect("frame");
+                        fr.op = oi as u32;
+                    }
+                    let cost = op_cost(op);
+                    self.charge(method, cost);
+                    self.state.stats.ops_executed += 1;
+                    if let Some(fuel) = self.state.config.fuel {
+                        if self.state.stats.ops_executed > fuel {
+                            return Err(RunError::OutOfFuel);
+                        }
+                    }
+                    match self.exec_op(op, method)? {
+                        Flow::Continue => {}
+                        Flow::PushedFrame => continue 'frames,
+                    }
+                }
+
+                // Terminator.
+                self.charge(method, CostModel::TERM_COST);
+                match block.term.clone() {
+                    Term::Jmp(b) => {
+                        let fr = self.state.frames.last_mut().expect("frame");
+                        fr.block = b.0;
+                        fr.op = 0;
+                    }
+                    Term::Br { cond, t, f } => {
+                        let v = self.reg(cond).as_int();
+                        let fr = self.state.frames.last_mut().expect("frame");
+                        fr.block = if v != 0 { t.0 } else { f.0 };
+                        fr.op = 0;
+                    }
+                    Term::Ret(v) => {
+                        let popped = self.state.frames.pop().expect("frame");
+                        let val = v.map(|r| popped.regs[r.index()]);
+                        self.charge(method, CostModel::FRAME_COST);
+                        match self.state.frames.last_mut() {
+                            Some(caller) => {
+                                if let Some(dst) = popped.ret_dst {
+                                    caller.regs[dst.index()] =
+                                        val.expect("non-void return expected");
+                                }
+                            }
+                            None => final_ret = val,
+                        }
+                        self.maybe_sample(method);
+                        continue 'frames;
+                    }
+                    Term::Unreachable => {
+                        unreachable!("executed Unreachable terminator (optimizer bug)")
+                    }
+                }
+                self.maybe_sample(method);
+            }
+        }
+        Ok(final_ret)
+    }
+
+    #[inline]
+    fn charge(&mut self, method: MethodId, cycles: u64) {
+        self.state.clock += cycles;
+        self.state.stats.exec_cycles += cycles;
+        self.state.stats.per_method[method.index()].cycles += cycles;
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg) -> Value {
+        self.state.frames.last().expect("frame").regs[r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: Value) {
+        self.state.frames.last_mut().expect("frame").regs[r.index()] = v;
+    }
+
+    fn maybe_sample(&mut self, method: MethodId) {
+        if self.state.clock < self.state.next_sample_at {
+            return;
+        }
+        let st = &mut self.state;
+        // Deterministic jitter (splitmix-style hash of the tick count)
+        // breaks resonance between the sample period and loop periods —
+        // without it a tight loop whose cost divides the period would pin
+        // every sample on the same method.
+        let tick = st.stats.samples_taken;
+        let jitter = {
+            let mut z = tick.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let spread = (st.config.sample_period / 2).max(1);
+        st.next_sample_at = st.clock + st.config.sample_period * 3 / 4 + jitter % spread;
+        st.stats.samples_taken += 1;
+        st.stats.per_method[method.index()].samples += 1;
+        if let Some(obs) = &mut self.observer {
+            obs.on_sample(method);
+        }
+        let samples = st.stats.per_method[method.index()].samples;
+        let cur = st.level_of(method).unwrap_or(0);
+        let target = if samples >= st.config.opt2_samples {
+            2
+        } else if samples >= st.config.opt1_samples {
+            1
+        } else {
+            cur
+        };
+        if target > cur {
+            st.recompile(method, target);
+            self.drain_events();
+        }
+    }
+
+    fn drain_events(&mut self) {
+        for (m, l) in self.state.take_recompile_events() {
+            self.handler.on_recompiled(&mut self.state, m, l);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Op execution
+    // -----------------------------------------------------------------
+
+    fn exec_op(&mut self, op: &Op, method: MethodId) -> Result<Flow, RunError> {
+        match op {
+            Op::ConstI { dst, val } => self.set_reg(*dst, Value::Int(*val)),
+            Op::ConstD { dst, val } => self.set_reg(*dst, Value::Double(*val)),
+            Op::ConstNull { dst } => self.set_reg(*dst, Value::Null),
+            Op::Mov { dst, src } => {
+                let v = self.reg(*src);
+                self.set_reg(*dst, v);
+            }
+            Op::IBin { op: bin, dst, a, b } => {
+                let (a, b) = (self.reg(*a).as_int(), self.reg(*b).as_int());
+                let r = bin.eval(a, b).ok_or(RunError::DivideByZero)?;
+                self.set_reg(*dst, Value::Int(r));
+            }
+            Op::INeg { dst, a } => {
+                let v = self.reg(*a).as_int().wrapping_neg();
+                self.set_reg(*dst, Value::Int(v));
+            }
+            Op::DBin { op: bin, dst, a, b } => {
+                let (a, b) = (self.reg(*a).as_double(), self.reg(*b).as_double());
+                self.set_reg(*dst, Value::Double(bin.eval(a, b)));
+            }
+            Op::DNeg { dst, a } => {
+                let v = -self.reg(*a).as_double();
+                self.set_reg(*dst, Value::Double(v));
+            }
+            Op::I2D { dst, a } => {
+                let v = self.reg(*a).as_int() as f64;
+                self.set_reg(*dst, Value::Double(v));
+            }
+            Op::D2I { dst, a } => {
+                let v = self.reg(*a).as_double() as i64;
+                self.set_reg(*dst, Value::Int(v));
+            }
+            Op::ICmp { op: cmp, dst, a, b } => {
+                let r = cmp.eval_int(self.reg(*a).as_int(), self.reg(*b).as_int());
+                self.set_reg(*dst, Value::Int(r as i64));
+            }
+            Op::DCmp { op: cmp, dst, a, b } => {
+                let r = cmp.eval_double(self.reg(*a).as_double(), self.reg(*b).as_double());
+                self.set_reg(*dst, Value::Int(r as i64));
+            }
+            Op::RefEq { dst, a, b } => {
+                let r = match (self.reg(*a), self.reg(*b)) {
+                    (Value::Null, Value::Null) => true,
+                    (Value::Ref(x), Value::Ref(y)) => x == y,
+                    (Value::Null, Value::Ref(_)) | (Value::Ref(_), Value::Null) => false,
+                    (x, y) => panic!("RefEq on non-references {x:?}, {y:?}"),
+                };
+                self.set_reg(*dst, Value::Int(r as i64));
+            }
+            Op::New { dst, class } => {
+                let r = self.state.alloc_object(*class)?;
+                self.set_reg(*dst, Value::Ref(r));
+            }
+            Op::GetField { dst, obj, field } => {
+                let o = self.obj_ref(*obj)?;
+                let slot = self.state.program.field(*field).slot as usize;
+                let v = self.state.heap.object(o).fields[slot];
+                self.set_reg(*dst, v);
+            }
+            Op::PutField { obj, field, src } => {
+                let o = self.obj_ref(*obj)?;
+                let v = self.reg(*src);
+                let slot = self.state.program.field(*field).slot as usize;
+                self.state.heap.object_mut(o).fields[slot] = v;
+                if !self.watched.is_empty() && self.watched[field.index()] {
+                    let class = self.state.heap.object(o).class;
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_instance_store(class, *field, v);
+                    }
+                }
+            }
+            Op::GetStatic { dst, field } => {
+                let v = self.state.get_static(*field);
+                self.set_reg(*dst, v);
+            }
+            Op::PutStatic { field, src } => {
+                let v = self.reg(*src);
+                self.state.set_static(*field, v);
+                if !self.watched.is_empty() && self.watched[field.index()] {
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_static_store(*field, v);
+                    }
+                }
+            }
+            Op::CallVirtual {
+                dst,
+                sel,
+                obj,
+                args,
+            } => {
+                let recv = self.obj_ref(*obj)?;
+                let (target, cid) = self.dispatch_virtual(recv, *sel)?;
+                return self.push_call(target, cid, Some(Value::Ref(recv)), args, *dst);
+            }
+            Op::CallSpecial {
+                dst,
+                class,
+                sel,
+                obj,
+                args,
+            } => {
+                let recv = self.obj_ref(*obj)?;
+                let target = self
+                    .state
+                    .resolve_special_cached(*class, *sel)
+                    .ok_or_else(|| RunError::NoSuchMethod {
+                        what: format!("{}::{}", class, sel),
+                    })?;
+                let cid = self.dispatch_static_bound(target);
+                return self.push_call(target, cid, Some(Value::Ref(recv)), args, *dst);
+            }
+            Op::CallStatic { dst, method: m, args } => {
+                let cid = self.dispatch_static_bound(*m);
+                return self.push_call(*m, cid, None, args, *dst);
+            }
+            Op::CallInterface {
+                dst,
+                iface: _,
+                sel,
+                obj,
+                args,
+            } => {
+                let recv = self.obj_ref(*obj)?;
+                let (target, cid) = self.dispatch_interface(recv, *sel, method)?;
+                return self.push_call(target, cid, Some(Value::Ref(recv)), args, *dst);
+            }
+            Op::InstanceOf { dst, obj, class } => {
+                let r = match self.reg(*obj) {
+                    Value::Null => false,
+                    Value::Ref(o) => {
+                        // Type tests consult the TIB's type-information
+                        // entry, never TIB identity (Sec. 3.2.3).
+                        let tib = self.state.heap.object(o).tib;
+                        let oc = self.state.tibs[tib.index()].class;
+                        self.state.program.instance_of(oc, *class)
+                    }
+                    v => panic!("instanceof on non-reference {v:?}"),
+                };
+                self.set_reg(*dst, Value::Int(r as i64));
+            }
+            Op::CheckCast { obj, class } => match self.reg(*obj) {
+                Value::Null => {}
+                Value::Ref(o) => {
+                    let tib = self.state.heap.object(o).tib;
+                    let oc = self.state.tibs[tib.index()].class;
+                    if !self.state.program.instance_of(oc, *class) {
+                        return Err(RunError::ClassCast);
+                    }
+                }
+                v => panic!("checkcast on non-reference {v:?}"),
+            },
+            Op::NewArr { dst, kind, len } => {
+                let n = self.reg(*len).as_int();
+                let r = self.state.alloc_array(*kind, n)?;
+                self.set_reg(*dst, Value::Ref(r));
+            }
+            Op::ALoad { dst, arr, idx } => {
+                let a = self.obj_ref(*arr)?;
+                let i = self.reg(*idx).as_int();
+                let arr = self.state.heap.array(a);
+                let v = *arr
+                    .elems
+                    .get(usize::try_from(i).map_err(|_| RunError::ArrayBounds {
+                        index: i,
+                        len: arr.elems.len(),
+                    })?)
+                    .ok_or(RunError::ArrayBounds {
+                        index: i,
+                        len: arr.elems.len(),
+                    })?;
+                self.set_reg(*dst, v);
+            }
+            Op::AStore { arr, idx, src } => {
+                let a = self.obj_ref(*arr)?;
+                let i = self.reg(*idx).as_int();
+                let v = self.reg(*src);
+                let arr = self.state.heap.array_mut(a);
+                let len = arr.elems.len();
+                let slot = arr
+                    .elems
+                    .get_mut(usize::try_from(i).map_err(|_| RunError::ArrayBounds {
+                        index: i,
+                        len,
+                    })?)
+                    .ok_or(RunError::ArrayBounds { index: i, len })?;
+                *slot = v;
+            }
+            Op::ALen { dst, arr } => {
+                let a = self.obj_ref(*arr)?;
+                let n = self.state.heap.array(a).elems.len() as i64;
+                self.set_reg(*dst, Value::Int(n));
+            }
+            Op::Intrinsic { dst, kind, args } => self.exec_intrinsic(*dst, *kind, args),
+            Op::NotifyCtorExit { obj, class } => {
+                if let Value::Ref(o) = self.reg(*obj) {
+                    self.handler.on_ctor_exit(&mut self.state, o, *class);
+                }
+            }
+            Op::NotifyInstStore { obj, class, field } => {
+                if let Value::Ref(o) = self.reg(*obj) {
+                    self.handler
+                        .on_instance_store(&mut self.state, o, *class, *field);
+                }
+            }
+            Op::NotifyStaticStore { field } => {
+                self.handler.on_static_store(&mut self.state, *field);
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn exec_intrinsic(&mut self, dst: Option<Reg>, kind: IntrinsicKind, args: &[Reg]) {
+        match kind {
+            IntrinsicKind::PrintInt => {
+                let v = self.reg(args[0]).as_int();
+                let _ = writeln!(self.state.output.text, "{v}");
+            }
+            IntrinsicKind::PrintDouble => {
+                let v = self.reg(args[0]).as_double();
+                let _ = writeln!(self.state.output.text, "{v}");
+            }
+            IntrinsicKind::PrintChar => {
+                let v = self.reg(args[0]).as_int();
+                let c = char::from_u32(v as u32).unwrap_or('\u{FFFD}');
+                self.state.output.text.push(c);
+            }
+            IntrinsicKind::SinkInt => {
+                let v = self.reg(args[0]).as_int();
+                self.state.output.sink_int(v);
+            }
+            IntrinsicKind::SinkDouble => {
+                let v = self.reg(args[0]).as_double();
+                self.state.output.sink_double(v);
+            }
+            IntrinsicKind::DSqrt => {
+                let v = self.reg(args[0]).as_double().sqrt();
+                self.set_reg(dst.expect("DSqrt needs dst"), Value::Double(v));
+            }
+            IntrinsicKind::DAbs => {
+                let v = self.reg(args[0]).as_double().abs();
+                self.set_reg(dst.expect("DAbs needs dst"), Value::Double(v));
+            }
+            IntrinsicKind::IAbs => {
+                let v = self.reg(args[0]).as_int().wrapping_abs();
+                self.set_reg(dst.expect("IAbs needs dst"), Value::Int(v));
+            }
+            IntrinsicKind::IMin => {
+                let v = self.reg(args[0]).as_int().min(self.reg(args[1]).as_int());
+                self.set_reg(dst.expect("IMin needs dst"), Value::Int(v));
+            }
+            IntrinsicKind::IMax => {
+                let v = self.reg(args[0]).as_int().max(self.reg(args[1]).as_int());
+                self.set_reg(dst.expect("IMax needs dst"), Value::Int(v));
+            }
+        }
+    }
+
+    #[inline]
+    fn obj_ref(&self, r: Reg) -> Result<ObjRef, RunError> {
+        self.reg(r).as_ref_opt().ok_or(RunError::NullPointer)
+    }
+
+    /// Virtual dispatch through the object's (possibly special) TIB.
+    fn dispatch_virtual(
+        &mut self,
+        recv: ObjRef,
+        sel: SelectorId,
+    ) -> Result<(MethodId, CompiledId), RunError> {
+        let (tib, class) = {
+            let o = self.state.heap.object(recv);
+            (o.tib, o.class)
+        };
+        let vslot = self
+            .state
+            .program
+            .class(class)
+            .vtable_slot(sel)
+            .ok_or_else(|| RunError::NoSuchMethod {
+                what: format!(
+                    "{}::{}",
+                    self.state.program.class(class).name,
+                    self.state.program.selector_name(sel)
+                ),
+            })? as usize;
+        self.resolve_slot(tib, class, vslot)
+    }
+
+    /// Interface dispatch through the shared IMT.
+    fn dispatch_interface(
+        &mut self,
+        recv: ObjRef,
+        sel: SelectorId,
+        caller: MethodId,
+    ) -> Result<(MethodId, CompiledId), RunError> {
+        let (tib, class) = {
+            let o = self.state.heap.object(recv);
+            (o.tib, o.class)
+        };
+        let imt_idx = self.state.tibs[tib.index()].imt as usize;
+        let hit = self.state.imts[imt_idx].lookup(sel);
+        let vslot = match hit {
+            Some((v, conflicted)) => {
+                if conflicted {
+                    self.charge(caller, IMT_CONFLICT_COST);
+                }
+                v as usize
+            }
+            None => {
+                // Robust fallback through the vtable mapping.
+                self.state
+                    .program
+                    .class(class)
+                    .vtable_slot(sel)
+                    .ok_or_else(|| RunError::NoSuchMethod {
+                        what: format!(
+                            "interface {} on {}",
+                            self.state.program.selector_name(sel),
+                            self.state.program.class(class).name
+                        ),
+                    })? as usize
+            }
+        };
+        if self.state.mutable_classes.contains(&class) {
+            self.charge(caller, IMT_MUTABLE_EXTRA_LOAD);
+        }
+        self.resolve_slot(tib, class, vslot)
+    }
+
+    /// Resolves a TIB method slot, compiling lazily on first touch.
+    fn resolve_slot(
+        &mut self,
+        tib: crate::tib::TibId,
+        class: ClassId,
+        vslot: usize,
+    ) -> Result<(MethodId, CompiledId), RunError> {
+        match self.state.tibs[tib.index()].methods[vslot] {
+            CodeSlot::Code(cid) => Ok((self.state.code[cid.index()].method, cid)),
+            CodeSlot::Lazy => {
+                let mid = self.state.program.class(class).vtable[vslot];
+                if self.state.program.method(mid).kind == MethodKind::Abstract {
+                    return Err(RunError::AbstractCall {
+                        method: self.state.program.method(mid).name.clone(),
+                    });
+                }
+                let cid = self.state.ensure_compiled(mid);
+                self.drain_events();
+                // The install (and possibly the mutation handler) filled the
+                // slot; if the dispatching TIB still says Lazy (e.g. an
+                // unsynced special TIB), fall back to the general code.
+                match self.state.tibs[tib.index()].methods[vslot] {
+                    CodeSlot::Code(c) => Ok((self.state.code[c.index()].method, c)),
+                    CodeSlot::Lazy => {
+                        self.state.tibs[tib.index()].methods[vslot] = CodeSlot::Code(cid);
+                        Ok((mid, cid))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Statically-bound dispatch (JTOC): honors the mutation engine's
+    /// override, otherwise the one valid general compiled method.
+    fn dispatch_static_bound(&mut self, mid: MethodId) -> CompiledId {
+        if let Some(cid) = self.state.static_override[mid.index()] {
+            return cid;
+        }
+        let cid = self.state.ensure_compiled(mid);
+        self.drain_events();
+        // Re-check: the handler may have installed an override.
+        self.state.static_override[mid.index()].unwrap_or(cid)
+    }
+
+    fn push_call(
+        &mut self,
+        target: MethodId,
+        cid: CompiledId,
+        recv: Option<Value>,
+        args: &[Reg],
+        dst: Option<Reg>,
+    ) -> Result<Flow, RunError> {
+        let func = self.state.code[cid.index()].func.clone();
+        let mut regs = vec![Value::Int(0); func.num_regs as usize];
+        let mut i = 0;
+        if let Some(r) = recv {
+            regs[0] = r;
+            i = 1;
+        }
+        for &a in args {
+            regs[i] = self.reg(a);
+            i += 1;
+        }
+        self.state.clock += CostModel::FRAME_COST;
+        self.state.stats.exec_cycles += CostModel::FRAME_COST;
+        self.state.stats.per_method[target.index()].invocations += 1;
+        self.state.frames.push(Frame {
+            method: target,
+            func,
+            regs,
+            block: 0,
+            op: 0,
+            ret_dst: dst,
+        });
+        Ok(Flow::PushedFrame)
+    }
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("clock", &self.state.clock)
+            .field("frames", &self.state.frames.len())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}

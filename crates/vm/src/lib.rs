@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # dchm-vm
+//!
+//! A tiered, Jikes-RVM-inspired virtual machine for the DCHM reproduction.
+//! It provides every runtime mechanism the paper's technique manipulates:
+//!
+//! * **TIBs** (Type Information Blocks): per-class virtual-function tables
+//!   with a type-information entry and a shared IMT pointer ([`tib`]).
+//!   Objects carry a TIB pointer that the mutation engine may repoint at
+//!   *special TIBs*.
+//! * **JTOC**: statically-bound dispatch table (static methods, constructors,
+//!   private methods) plus the static field area ([`state`]).
+//! * **IMT**: fixed-size interface method tables with conflict stubs,
+//!   shared between a class TIB and all of its special TIBs ([`tib`]).
+//! * **Tiered compilation**: methods are lazily compiled by the optimizing
+//!   compiler at `opt0` and recompiled at `opt1`/`opt2` by the adaptive
+//!   system (cycle-driven method sampling) ([`compiler`], [`state`]).
+//! * **Mark-sweep GC** with heap-size accounting ([`heap`]).
+//! * **Mutation hooks**: patch points ([`hooks::PatchSpec`]) compiled into
+//!   code at state-field assignments and constructor exits, delivered to a
+//!   [`hooks::MutationHandler`] — the seam where `dchm-core` plugs in the
+//!   paper's distributed dynamic class mutation algorithm.
+//!
+//! Time is deterministic: every executed op is billed cycles from
+//! [`dchm_ir::cost`], as are compilation, allocation and GC. All speedup and
+//! overhead figures compare these cycle counts between runs.
+//!
+//! ```
+//! use dchm_bytecode::{MethodSig, ProgramBuilder, Value};
+//! use dchm_vm::{Vm, VmConfig};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let c = pb.class("Main").build();
+//! let mut m = pb.static_method(c, "main", MethodSig::new(vec![], Some(dchm_bytecode::Ty::Int)));
+//! let r = m.imm(21);
+//! let two = m.imm(2);
+//! let out = m.reg();
+//! m.imul(out, r, two);
+//! m.ret(Some(out));
+//! let main = m.build();
+//! pb.set_entry(main);
+//! let program = pb.finish().unwrap();
+//!
+//! let mut vm = Vm::new(program, VmConfig::default());
+//! let result = vm.run_entry().unwrap();
+//! assert_eq!(result, Some(Value::Int(42)));
+//! ```
+
+pub mod compiler;
+pub mod error;
+pub mod heap;
+pub mod hooks;
+pub mod interp;
+pub mod state;
+pub mod stats;
+pub mod tib;
+
+pub use error::RunError;
+pub use heap::{Heap, HeapStats};
+pub use hooks::{
+    CompilerHints, MutationHandler, NoopHandler, OlcInfo, PatchSpec, VmObserver,
+};
+pub use interp::Vm;
+pub use state::{CodeSlot, CompiledId, CompiledMethod, VmConfig, VmState};
+pub use stats::{MethodProfile, VmStats};
+pub use tib::{Imt, ImtEntry, Tib, TibId, TibKind, IMT_SLOTS};

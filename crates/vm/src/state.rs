@@ -1,0 +1,799 @@
+//! The VM state: class TIBs, JTOC, compiled-code store, adaptive system
+//! bookkeeping, heap plumbing and the public surface the mutation engine
+//! drives (special-TIB creation, slot patching, special compilation).
+
+use crate::compiler;
+use crate::error::RunError;
+use crate::heap::Heap;
+use crate::hooks::{CompilerHints, PatchSpec};
+use crate::stats::VmStats;
+use crate::tib::{Imt, Tib, TibId, TibKind};
+use dchm_bytecode::value::ObjRef;
+use dchm_bytecode::{ClassId, FieldId, MethodId, Program, Reg, SelectorId, Value};
+use dchm_ir::cost::CostModel;
+use dchm_ir::passes::Bindings;
+use dchm_ir::Function;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies a compiled method in the code store.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompiledId(pub u32);
+
+impl CompiledId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CompiledId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "code{}", self.0)
+    }
+}
+
+/// A TIB/JTOC method entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CodeSlot {
+    /// Not compiled yet (lazy compilation, kept intact for special TIBs).
+    #[default]
+    Lazy,
+    /// Compiled code.
+    Code(CompiledId),
+}
+
+/// One compiled method: the unit the optimizing compiler produces.
+#[derive(Clone, Debug)]
+pub struct CompiledMethod {
+    /// The bytecode method this code implements. Special versions share the
+    /// id with the general version, so sampling information is shared
+    /// (paper Sec. 3.2.3).
+    pub method: MethodId,
+    /// Optimization level it was compiled at.
+    pub level: u8,
+    /// True for state-specialized (mutation) versions.
+    pub special: bool,
+    /// The executable IR.
+    pub func: Rc<Function>,
+    /// Modeled machine-code size in bytes.
+    pub size_bytes: usize,
+}
+
+/// VM configuration.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Heap capacity in bytes (paper: 50 MB default, 128 MB for JBB2000,
+    /// 384 MB for JBB2005).
+    pub heap_bytes: usize,
+    /// Level methods are first compiled at (paper experiments: opt0 by the
+    /// optimizing compiler).
+    pub initial_level: u8,
+    /// Samples before promotion to opt1.
+    pub opt1_samples: u64,
+    /// Samples before promotion to opt2 (the mutation level).
+    pub opt2_samples: u64,
+    /// Cycles between adaptive-system samples.
+    pub sample_period: u64,
+    /// Enable the inliner at opt1+.
+    pub enable_inlining: bool,
+    /// Maximum callee IR size (ops) eligible for inlining.
+    pub max_inline_size: usize,
+    /// Maximum inlining rounds (call-chain depth).
+    pub max_inline_depth: usize,
+    /// Abort after this many executed ops (`None` = unlimited). A test
+    /// guard, not a semantic limit.
+    pub fuel: Option<u64>,
+    /// Methods whose hotness detection is accelerated: immediately after
+    /// their opt0 code is generated, opt1 and opt2 code is generated too
+    /// (paper Figure 14).
+    pub accelerated_methods: HashSet<MethodId>,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            heap_bytes: 50 << 20,
+            initial_level: 0,
+            opt1_samples: 3,
+            opt2_samples: 8,
+            sample_period: 120_000,
+            enable_inlining: true,
+            max_inline_size: 36,
+            max_inline_depth: 2,
+            fuel: None,
+            accelerated_methods: HashSet::new(),
+        }
+    }
+}
+
+/// One activation record.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Method whose code is executing (general or special share this).
+    pub method: MethodId,
+    /// The code being executed (frames keep old code alive across
+    /// recompilation; no on-stack replacement, as in the paper).
+    pub func: Rc<Function>,
+    /// Register file.
+    pub regs: Vec<Value>,
+    /// Current block index.
+    pub block: u32,
+    /// Next op index within the block.
+    pub op: u32,
+    /// Caller register receiving the return value.
+    pub ret_dst: Option<Reg>,
+}
+
+/// Program output: a text log plus a checksum accumulator (used by tests to
+/// prove mutation preserves observable behaviour).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Output {
+    /// Printed text.
+    pub text: String,
+    /// Order-sensitive checksum of all sunk values.
+    pub checksum: u64,
+}
+
+impl Output {
+    /// Folds an integer into the checksum.
+    #[inline]
+    pub fn sink_int(&mut self, v: i64) {
+        self.checksum = self
+            .checksum
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(v as u64);
+    }
+
+    /// Folds a double's bit pattern into the checksum.
+    #[inline]
+    pub fn sink_double(&mut self, v: f64) {
+        self.sink_int(v.to_bits() as i64);
+    }
+}
+
+/// The complete mutable machine state. The interpreter ([`crate::Vm`])
+/// drives it; the mutation engine manipulates it through the `pub` methods
+/// below (special TIBs, slot patching, special compilation).
+pub struct VmState {
+    /// The immutable linked program.
+    pub program: Rc<Program>,
+    /// Configuration.
+    pub config: VmConfig,
+    /// The object heap.
+    pub heap: Heap,
+    /// Static field area (part of the JTOC).
+    pub statics: Vec<Value>,
+    /// All TIBs; class TIBs first, special TIBs appended by the engine.
+    pub tibs: Vec<Tib>,
+    /// IMTs, one per class (shared with that class's special TIBs).
+    pub imts: Vec<Imt>,
+    /// Class TIB of each class.
+    pub class_tibs: Vec<TibId>,
+    /// Compiled-code store (code is never freed; Jikes' code is immortal).
+    pub code: Vec<CompiledMethod>,
+    /// The one valid *general* compiled method per method (JTOC slot for
+    /// statically-dispatched methods).
+    pub general_code: Vec<Option<CompiledId>>,
+    /// Mutation-engine override for statically-bound dispatch (static
+    /// methods and `invokespecial` targets of classes whose state depends
+    /// only on static fields). Models the paper's JTOC / class-TIB patching
+    /// for statically-bound code.
+    pub static_override: Vec<Option<CompiledId>>,
+    /// Patch points the compiler instruments.
+    pub patch_spec: PatchSpec,
+    /// Compile-time hints from the mutation engine (OLC, Sec. 5 heuristic).
+    pub hints: CompilerHints,
+    /// Classes marked mutable by the engine; their interface dispatch pays
+    /// the extra TIB-offset load (Sec. 3.2.3).
+    pub mutable_classes: HashSet<ClassId>,
+    /// Statistics.
+    pub stats: VmStats,
+    /// Modeled cycle clock (execution + compilation + GC).
+    pub clock: u64,
+    /// Next sample tick.
+    pub next_sample_at: u64,
+    /// Activation stack.
+    pub frames: Vec<Frame>,
+    /// Program output.
+    pub output: Output,
+    /// Extra GC roots registered by the host.
+    pub handles: Vec<ObjRef>,
+    /// Events for the interpreter to forward to the mutation handler:
+    /// `(method, level)` of freshly installed general code.
+    pub(crate) recompile_events: Vec<(MethodId, u8)>,
+    /// Cache for `invokespecial` resolution.
+    special_resolution: HashMap<(u32, u32), MethodId>,
+    /// Selector -> the unique concrete implementation, when there is
+    /// exactly one program-wide (CHA devirtualization).
+    pub(crate) unique_impl: HashMap<SelectorId, MethodId>,
+    /// Per-class field-initialization templates.
+    field_templates: Vec<Vec<Value>>,
+}
+
+impl VmState {
+    /// Builds the state: class TIBs, IMTs, static area, CHA tables.
+    pub fn new(program: Program, config: VmConfig) -> Self {
+        let program = Rc::new(program);
+        let nclasses = program.classes.len();
+        let nmethods = program.methods.len();
+
+        // Static field area.
+        let mut statics = vec![Value::Int(0); program.num_static_slots as usize];
+        for f in &program.fields {
+            if f.is_static {
+                statics[f.slot as usize] = f.initial;
+            }
+        }
+
+        // IMTs and class TIBs.
+        let mut imts = Vec::with_capacity(nclasses);
+        let mut tibs = Vec::with_capacity(nclasses);
+        let mut class_tibs = Vec::with_capacity(nclasses);
+        let mut stats = VmStats::new(nmethods);
+        for (ci, c) in program.classes.iter().enumerate() {
+            let mut imt = Imt::default();
+            // Interface selectors reachable on this class resolve to vslots.
+            let mut cur = Some(ClassId::from_index(ci));
+            let mut seen = HashSet::new();
+            while let Some(cc) = cur {
+                for &iface in &program.class(cc).interfaces {
+                    collect_iface_sels(&program, iface, &mut seen);
+                }
+                cur = program.class(cc).super_class;
+            }
+            for sel in seen {
+                if let Some(vslot) = c.vtable_slot(sel) {
+                    imt.add(sel, vslot);
+                }
+            }
+            imts.push(imt);
+            let tib = Tib {
+                class: ClassId::from_index(ci),
+                kind: TibKind::Class,
+                methods: vec![CodeSlot::Lazy; c.vtable.len()],
+                imt: ci as u32,
+            };
+            stats.class_tib_bytes += tib.bytes() as u64;
+            class_tibs.push(TibId(ci as u32));
+            tibs.push(tib);
+        }
+
+        // CHA: selectors with a unique concrete implementation.
+        let mut impl_count: HashMap<SelectorId, Vec<MethodId>> = HashMap::new();
+        for (mi, m) in program.methods.iter().enumerate() {
+            if m.is_virtual() {
+                impl_count
+                    .entry(m.selector)
+                    .or_default()
+                    .push(MethodId::from_index(mi));
+            }
+        }
+        let unique_impl = impl_count
+            .into_iter()
+            .filter_map(|(s, v)| (v.len() == 1).then(|| (s, v[0])))
+            .collect();
+
+        // Per-class zero-value field templates.
+        let field_templates = (0..nclasses)
+            .map(|ci| {
+                program.classes[ci]
+                    .all_instance_fields
+                    .iter()
+                    .map(|&f| program.field(f).ty.default_value())
+                    .collect()
+            })
+            .collect();
+
+        let sample_period = config.sample_period;
+        VmState {
+            program,
+            heap: Heap::new(config.heap_bytes),
+            config,
+            statics,
+            tibs,
+            imts,
+            class_tibs,
+            code: Vec::new(),
+            general_code: vec![None; nmethods],
+            static_override: vec![None; nmethods],
+            patch_spec: PatchSpec::default(),
+            hints: CompilerHints::default(),
+            mutable_classes: HashSet::new(),
+            stats,
+            clock: 0,
+            next_sample_at: sample_period,
+            frames: Vec::new(),
+            output: Output::default(),
+            handles: Vec::new(),
+            recompile_events: Vec::new(),
+            special_resolution: HashMap::new(),
+            unique_impl,
+            field_templates,
+        }
+    }
+
+    /// The compiled method behind an id.
+    ///
+    /// # Panics
+    /// Panics if `cid` is out of range.
+    #[inline]
+    pub fn compiled(&self, cid: CompiledId) -> &CompiledMethod {
+        &self.code[cid.index()]
+    }
+
+    /// Current optimization level of the valid general code for `mid`.
+    pub fn level_of(&self, mid: MethodId) -> Option<u8> {
+        self.general_code[mid.index()].map(|c| self.compiled(c).level)
+    }
+
+    // ---------------------------------------------------------------
+    // Compilation & installation
+    // ---------------------------------------------------------------
+
+    /// Ensures `mid` has general compiled code; compiles lazily at the
+    /// initial level. For accelerated methods (Fig. 14), opt1 and opt2 are
+    /// generated immediately after opt0.
+    pub fn ensure_compiled(&mut self, mid: MethodId) -> CompiledId {
+        if let Some(cid) = self.general_code[mid.index()] {
+            return cid;
+        }
+        let cid = self.recompile(mid, self.config.initial_level);
+        if self.config.accelerated_methods.contains(&mid) {
+            self.recompile(mid, 1);
+            return self.recompile(mid, 2);
+        }
+        cid
+    }
+
+    /// Compiles general code for `mid` at `level`, installs it into the
+    /// JTOC/class TIBs and subclass TIBs, and queues the recompilation
+    /// event for the mutation handler.
+    pub fn recompile(&mut self, mid: MethodId, level: u8) -> CompiledId {
+        let cid = self.compile_internal(mid, level, None);
+        self.install_general(mid, cid);
+        let p = &mut self.stats.per_method[mid.index()];
+        if p.level.is_some() {
+            p.recompiles += 1;
+        }
+        p.level = Some(level);
+        self.recompile_events.push((mid, level));
+        cid
+    }
+
+    /// Compiles a *special* (state-specialized) version of `mid` at `level`
+    /// under `bindings`. The caller (mutation engine) installs it where it
+    /// belongs. Counts toward special code size and compile time.
+    pub fn compile_special(
+        &mut self,
+        mid: MethodId,
+        level: u8,
+        bindings: &Bindings,
+    ) -> CompiledId {
+        self.compile_internal(mid, level, Some(bindings))
+    }
+
+    fn compile_internal(
+        &mut self,
+        mid: MethodId,
+        level: u8,
+        bindings: Option<&Bindings>,
+    ) -> CompiledId {
+        let outcome = compiler::compile(self, mid, level, bindings);
+        let special = bindings.is_some();
+        let size = outcome.size_bytes;
+        let cost = outcome.compile_cycles;
+        self.clock += cost;
+        self.stats.compile_cycles += cost;
+        if special {
+            self.stats.special_compile_cycles += cost;
+            self.stats.special_compiles += 1;
+            self.stats.special_code_bytes += size as u64;
+        } else {
+            let l = level.min(2) as usize;
+            self.stats.compiles_by_level[l] += 1;
+            self.stats.code_bytes_by_level[l] += size as u64;
+        }
+        let cid = CompiledId(self.code.len() as u32);
+        self.code.push(CompiledMethod {
+            method: mid,
+            level,
+            special,
+            func: Rc::new(outcome.func),
+            size_bytes: size,
+        });
+        cid
+    }
+
+    /// Installs `cid` as the one valid general compiled method for `mid`:
+    /// updates the JTOC slot and, for virtual methods, the declaring class
+    /// TIB and every subclass TIB still inheriting this method. General
+    /// code (never special code) propagates to subclasses — paper Fig. 6.
+    pub fn install_general(&mut self, mid: MethodId, cid: CompiledId) {
+        self.general_code[mid.index()] = Some(cid);
+        let md = self.program.method(mid);
+        if !md.is_virtual() {
+            return;
+        }
+        let program = Rc::clone(&self.program);
+        let owner = md.owner;
+        let sel = md.selector;
+        let mut targets = vec![owner];
+        targets.extend(program.all_subclasses(owner));
+        for c in targets {
+            let cd = program.class(c);
+            if let Some(vslot) = cd.vtable_slot(sel) {
+                // Only patch where this method is still the resolution
+                // (an overriding subclass keeps its own entry).
+                if cd.vtable[vslot as usize] == mid {
+                    let tib = self.class_tibs[c.index()];
+                    self.tibs[tib.index()].methods[vslot as usize] = CodeSlot::Code(cid);
+                }
+            }
+        }
+    }
+
+    /// Drains pending recompilation events. The interpreter forwards these
+    /// to the mutation handler after every compile; a handler being
+    /// installed *late* (online mutation) drains them itself.
+    pub fn take_recompile_events(&mut self) -> Vec<(MethodId, u8)> {
+        std::mem::take(&mut self.recompile_events)
+    }
+
+    // ---------------------------------------------------------------
+    // Special TIB management (driven by the mutation engine)
+    // ---------------------------------------------------------------
+
+    /// Creates a special TIB for hot state `state_index` of `class`: an
+    /// exact copy of the current class TIB sharing its IMT (Sec. 3.2.3).
+    pub fn create_special_tib(&mut self, class: ClassId, state_index: usize) -> TibId {
+        let class_tib = self.class_tibs[class.index()];
+        let src = &self.tibs[class_tib.index()];
+        let tib = Tib {
+            class,
+            kind: TibKind::Special { state_index },
+            methods: src.methods.clone(),
+            imt: src.imt,
+        };
+        self.stats.special_tib_bytes += tib.bytes() as u64;
+        self.stats.special_tibs += 1;
+        let id = TibId(self.tibs.len() as u32);
+        self.tibs.push(tib);
+        id
+    }
+
+    /// Points a TIB method slot at specific compiled code.
+    pub fn set_tib_slot(&mut self, tib: TibId, vslot: u32, code: CodeSlot) {
+        self.tibs[tib.index()].methods[vslot as usize] = code;
+        self.stats.code_patches += 1;
+    }
+
+    /// Reads a TIB method slot.
+    pub fn tib_slot(&self, tib: TibId, vslot: u32) -> CodeSlot {
+        self.tibs[tib.index()].methods[vslot as usize]
+    }
+
+    /// Copies every slot of the class TIB of `class` into `special`,
+    /// *except* the given vslots (the mutable-method slots the engine
+    /// manages itself). Keeps special TIBs identical to the class TIB for
+    /// inherited/unrelated methods, preserving lazy compilation.
+    pub fn sync_special_from_class(&mut self, class: ClassId, special: TibId, skip: &[u32]) {
+        let class_tib = self.class_tibs[class.index()];
+        let n = self.tibs[class_tib.index()].methods.len();
+        for v in 0..n {
+            if skip.contains(&(v as u32)) {
+                continue;
+            }
+            let s = self.tibs[class_tib.index()].methods[v];
+            self.tibs[special.index()].methods[v] = s;
+        }
+    }
+
+    /// Repoints an object's TIB pointer (the mutation itself).
+    pub fn set_object_tib(&mut self, obj: ObjRef, tib: TibId) {
+        debug_assert_eq!(
+            self.heap.object(obj).class,
+            self.tibs[tib.index()].class,
+            "TIB flip must preserve the type-information entry"
+        );
+        self.heap.object_mut(obj).tib = tib;
+        self.stats.tib_flips += 1;
+    }
+
+    /// The class TIB id of `class`.
+    pub fn class_tib(&self, class: ClassId) -> TibId {
+        self.class_tibs[class.index()]
+    }
+
+    /// Sets the statically-bound dispatch override for `mid` (`None`
+    /// restores the general code) — the JTOC patching of Fig. 4/5 for
+    /// static and `invokespecial`-bound methods.
+    pub fn set_static_override(&mut self, mid: MethodId, code: Option<CompiledId>) {
+        self.static_override[mid.index()] = code;
+        self.stats.code_patches += 1;
+    }
+
+    // ---------------------------------------------------------------
+    // Dispatch helpers
+    // ---------------------------------------------------------------
+
+    /// Cached `invokespecial` resolution.
+    pub fn resolve_special_cached(&mut self, class: ClassId, sel: SelectorId) -> Option<MethodId> {
+        if let Some(&m) = self.special_resolution.get(&(class.0, sel.0)) {
+            return Some(m);
+        }
+        let m = self.program.resolve_special(class, sel)?;
+        self.special_resolution.insert((class.0, sel.0), m);
+        Some(m)
+    }
+
+    // ---------------------------------------------------------------
+    // Heap & values
+    // ---------------------------------------------------------------
+
+    /// Allocates an instance of `class` with zeroed fields, running GC if
+    /// needed; charges allocation cycles.
+    ///
+    /// # Errors
+    /// Returns [`RunError::OutOfMemory`] when even a full collection cannot
+    /// free enough space.
+    pub fn alloc_object(&mut self, class: ClassId) -> Result<ObjRef, RunError> {
+        let fields = self.field_templates[class.index()].clone();
+        let bytes = 16 + 8 * fields.len();
+        self.maybe_gc(bytes);
+        self.charge_alloc(bytes);
+        let tib = self.class_tibs[class.index()];
+        self.heap.alloc_object(class, tib, fields)
+    }
+
+    /// Allocates an array, running GC if needed; charges allocation cycles.
+    ///
+    /// # Errors
+    /// Returns [`RunError::NegativeArraySize`] or [`RunError::OutOfMemory`].
+    pub fn alloc_array(
+        &mut self,
+        kind: dchm_bytecode::ElemKind,
+        len: i64,
+    ) -> Result<ObjRef, RunError> {
+        let bytes = 16 + 8 * len.max(0) as usize;
+        self.maybe_gc(bytes);
+        self.charge_alloc(bytes);
+        self.heap.alloc_array(kind, len)
+    }
+
+    fn charge_alloc(&mut self, bytes: usize) {
+        let cycles = (bytes as u64 / 8) * CostModel::ALLOC_COST_PER_WORD;
+        self.clock += cycles;
+        self.stats.exec_cycles += cycles;
+    }
+
+    fn maybe_gc(&mut self, bytes: usize) {
+        if self.heap.needs_gc(bytes) {
+            self.gc_now();
+        }
+    }
+
+    /// Runs a collection with roots from frames, statics and host handles.
+    pub fn gc_now(&mut self) {
+        let mut roots: Vec<ObjRef> = Vec::new();
+        for f in &self.frames {
+            for v in &f.regs {
+                if let Value::Ref(r) = v {
+                    roots.push(*r);
+                }
+            }
+        }
+        for v in &self.statics {
+            if let Value::Ref(r) = v {
+                roots.push(*r);
+            }
+        }
+        roots.extend(self.handles.iter().copied());
+        let cycles = self.heap.gc(roots.into_iter());
+        self.clock += cycles;
+        self.stats.gc_cycles += cycles;
+    }
+
+    /// Registers a host-held GC root.
+    pub fn add_handle(&mut self, r: ObjRef) {
+        self.handles.push(r);
+    }
+
+    /// Host helper: allocates an int array initialized from `data`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn alloc_int_array(&mut self, data: &[i64]) -> Result<ObjRef, RunError> {
+        let r = self.alloc_array(dchm_bytecode::ElemKind::Int, data.len() as i64)?;
+        let arr = self.heap.array_mut(r);
+        for (slot, v) in arr.elems.iter_mut().zip(data) {
+            *slot = Value::Int(*v);
+        }
+        Ok(r)
+    }
+
+    /// Reads a static field.
+    pub fn get_static(&self, field: FieldId) -> Value {
+        self.statics[self.program.field(field).slot as usize]
+    }
+
+    /// Writes a static field (host-side; does not fire patch points).
+    pub fn set_static(&mut self, field: FieldId, v: Value) {
+        self.statics[self.program.field(field).slot as usize] = v;
+    }
+
+    /// Reads an instance field of a heap object (host-side helper).
+    pub fn get_field(&self, obj: ObjRef, field: FieldId) -> Value {
+        self.heap.object(obj).fields[self.program.field(field).slot as usize]
+    }
+
+    /// Modeled seconds elapsed on the cycle clock.
+    pub fn seconds(&self) -> f64 {
+        CostModel::cycles_to_secs(self.clock)
+    }
+}
+
+fn collect_iface_sels(p: &Program, iface: ClassId, out: &mut HashSet<SelectorId>) {
+    for &m in &p.class(iface).methods {
+        out.insert(p.method(m).selector);
+    }
+    for &parent in &p.class(iface).interfaces {
+        collect_iface_sels(p, parent, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_bytecode::{MethodSig, ProgramBuilder, Ty};
+
+    fn simple_program() -> (Program, ClassId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C").build();
+        pb.instance_field(c, "x", Ty::Int);
+        let mut m = pb.method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+        let r = m.imm(7);
+        m.ret(Some(r));
+        let mid = m.build();
+        pb.trivial_ctor(c);
+        (pb.finish().unwrap(), c, mid)
+    }
+
+    #[test]
+    fn class_tibs_created_at_startup() {
+        let (p, c, _) = simple_program();
+        let st = VmState::new(p, VmConfig::default());
+        assert_eq!(st.tibs.len(), 1);
+        assert_eq!(st.tibs[0].class, c);
+        assert_eq!(st.tibs[0].kind, TibKind::Class);
+        assert!(st.stats.class_tib_bytes > 0);
+        assert_eq!(st.stats.special_tib_bytes, 0);
+    }
+
+    #[test]
+    fn lazy_then_compiled_installs_into_tib() {
+        let (p, c, mid) = simple_program();
+        let mut st = VmState::new(p, VmConfig::default());
+        let vslot = st.program.class(c).vtable_slot(st.program.method(mid).selector);
+        let vslot = vslot.unwrap();
+        assert_eq!(st.tib_slot(st.class_tib(c), vslot), CodeSlot::Lazy);
+        let cid = st.ensure_compiled(mid);
+        assert_eq!(st.tib_slot(st.class_tib(c), vslot), CodeSlot::Code(cid));
+        assert_eq!(st.level_of(mid), Some(0));
+        assert!(st.stats.compile_cycles > 0);
+        // Second call is a no-op.
+        assert_eq!(st.ensure_compiled(mid), cid);
+        assert_eq!(st.stats.compiles_by_level[0], 1);
+    }
+
+    #[test]
+    fn recompile_replaces_valid_code_and_queues_event() {
+        let (p, _, mid) = simple_program();
+        let mut st = VmState::new(p, VmConfig::default());
+        st.ensure_compiled(mid);
+        let ev = st.take_recompile_events();
+        assert_eq!(ev, vec![(mid, 0)]);
+        let c2 = st.recompile(mid, 2);
+        assert_eq!(st.general_code[mid.index()], Some(c2));
+        assert_eq!(st.level_of(mid), Some(2));
+        assert_eq!(st.take_recompile_events(), vec![(mid, 2)]);
+        assert_eq!(st.stats.per_method[mid.index()].recompiles, 1);
+    }
+
+    #[test]
+    fn accelerated_methods_jump_to_opt2() {
+        let (p, _, mid) = simple_program();
+        let mut cfg = VmConfig::default();
+        cfg.accelerated_methods.insert(mid);
+        let mut st = VmState::new(p, cfg);
+        st.ensure_compiled(mid);
+        assert_eq!(st.level_of(mid), Some(2));
+        let levels: Vec<u8> = st.take_recompile_events().iter().map(|e| e.1).collect();
+        assert_eq!(levels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn special_tib_is_copy_sharing_imt() {
+        let (p, c, mid) = simple_program();
+        let mut st = VmState::new(p, VmConfig::default());
+        st.ensure_compiled(mid);
+        let special = st.create_special_tib(c, 0);
+        let class_tib = st.class_tib(c);
+        assert_eq!(
+            st.tibs[special.index()].methods,
+            st.tibs[class_tib.index()].methods
+        );
+        assert_eq!(st.tibs[special.index()].imt, st.tibs[class_tib.index()].imt);
+        assert_eq!(
+            st.tibs[special.index()].kind,
+            TibKind::Special { state_index: 0 }
+        );
+        // Type-information entry identical (checkcast transparency).
+        assert_eq!(st.tibs[special.index()].class, c);
+        assert!(st.stats.special_tib_bytes > 0);
+        assert_eq!(st.stats.special_tibs, 1);
+    }
+
+    #[test]
+    fn object_tib_flip() {
+        let (p, c, _) = simple_program();
+        let mut st = VmState::new(p, VmConfig::default());
+        let obj = st.alloc_object(c).unwrap();
+        let special = st.create_special_tib(c, 0);
+        st.set_object_tib(obj, special);
+        assert_eq!(st.heap.object(obj).tib, special);
+        assert_eq!(st.stats.tib_flips, 1);
+        // Class (type info) untouched.
+        assert_eq!(st.heap.object(obj).class, c);
+    }
+
+    #[test]
+    fn sync_special_skips_managed_slots() {
+        let (p, c, mid) = simple_program();
+        let mut st = VmState::new(p, VmConfig::default());
+        let special = st.create_special_tib(c, 0);
+        let cid = st.ensure_compiled(mid); // updates class TIB only
+        let vslot = st
+            .program
+            .class(c)
+            .vtable_slot(st.program.method(mid).selector)
+            .unwrap();
+        // Special still Lazy until synced.
+        assert_eq!(st.tib_slot(special, vslot), CodeSlot::Lazy);
+        st.sync_special_from_class(c, special, &[]);
+        assert_eq!(st.tib_slot(special, vslot), CodeSlot::Code(cid));
+        // With the slot skipped, it would have stayed Lazy.
+        let special2 = st.create_special_tib(c, 1);
+        st.set_tib_slot(special2, vslot, CodeSlot::Lazy);
+        st.sync_special_from_class(c, special2, &[vslot]);
+        assert_eq!(st.tib_slot(special2, vslot), CodeSlot::Lazy);
+    }
+
+    #[test]
+    fn gc_preserves_static_roots() {
+        let (p, c, _) = simple_program();
+        let mut st = VmState::new(p, VmConfig::default());
+        let obj = st.alloc_object(c).unwrap();
+        let dead = st.alloc_object(c).unwrap();
+        let f = st.program.field_by_name(c, "x"); // instance field, not a root path
+        assert!(f.is_some());
+        st.handles.push(obj);
+        st.gc_now();
+        assert!(st.heap.is_live(obj));
+        assert!(!st.heap.is_live(dead));
+    }
+
+    #[test]
+    fn static_override_roundtrip() {
+        let (p, _, mid) = simple_program();
+        let mut st = VmState::new(p, VmConfig::default());
+        let cid = st.ensure_compiled(mid);
+        st.set_static_override(mid, Some(cid));
+        assert_eq!(st.static_override[mid.index()], Some(cid));
+        st.set_static_override(mid, None);
+        assert_eq!(st.static_override[mid.index()], None);
+        assert_eq!(st.stats.code_patches, 2);
+    }
+}

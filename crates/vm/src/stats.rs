@@ -1,0 +1,130 @@
+//! Execution, compilation and space statistics — the raw material for every
+//! figure in the paper's evaluation.
+
+use dchm_bytecode::MethodId;
+
+/// Per-method profile counters. Sampling information is keyed by *method*,
+/// not compiled method, so general and special compiled code share hotness
+/// (paper Sec. 3.2.3, last paragraph).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MethodProfile {
+    /// Invocation count.
+    pub invocations: u64,
+    /// Adaptive-system samples attributed to this method.
+    pub samples: u64,
+    /// Cycles executed while this method's frame was on top.
+    pub cycles: u64,
+    /// Current optimization level of the valid general compiled method
+    /// (`None` until first compiled).
+    pub level: Option<u8>,
+    /// Times recompiled (level promotions).
+    pub recompiles: u32,
+}
+
+/// Whole-VM statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VmStats {
+    /// Cycles spent executing application code.
+    pub exec_cycles: u64,
+    /// Cycles spent in the optimizing compiler (all levels, specials
+    /// included).
+    pub compile_cycles: u64,
+    /// Cycles spent compiling *special* (mutation) versions only.
+    pub special_compile_cycles: u64,
+    /// Cycles spent in GC.
+    pub gc_cycles: u64,
+    /// Ops executed.
+    pub ops_executed: u64,
+    /// Samples taken by the adaptive system.
+    pub samples_taken: u64,
+    /// Number of general compiled methods ever produced, by level (0, 1, 2).
+    pub compiles_by_level: [u64; 3],
+    /// Bytes of general compiled code ever produced, by level.
+    pub code_bytes_by_level: [u64; 3],
+    /// Number of special (state-specialized) compiled methods produced.
+    pub special_compiles: u64,
+    /// Bytes of special compiled code produced.
+    pub special_code_bytes: u64,
+    /// Bytes of class TIBs (created at startup).
+    pub class_tib_bytes: u64,
+    /// Bytes of special TIBs (created by the mutation engine) — Figure 12.
+    pub special_tib_bytes: u64,
+    /// Number of special TIBs created.
+    pub special_tibs: u64,
+    /// Object-TIB-pointer flips performed by the mutation engine.
+    pub tib_flips: u64,
+    /// Code-pointer patches applied to TIBs/JTOC by the engine.
+    pub code_patches: u64,
+    /// Per-method profiles, indexed by [`MethodId`].
+    pub per_method: Vec<MethodProfile>,
+}
+
+impl VmStats {
+    /// Creates stats sized for `num_methods`.
+    pub fn new(num_methods: usize) -> Self {
+        VmStats {
+            per_method: vec![MethodProfile::default(); num_methods],
+            ..Default::default()
+        }
+    }
+
+    /// Total modeled cycles: execution + compilation + GC. This is the
+    /// "wall clock" all throughput numbers divide by.
+    pub fn total_cycles(&self) -> u64 {
+        self.exec_cycles + self.compile_cycles + self.gc_cycles
+    }
+
+    /// Total bytes of opt-compiled code (general, all levels).
+    pub fn general_code_bytes(&self) -> u64 {
+        self.code_bytes_by_level.iter().sum()
+    }
+
+    /// Profile for one method.
+    ///
+    /// # Panics
+    /// Panics if `m` is out of range.
+    pub fn method(&self, m: MethodId) -> &MethodProfile {
+        &self.per_method[m.index()]
+    }
+
+    /// Methods sorted by self-cycles, hottest first — the reproduction's
+    /// stand-in for the paper's VTune hot-function list.
+    pub fn hot_methods(&self) -> Vec<(MethodId, MethodProfile)> {
+        let mut v: Vec<(MethodId, MethodProfile)> = self
+            .per_method
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (MethodId::from_index(i), *p))
+            .collect();
+        v.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut s = VmStats::new(2);
+        s.exec_cycles = 10;
+        s.compile_cycles = 5;
+        s.gc_cycles = 1;
+        assert_eq!(s.total_cycles(), 16);
+        s.code_bytes_by_level = [100, 200, 300];
+        assert_eq!(s.general_code_bytes(), 600);
+    }
+
+    #[test]
+    fn hot_methods_sorted_desc() {
+        let mut s = VmStats::new(3);
+        s.per_method[0].cycles = 5;
+        s.per_method[1].cycles = 50;
+        s.per_method[2].cycles = 10;
+        let hot = s.hot_methods();
+        assert_eq!(hot[0].0, MethodId(1));
+        assert_eq!(hot[1].0, MethodId(2));
+        assert_eq!(hot[2].0, MethodId(0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property test: the optimizing compiler preserves semantics.
+//!
+//! Random programs (arithmetic, branches, loops, field traffic) are executed
+//! twice — compiled at opt0 and at opt2 (constant propagation, branch
+//! folding, strength reduction, DCE, inlining) — and must produce identical
+//! results, output checksums and traps.
+
+use proptest::prelude::*;
+
+use dchm_bytecode::{CmpOp, IBinOp, MethodSig, ProgramBuilder, Ty, Value};
+use dchm_vm::{RunError, Vm, VmConfig};
+
+const POOL: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Const(usize, i64),
+    Bin(IBinOp, usize, usize, usize),
+    StoreField(usize, usize),
+    LoadField(usize, usize),
+    Sink(usize),
+    If(CmpOp, usize, usize, Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+fn leaf() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0..POOL, -8i64..9).prop_map(|(r, v)| Stmt::Const(r, v)),
+        (
+            prop_oneof![
+                Just(IBinOp::Add),
+                Just(IBinOp::Sub),
+                Just(IBinOp::Mul),
+                Just(IBinOp::Div),
+                Just(IBinOp::Rem),
+                Just(IBinOp::And),
+                Just(IBinOp::Or),
+                Just(IBinOp::Xor),
+            ],
+            0..POOL,
+            0..POOL,
+            0..POOL
+        )
+            .prop_map(|(op, d, a, b)| Stmt::Bin(op, d, a, b)),
+        (0..2usize, 0..POOL).prop_map(|(f, r)| Stmt::StoreField(f, r)),
+        (0..POOL, 0..2usize).prop_map(|(r, f)| Stmt::LoadField(r, f)),
+        (0..POOL).prop_map(Stmt::Sink),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    leaf().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Ge)
+                ],
+                0..POOL,
+                0..POOL,
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(c, a, b, t, e)| Stmt::If(c, a, b, t, e)),
+            (1u8..4, prop::collection::vec(inner, 1..4))
+                .prop_map(|(n, body)| Stmt::Loop(n, body)),
+        ]
+    })
+}
+
+fn emit(
+    m: &mut dchm_bytecode::MethodBuilder<'_>,
+    pool: &[dchm_bytecode::Reg],
+    obj: dchm_bytecode::Reg,
+    fields: &[dchm_bytecode::FieldId],
+    stmts: &[Stmt],
+) {
+    for s in stmts {
+        match s {
+            Stmt::Const(r, v) => m.const_i(pool[*r], *v),
+            Stmt::Bin(op, d, a, b) => m.ibin(*op, pool[*d], pool[*a], pool[*b]),
+            Stmt::StoreField(f, r) => m.put_field(obj, fields[*f], pool[*r]),
+            Stmt::LoadField(r, f) => m.get_field(pool[*r], obj, fields[*f]),
+            Stmt::Sink(r) => m.sink_int(pool[*r]),
+            Stmt::If(op, a, b, then_s, else_s) => {
+                let l_else = m.label();
+                let l_end = m.label();
+                let neg = op.negated();
+                m.br_icmp(neg, pool[*a], pool[*b], l_else);
+                emit(m, pool, obj, fields, then_s);
+                m.jmp(l_end);
+                m.bind(l_else);
+                emit(m, pool, obj, fields, else_s);
+                m.bind(l_end);
+            }
+            Stmt::Loop(n, body) => {
+                let cnt = m.reg();
+                m.const_i(cnt, *n as i64);
+                let head = m.label();
+                let done = m.label();
+                m.bind(head);
+                let zero = m.imm(0);
+                m.br_icmp(CmpOp::Le, cnt, zero, done);
+                emit(m, pool, obj, fields, body);
+                let one = m.imm(1);
+                m.isub(cnt, cnt, one);
+                m.jmp(head);
+                m.bind(done);
+            }
+        }
+    }
+}
+
+fn build_and_run(stmts: &[Stmt], level: u8) -> (Result<Option<Value>, RunError>, u64) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("P").build();
+    let f0 = pb.instance_field(c, "f0", Ty::Int);
+    let f1 = pb.instance_field(c, "f1", Ty::Int);
+    pb.trivial_ctor(c);
+    let mut m = pb.static_method(c, "main", MethodSig::new(vec![], Some(Ty::Int)));
+    let obj = m.reg();
+    m.new_init(obj, c, vec![]);
+    let pool: Vec<_> = (0..POOL).map(|_| m.reg()).collect();
+    for (i, &r) in pool.iter().enumerate() {
+        m.const_i(r, i as i64 + 1);
+    }
+    emit(&mut m, &pool, obj, &[f0, f1], stmts);
+    for &r in &pool {
+        m.sink_int(r);
+    }
+    m.ret(Some(pool[0]));
+    let main = m.build();
+    pb.set_entry(main);
+    let p = pb.finish().expect("generated program verifies");
+
+    let mut cfg = VmConfig::default();
+    cfg.initial_level = level;
+    cfg.sample_period = u64::MAX; // no recompilation mid-run
+    cfg.fuel = Some(2_000_000);
+    let mut vm = Vm::new(p, cfg);
+    let r = vm.run_entry();
+    (r, vm.state.output.checksum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn opt2_matches_opt0(stmts in prop::collection::vec(stmt(), 1..12)) {
+        let (r0, sum0) = build_and_run(&stmts, 0);
+        let (r2, sum2) = build_and_run(&stmts, 2);
+        prop_assert_eq!(&r0, &r2, "result diverged");
+        prop_assert_eq!(sum0, sum2, "output checksum diverged");
+    }
+
+    #[test]
+    fn opt1_matches_opt0(stmts in prop::collection::vec(stmt(), 1..12)) {
+        let (r0, sum0) = build_and_run(&stmts, 0);
+        let (r1, sum1) = build_and_run(&stmts, 1);
+        prop_assert_eq!(&r0, &r1);
+        prop_assert_eq!(sum0, sum1);
+    }
+}

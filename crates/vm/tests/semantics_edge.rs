@@ -1,0 +1,179 @@
+//! Edge-case semantics: numeric conversions, wrapping arithmetic, deep
+//! recursion (the frame stack is heap-allocated, so Java-scale recursion
+//! depth must not overflow the host stack), and intrinsic behaviour.
+
+use dchm_bytecode::{CmpOp, IntrinsicKind, MethodSig, ProgramBuilder, Ty, Value};
+use dchm_vm::{Vm, VmConfig};
+
+fn eval_main(build: impl FnOnce(&mut dchm_bytecode::MethodBuilder<'_>)) -> Value {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C").build();
+    let mut m = pb.static_method(c, "main", MethodSig::new(vec![], Some(Ty::Int)));
+    build(&mut m);
+    let main = m.build();
+    pb.set_entry(main);
+    let p = pb.finish().unwrap();
+    let mut vm = Vm::new(p, VmConfig::default());
+    vm.run_entry().unwrap().unwrap()
+}
+
+#[test]
+fn d2i_saturates_and_nan_is_zero() {
+    let v = eval_main(|m| {
+        let acc = m.reg();
+        m.const_i(acc, 0);
+        for (val, expect) in [
+            (1e300, i64::MAX),
+            (-1e300, i64::MIN),
+            (f64::NAN, 0),
+            (2.9, 2),
+            (-2.9, -2),
+        ] {
+            let d = m.imm_d(val);
+            let i = m.reg();
+            m.d2i(i, d);
+            let e = m.imm(expect);
+            let ok = m.reg();
+            m.icmp(CmpOp::Eq, ok, i, e);
+            m.iadd(acc, acc, ok);
+        }
+        m.ret(Some(acc));
+    });
+    assert_eq!(v, Value::Int(5));
+}
+
+#[test]
+fn integer_arithmetic_wraps() {
+    let v = eval_main(|m| {
+        let max = m.imm(i64::MAX);
+        let one = m.imm(1);
+        let r = m.reg();
+        m.iadd(r, max, one);
+        m.ret(Some(r));
+    });
+    assert_eq!(v, Value::Int(i64::MIN));
+
+    let v = eval_main(|m| {
+        let min = m.imm(i64::MIN);
+        let r = m.reg();
+        m.ineg(r, min);
+        m.ret(Some(r));
+    });
+    assert_eq!(v, Value::Int(i64::MIN)); // -MIN wraps to MIN
+}
+
+#[test]
+fn shift_counts_are_mod_64() {
+    let v = eval_main(|m| {
+        let one = m.imm(1);
+        let sh = m.imm(65); // behaves as << 1
+        let r = m.reg();
+        m.ibin(dchm_bytecode::IBinOp::Shl, r, one, sh);
+        m.ret(Some(r));
+    });
+    assert_eq!(v, Value::Int(2));
+}
+
+#[test]
+fn min_max_abs_intrinsics() {
+    let v = eval_main(|m| {
+        let a = m.imm(-7);
+        let b = m.imm(3);
+        let lo = m.reg();
+        m.intrinsic(Some(lo), IntrinsicKind::IMin, vec![a, b]);
+        let hi = m.reg();
+        m.intrinsic(Some(hi), IntrinsicKind::IMax, vec![a, b]);
+        let abs = m.reg();
+        m.intrinsic(Some(abs), IntrinsicKind::IAbs, vec![lo]);
+        // abs(min(-7,3)) * 100 + max(-7,3) = 703
+        let hundred = m.imm(100);
+        let r = m.reg();
+        m.imul(r, abs, hundred);
+        m.iadd(r, r, hi);
+        m.ret(Some(r));
+    });
+    assert_eq!(v, Value::Int(703));
+}
+
+#[test]
+fn dsqrt_and_dabs() {
+    let v = eval_main(|m| {
+        let x = m.imm_d(-16.0);
+        let ax = m.reg();
+        m.intrinsic(Some(ax), IntrinsicKind::DAbs, vec![x]);
+        let r = m.reg();
+        m.dsqrt(r, ax);
+        let i = m.reg();
+        m.d2i(i, r);
+        m.ret(Some(i));
+    });
+    assert_eq!(v, Value::Int(4));
+}
+
+/// 200k-deep self-recursion through virtual dispatch: the interpreter's
+/// activation stack is a heap `Vec`, so this must not overflow the host
+/// stack (a native-recursion evaluator would die at a few thousand frames).
+#[test]
+fn deep_recursion_does_not_overflow_host_stack() {
+    let mut pb = ProgramBuilder::new();
+    let helper = pb.class("Deep").build();
+    pb.trivial_ctor(helper);
+    let mut m = pb.method(helper, "go", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let this = m.this();
+    let n = m.param(0);
+    let base = m.label();
+    m.br_icmp_imm(CmpOp::Le, n, 0, base);
+    let one = m.imm(1);
+    let n1 = m.reg();
+    m.isub(n1, n, one);
+    let r = m.reg();
+    m.call_virtual(Some(r), this, "go", vec![n1]); // self-recursion by name
+    m.iadd(r, r, one);
+    m.ret(Some(r));
+    m.bind(base);
+    let zero = m.imm(0);
+    m.ret(Some(zero));
+    m.build();
+
+    let mut m = pb.static_method(helper, "main", MethodSig::new(vec![], Some(Ty::Int)));
+    let o = m.reg();
+    m.new_init(o, helper, vec![]);
+    let depth = m.imm(200_000);
+    let out = m.reg();
+    m.call_virtual(Some(out), o, "go", vec![depth]);
+    m.ret(Some(out));
+    let main = m.build();
+    pb.set_entry(main);
+    let p = pb.finish().unwrap();
+
+    let mut cfg = VmConfig::default();
+    // Recursion this deep with inlining is fine, but keep the test focused
+    // on frame-stack depth at the baseline tier.
+    cfg.sample_period = u64::MAX;
+    let mut vm = Vm::new(p, cfg);
+    assert_eq!(vm.run_entry().unwrap(), Some(Value::Int(200_000)));
+}
+
+#[test]
+fn checkcast_null_passes_and_bad_cast_traps() {
+    let mut pb = ProgramBuilder::new();
+    let a = pb.class("A").build();
+    let b = pb.class("B").extends(a).build();
+    let other = pb.class("Other").build();
+    pb.trivial_ctor(a);
+    pb.trivial_ctor(other);
+    let _ = b;
+    let mut m = pb.static_method(a, "main", MethodSig::void());
+    let n = m.reg();
+    m.const_null(n);
+    m.check_cast(n, b); // null passes any cast
+    let o = m.reg();
+    m.new_init(o, other, vec![]);
+    m.check_cast(o, a); // Other is not an A -> trap
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+    let p = pb.finish().unwrap();
+    let mut vm = Vm::new(p, VmConfig::default());
+    assert_eq!(vm.run_entry().unwrap_err(), dchm_vm::RunError::ClassCast);
+}

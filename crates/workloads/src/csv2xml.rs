@@ -1,0 +1,301 @@
+//! CSVToXML — a character-stream CSV → XML converter modeled on the
+//! CSVToXML 1.1 tool the paper measures.
+//!
+//! The `Converter` carries its configuration (`delimiter`, `quoted`) in
+//! instance fields set once at construction; the per-character loop of
+//! `convert()` compares against and branches on them constantly. One
+//! converter configuration dominates a run, so the class has a single
+//! distinct hot state — the paper's observation that "many classes analyzed
+//! have a distinct hot state".
+
+use crate::util::add_rng;
+use crate::{Driver, Scale, Workload};
+use dchm_bytecode::{CmpOp, ElemKind, MethodSig, ProgramBuilder, Ty};
+
+const LT: i64 = '<' as i64;
+const GT: i64 = '>' as i64;
+const SLASH: i64 = '/' as i64;
+const C: i64 = 'c' as i64;
+const NL: i64 = '\n' as i64;
+const QUOTE: i64 = '"' as i64;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (input_len, conversions) = match scale {
+        Scale::Small => (400, 5),
+        Scale::Full => (4_000, 60),
+    };
+
+    let mut pb = ProgramBuilder::new();
+    let rng = add_rng(&mut pb, 0xc5b2);
+
+    // class Converter { private int delimiter; private int quoted; }
+    let conv = pb.class("Converter").build();
+    let delim = pb.private_field(conv, "delimiter", Ty::Int);
+    let quoted = pb.private_field(conv, "quoted", Ty::Int);
+    let mut m = pb.ctor(conv, vec![Ty::Int, Ty::Int]);
+    let this = m.this();
+    let d = m.param(0);
+    m.put_field(this, delim, d);
+    let q = m.param(1);
+    m.put_field(this, quoted, q);
+    m.ret(None);
+    m.build();
+
+    // int convert(int[] input, int[] output): returns output length.
+    let mut m = pb.method(
+        conv,
+        "convert",
+        MethodSig::new(
+            vec![Ty::Arr(ElemKind::Int), Ty::Arr(ElemKind::Int)],
+            Some(Ty::Int),
+        ),
+    );
+    let this = m.this();
+    let input = m.param(0);
+    let output = m.param(1);
+    let n = m.reg();
+    m.alen(n, input);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let o = m.reg();
+    m.const_i(o, 0);
+    // Small emit helper: out[o++] = ch (as closure over builder).
+    macro_rules! emit_const {
+        ($m:expr, $ch:expr) => {{
+            let c = $m.imm($ch);
+            $m.astore(output, o, c);
+            $m.iadd_imm(o, o, 1);
+        }};
+    }
+
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let ch = m.reg();
+    m.aload(ch, input, i);
+
+    let dv = m.reg();
+    m.get_field(dv, this, delim);
+    let not_delim = m.label();
+    let next = m.label();
+    m.br_icmp(CmpOp::Ne, ch, dv, not_delim);
+    // Delimiter: close a cell -> "</c><c>"
+    emit_const!(m, LT);
+    emit_const!(m, SLASH);
+    emit_const!(m, C);
+    emit_const!(m, GT);
+    emit_const!(m, LT);
+    emit_const!(m, C);
+    emit_const!(m, GT);
+    m.jmp(next);
+    m.bind(not_delim);
+
+    let nlv = m.imm(NL);
+    let not_nl = m.label();
+    m.br_icmp(CmpOp::Ne, ch, nlv, not_nl);
+    // Newline: close row -> "</r><r>"
+    emit_const!(m, LT);
+    emit_const!(m, SLASH);
+    emit_const!(m, 'r' as i64);
+    emit_const!(m, GT);
+    emit_const!(m, LT);
+    emit_const!(m, 'r' as i64);
+    emit_const!(m, GT);
+    m.jmp(next);
+    m.bind(not_nl);
+
+    // Payload character; quoting mode wraps it.
+    let qv = m.reg();
+    m.get_field(qv, this, quoted);
+    let unquoted = m.label();
+    m.br_icmp_imm(CmpOp::Eq, qv, 0, unquoted);
+    emit_const!(m, QUOTE);
+    m.astore(output, o, ch);
+    m.iadd_imm(o, o, 1);
+    emit_const!(m, QUOTE);
+    m.jmp(next);
+    m.bind(unquoted);
+    m.astore(output, o, ch);
+    m.iadd_imm(o, o, 1);
+    m.bind(next);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(o));
+    m.build();
+
+    // ---- auxiliary passes a real converter performs ----
+    let tools = pb.class("XmlTools").build();
+    // int validate(int[] input): counts structural characters.
+    let mut m = pb.static_method(
+        tools,
+        "validate",
+        MethodSig::new(vec![Ty::Arr(ElemKind::Int)], Some(Ty::Int)),
+    );
+    let input = m.param(0);
+    let n = m.reg();
+    m.alen(n, input);
+    let count = m.reg();
+    m.const_i(count, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let ch = m.reg();
+    m.aload(ch, input, i);
+    let next = m.label();
+    let comma = m.imm(',' as i64);
+    let hit = m.label();
+    m.br_icmp(CmpOp::Eq, ch, comma, hit);
+    let nl = m.imm(NL);
+    m.br_icmp(CmpOp::Ne, ch, nl, next);
+    m.bind(hit);
+    m.iadd_imm(count, count, 1);
+    m.bind(next);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(count));
+    let validate = m.build();
+
+    // int checksum(int[] buf, int n): order-sensitive digest of the output.
+    let mut m = pb.static_method(
+        tools,
+        "checksum",
+        MethodSig::new(vec![Ty::Arr(ElemKind::Int), Ty::Int], Some(Ty::Int)),
+    );
+    let buf = m.param(0);
+    let n = m.param(1);
+    let acc = m.reg();
+    m.const_i(acc, 7);
+    let hi = m.reg();
+    m.const_i(hi, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let ch = m.reg();
+    m.aload(ch, buf, i);
+    let thirty1 = m.imm(31);
+    m.imul(acc, acc, thirty1);
+    m.iadd(acc, acc, ch);
+    m.intrinsic(
+        Some(hi),
+        dchm_bytecode::IntrinsicKind::IMax,
+        vec![hi, ch],
+    );
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.iadd(acc, acc, hi);
+    m.ret(Some(acc));
+    let checksum = m.build();
+
+    // static void main()
+    let app = pb.class("CSVToXML").build();
+    let mut m = pb.static_method(app, "main", MethodSig::void());
+    // Generate the input: random letters with delimiters and newlines.
+    let len = m.imm(input_len);
+    let input = m.reg();
+    m.new_arr(input, ElemKind::Int, len);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let gh = m.label();
+    let gd = m.label();
+    m.bind(gh);
+    m.br_icmp(CmpOp::Ge, i, len, gd);
+    let ten = m.imm(10);
+    let roll = m.reg();
+    m.call_static(Some(roll), rng.next, vec![ten]);
+    let is_delim = m.label();
+    let is_nl = m.label();
+    let put = m.label();
+    let chr = m.reg();
+    let zero = m.imm(0);
+    m.br_icmp(CmpOp::Eq, roll, zero, is_delim);
+    let nine = m.imm(9);
+    m.br_icmp(CmpOp::Eq, roll, nine, is_nl);
+    let twentysix = m.imm(26);
+    let letter = m.reg();
+    m.call_static(Some(letter), rng.next, vec![twentysix]);
+    let base = m.imm('a' as i64);
+    m.iadd(chr, letter, base);
+    m.jmp(put);
+    m.bind(is_delim);
+    m.const_i(chr, ',' as i64);
+    m.jmp(put);
+    m.bind(is_nl);
+    m.const_i(chr, NL);
+    m.bind(put);
+    m.astore(input, i, chr);
+    m.iadd_imm(i, i, 1);
+    m.jmp(gh);
+    m.bind(gd);
+
+    // Output buffer: 8x input.
+    let eight = m.imm(8);
+    let olen = m.reg();
+    m.imul(olen, len, eight);
+    let output = m.reg();
+    m.new_arr(output, ElemKind::Int, olen);
+
+    // One converter (comma, quoted) reused across conversions.
+    let comma = m.imm(',' as i64);
+    let one = m.imm(1);
+    let cobj = m.reg();
+    m.new_obj(cobj, conv);
+    m.call_ctor(cobj, conv, vec![comma, one]);
+
+    let r = m.reg();
+    m.const_i(r, 0);
+    let rh = m.label();
+    let rd = m.label();
+    m.bind(rh);
+    let reps = m.imm(conversions);
+    m.br_icmp(CmpOp::Ge, r, reps, rd);
+    let valid = m.reg();
+    m.call_static(Some(valid), validate, vec![input]);
+    m.sink_int(valid);
+    let outn = m.reg();
+    m.call_virtual(Some(outn), cobj, "convert", vec![input, output]);
+    m.sink_int(outn);
+    let digest = m.reg();
+    m.call_static(Some(digest), checksum, vec![output, outn]);
+    m.sink_int(digest);
+    m.iadd_imm(r, r, 1);
+    m.jmp(rh);
+    m.bind(rd);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+
+    Workload {
+        name: "CSVToXML",
+        program: pb.finish().expect("CSVToXML verifies"),
+        heap_bytes: 50 << 20,
+        driver: Driver::Entry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_vm::Vm;
+
+    #[test]
+    fn converts_deterministically() {
+        let w = build(Scale::Small);
+        let mut a = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut a).unwrap();
+        let mut b = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut b).unwrap();
+        assert_eq!(a.state.output.checksum, b.state.output.checksum);
+        assert_ne!(a.state.output.checksum, 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Java2XHTML — a Java-source-to-XHTML colorizer modeled on the
+//! Java2XHTML 2.0 tool the paper measures.
+//!
+//! The `Formatter` is configured once (`style`: plain vs. colored,
+//! `tag` character class) and then tokenizes character streams, branching
+//! on its configuration for every token boundary. The tokenizer's *cursor*
+//! state (`mode`) changes on almost every character — a field EQ 1 must
+//! reject (hot writes), in contrast with the read-only `style`.
+
+use crate::util::add_rng;
+use crate::{Driver, Scale, Workload};
+use dchm_bytecode::{CmpOp, ElemKind, MethodSig, ProgramBuilder, Ty};
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (input_len, passes) = match scale {
+        Scale::Small => (400, 5),
+        Scale::Full => (3_500, 70),
+    };
+
+    let mut pb = ProgramBuilder::new();
+    let rng = add_rng(&mut pb, 0x7a2a);
+
+    let fmt = pb.class("Formatter").build();
+    let style = pb.private_field(fmt, "style", Ty::Int); // 0 plain, 1 colored
+    let mode = pb.instance_field(fmt, "mode", Ty::Int); // tokenizer cursor state
+    let mut m = pb.ctor(fmt, vec![Ty::Int]);
+    let this = m.this();
+    let s = m.param(0);
+    m.put_field(this, style, s);
+    let z = m.imm(0);
+    m.put_field(this, mode, z);
+    m.ret(None);
+    m.build();
+
+    // int format(int[] input, int[] output) -> output length
+    let mut m = pb.method(
+        fmt,
+        "format",
+        MethodSig::new(
+            vec![Ty::Arr(ElemKind::Int), Ty::Arr(ElemKind::Int)],
+            Some(Ty::Int),
+        ),
+    );
+    let this = m.this();
+    let input = m.param(0);
+    let output = m.param(1);
+    let n = m.reg();
+    m.alen(n, input);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let o = m.reg();
+    m.const_i(o, 0);
+
+    macro_rules! emit {
+        ($m:expr, $ch:expr) => {{
+            let c = $m.imm($ch);
+            $m.astore(output, o, c);
+            $m.iadd_imm(o, o, 1);
+        }};
+    }
+
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let ch = m.reg();
+    m.aload(ch, input, i);
+
+    // Character class: letter (identifier) vs digit vs other.
+    let is_alpha = m.reg();
+    let a_lo = m.imm('a' as i64);
+    let ge_lo = m.reg();
+    m.icmp(CmpOp::Ge, ge_lo, ch, a_lo);
+    let a_hi = m.imm('z' as i64);
+    let le_hi = m.reg();
+    m.icmp(CmpOp::Le, le_hi, ch, a_hi);
+    m.ibin(dchm_bytecode::IBinOp::And, is_alpha, ge_lo, le_hi);
+    let is_digit = m.reg();
+    let d_lo = m.imm('0' as i64);
+    let ge_d = m.reg();
+    m.icmp(CmpOp::Ge, ge_d, ch, d_lo);
+    let d_hi = m.imm('9' as i64);
+    let le_d = m.reg();
+    m.icmp(CmpOp::Le, le_d, ch, d_hi);
+    m.ibin(dchm_bytecode::IBinOp::And, is_digit, ge_d, le_d);
+
+    // New token class.
+    let newmode = m.reg();
+    let set_ident = m.label();
+    let set_digit = m.label();
+    let have_mode = m.label();
+    m.br_if(is_alpha, set_ident);
+    m.br_if(is_digit, set_digit);
+    m.const_i(newmode, 0);
+    m.jmp(have_mode);
+    m.bind(set_ident);
+    m.const_i(newmode, 1);
+    m.jmp(have_mode);
+    m.bind(set_digit);
+    m.const_i(newmode, 2);
+    m.bind(have_mode);
+
+    // Token boundary? compare with the cursor field, update it (hot write).
+    let old = m.reg();
+    m.get_field(old, this, mode);
+    let no_boundary = m.label();
+    m.br_icmp(CmpOp::Eq, newmode, old, no_boundary);
+    m.put_field(this, mode, newmode);
+    // On a boundary, colored style emits a span tag; plain emits a space.
+    let sv = m.reg();
+    m.get_field(sv, this, style);
+    let plain = m.label();
+    let after_tag = m.label();
+    m.br_icmp_imm(CmpOp::Eq, sv, 0, plain);
+    emit!(m, '<' as i64);
+    emit!(m, 's' as i64);
+    // Colored style tags the token class.
+    let tagged = m.reg();
+    let base = m.imm('0' as i64);
+    m.iadd(tagged, newmode, base);
+    m.astore(output, o, tagged);
+    m.iadd_imm(o, o, 1);
+    emit!(m, '>' as i64);
+    m.jmp(after_tag);
+    m.bind(plain);
+    emit!(m, ' ' as i64);
+    m.bind(after_tag);
+    m.bind(no_boundary);
+
+    // Copy the character through.
+    m.astore(output, o, ch);
+    m.iadd_imm(o, o, 1);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(o));
+    m.build();
+
+    // ---- auxiliary passes the real tool performs ----
+    let stats = pb.class("SourceStats").build();
+    // int digest(int[] buf, int n): rolling hash over the emitted page.
+    let mut m = pb.static_method(
+        stats,
+        "digest",
+        MethodSig::new(vec![Ty::Arr(ElemKind::Int), Ty::Int], Some(Ty::Int)),
+    );
+    let buf = m.param(0);
+    let n = m.param(1);
+    let acc = m.reg();
+    m.const_i(acc, 1469);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let ch = m.reg();
+    m.aload(ch, buf, i);
+    let p = m.imm(131);
+    m.imul(acc, acc, p);
+    m.iadd(acc, acc, ch);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    let digest = m.build();
+
+    // int countTokens(int[] input): pre-pass sizing the output buffer.
+    let mut m = pb.static_method(
+        stats,
+        "countTokens",
+        MethodSig::new(vec![Ty::Arr(ElemKind::Int)], Some(Ty::Int)),
+    );
+    let input = m.param(0);
+    let n = m.reg();
+    m.alen(n, input);
+    let count = m.reg();
+    m.const_i(count, 0);
+    let prev = m.reg();
+    m.const_i(prev, -1);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let ch = m.reg();
+    m.aload(ch, input, i);
+    let same = m.label();
+    m.br_icmp(CmpOp::Eq, ch, prev, same);
+    m.iadd_imm(count, count, 1);
+    m.mov(prev, ch);
+    m.bind(same);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(count));
+    let count_tokens = m.build();
+
+    // main
+    let app = pb.class("Java2XHTML").build();
+    let mut m = pb.static_method(app, "main", MethodSig::void());
+    let len = m.imm(input_len);
+    let input = m.reg();
+    m.new_arr(input, ElemKind::Int, len);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let gh = m.label();
+    let gd = m.label();
+    m.bind(gh);
+    m.br_icmp(CmpOp::Ge, i, len, gd);
+    // Mix of identifier chars, digits and punctuation.
+    let forty = m.imm(40);
+    let roll = m.reg();
+    m.call_static(Some(roll), rng.next, vec![forty]);
+    let ch = m.reg();
+    let digit = m.label();
+    let punct = m.label();
+    let put = m.label();
+    let t26 = m.imm(26);
+    m.br_icmp(CmpOp::Ge, roll, t26, digit);
+    let base = m.imm('a' as i64);
+    m.iadd(ch, roll, base);
+    m.jmp(put);
+    m.bind(digit);
+    let t36 = m.imm(36);
+    m.br_icmp(CmpOp::Ge, roll, t36, punct);
+    let dbase = m.imm('0' as i64 - 26);
+    m.iadd(ch, roll, dbase);
+    m.jmp(put);
+    m.bind(punct);
+    m.const_i(ch, ';' as i64);
+    m.bind(put);
+    m.astore(input, i, ch);
+    m.iadd_imm(i, i, 1);
+    m.jmp(gh);
+    m.bind(gd);
+
+    let six = m.imm(6);
+    let olen = m.reg();
+    m.imul(olen, len, six);
+    let output = m.reg();
+    m.new_arr(output, ElemKind::Int, olen);
+
+    // Colored formatter, reused.
+    let one = m.imm(1);
+    let f = m.reg();
+    m.new_obj(f, fmt);
+    m.call_ctor(f, fmt, vec![one]);
+
+    let r = m.reg();
+    m.const_i(r, 0);
+    let rh = m.label();
+    let rd = m.label();
+    m.bind(rh);
+    let reps = m.imm(passes);
+    m.br_icmp(CmpOp::Ge, r, reps, rd);
+    let toks = m.reg();
+    m.call_static(Some(toks), count_tokens, vec![input]);
+    m.sink_int(toks);
+    let outn = m.reg();
+    m.call_virtual(Some(outn), f, "format", vec![input, output]);
+    m.sink_int(outn);
+    let dg = m.reg();
+    m.call_static(Some(dg), digest, vec![output, outn]);
+    m.sink_int(dg);
+    m.iadd_imm(r, r, 1);
+    m.jmp(rh);
+    m.bind(rd);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+
+    Workload {
+        name: "Java2XHTML",
+        program: pb.finish().expect("Java2XHTML verifies"),
+        heap_bytes: 50 << 20,
+        driver: Driver::Entry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_vm::Vm;
+
+    #[test]
+    fn formats_deterministically() {
+        let w = build(Scale::Small);
+        let mut a = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut a).unwrap();
+        let mut b = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut b).unwrap();
+        assert_eq!(a.state.output.checksum, b.state.output.checksum);
+        assert_ne!(a.state.output.checksum, 0);
+    }
+}

@@ -1,0 +1,1028 @@
+//! SPECjbb2000 / SPECjbb2005 — TPC-C-flavoured transaction processing,
+//! reconstructed with the structure the paper exploits:
+//!
+//! * five transaction types (NewOrder, Payment, OrderStatus, Delivery,
+//!   StockLevel) dispatched virtually off a `Transaction` base class, one
+//!   fresh transaction object per transaction;
+//! * `Customer.credit` — an instance state field (90% good credit) read in
+//!   the hot charge/payment paths: the archetypal mutable class;
+//! * `Company.taxPolicy` — a *static* state field branched on by the static
+//!   `Tax.compute`, exercising the JTOC-patching half of Figure 4;
+//! * `DisplayScreen` with `rows`/`cols` assigned constants in its
+//!   constructor and a `DeliveryTransaction.deliveryScreen` private
+//!   reference field — the paper's Figure 7 object-lifetime-constant
+//!   example, verbatim;
+//! * per-warehouse measurement intervals for the Figure 13–15 throughput
+//!   curves.
+//!
+//! The 2005 variant adds the heavyweight `CustomerReport` transaction
+//! (~30% of the mix, scanning customer history and allocating a fresh
+//! report buffer every time) and longer histories — more time outside
+//! mutable methods and more GC pressure, which is exactly why the paper's
+//! 2005 speedup (1.9%) trails its 2000 speedup (4.5%).
+
+use crate::util::add_rng;
+use crate::{Driver, Scale, Workload};
+use dchm_bytecode::{CmpOp, ElemKind, MethodSig, ProgramBuilder, Ty};
+
+/// Which SPECjbb edition to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JbbVariant {
+    /// SPECjbb2000: five transactions, modest allocation.
+    Jbb2000,
+    /// SPECjbb2005: adds CustomerReport, more allocation, bigger heap.
+    Jbb2005,
+}
+
+struct Dims {
+    customers: i64,
+    stock: i64,
+    hist_len: i64,
+    txns: i64,
+    warehouses: usize,
+    heap: usize,
+}
+
+fn dims(variant: JbbVariant, scale: Scale) -> Dims {
+    match (variant, scale) {
+        (JbbVariant::Jbb2000, Scale::Small) => Dims {
+            customers: 24,
+            stock: 80,
+            hist_len: 8,
+            txns: 120,
+            warehouses: 3,
+            heap: 2 << 20,
+        },
+        (JbbVariant::Jbb2000, Scale::Full) => Dims {
+            customers: 160,
+            stock: 600,
+            hist_len: 8,
+            txns: 2_600,
+            warehouses: 8,
+            // The paper's 128 MB scaled to our ~40x smaller footprint;
+            // the 1:3 ratio vs. SPECjbb2005 is preserved.
+            heap: 3 << 20,
+        },
+        (JbbVariant::Jbb2005, Scale::Small) => Dims {
+            customers: 24,
+            stock: 80,
+            hist_len: 20,
+            txns: 100,
+            warehouses: 3,
+            heap: 6 << 20,
+        },
+        (JbbVariant::Jbb2005, Scale::Full) => Dims {
+            customers: 160,
+            stock: 600,
+            hist_len: 24,
+            txns: 2_200,
+            warehouses: 8,
+            // The paper's 384 MB, scaled (1:3 ratio with SPECjbb2000).
+            heap: 9 << 20,
+        },
+    }
+}
+
+/// Builds the workload.
+#[allow(clippy::too_many_lines)]
+pub fn build(variant: JbbVariant, scale: Scale) -> Workload {
+    let d = dims(variant, scale);
+    let mut pb = ProgramBuilder::new();
+    let rng = add_rng(
+        &mut pb,
+        match variant {
+            JbbVariant::Jbb2000 => 0x2000,
+            JbbVariant::Jbb2005 => 0x2005,
+        },
+    );
+
+    // ---- Company: static database + the static state field ----
+    let company = pb.class("Company").package("spec.jbb").build();
+    let customers_f = pb.static_field(
+        company,
+        "customers",
+        Ty::Arr(ElemKind::Ref),
+        dchm_bytecode::Value::Null,
+    );
+    let items_f = pb.static_field(
+        company,
+        "items",
+        Ty::Arr(ElemKind::Ref),
+        dchm_bytecode::Value::Null,
+    );
+    let districts_f = pb.static_field(
+        company,
+        "districts",
+        Ty::Arr(ElemKind::Ref),
+        dchm_bytecode::Value::Null,
+    );
+    let screen_buf_f = pb.static_field(
+        company,
+        "screenBuf",
+        Ty::Arr(ElemKind::Int),
+        dchm_bytecode::Value::Null,
+    );
+    let ytd_f = pb.static_field(company, "ytd", Ty::Int, 0i64.into());
+    let tax_policy_f = pb.static_field(company, "taxPolicy", Ty::Int, 0i64.into());
+
+    // ---- Item: per-product stock/price record ----
+    let item = pb.class("Item").package("spec.jbb").build();
+    let item_price = pb.instance_field(item, "price", Ty::Int);
+    let item_stock = pb.instance_field(item, "stock", Ty::Int);
+    let mut m = pb.ctor(item, vec![Ty::Int, Ty::Int]);
+    let this = m.this();
+    let pr = m.param(0);
+    m.put_field(this, item_price, pr);
+    let st = m.param(1);
+    m.put_field(this, item_stock, st);
+    m.ret(None);
+    m.build();
+    // int take(int qty): draw stock (restocking at zero), return line price.
+    let mut m = pb.method(item, "take", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let this = m.this();
+    let qty = m.param(0);
+    let s = m.reg();
+    m.get_field(s, this, item_stock);
+    m.isub(s, s, qty);
+    let ok = m.label();
+    let zero = m.imm(0);
+    m.br_icmp(CmpOp::Ge, s, zero, ok);
+    m.iadd_imm(s, s, 100);
+    m.bind(ok);
+    m.put_field(this, item_stock, s);
+    let p = m.reg();
+    m.get_field(p, this, item_price);
+    let out = m.reg();
+    m.imul(out, p, qty);
+    m.ret(Some(out));
+    m.build();
+
+    // ---- Order: one allocation per NewOrder transaction ----
+    let order_cls = pb.class("Order").package("spec.jbb").build();
+    let order_total = pb.instance_field(order_cls, "total", Ty::Int);
+    let order_lines = pb.instance_field(order_cls, "lines", Ty::Int);
+    let mut m = pb.ctor(order_cls, vec![Ty::Int, Ty::Int]);
+    let this = m.this();
+    let t = m.param(0);
+    m.put_field(this, order_total, t);
+    let l = m.param(1);
+    m.put_field(this, order_lines, l);
+    m.ret(None);
+    m.build();
+
+    // ---- District: order counter, YTD, last order reference ----
+    let district = pb.class("District").package("spec.jbb").build();
+    let dist_id = pb.instance_field(district, "id", Ty::Int);
+    let dist_next = pb.instance_field(district, "nextOrder", Ty::Int);
+    let dist_ytd = pb.instance_field(district, "ytd", Ty::Int);
+    let dist_last = pb.instance_field(district, "lastOrder", Ty::Ref(order_cls));
+    let mut m = pb.ctor(district, vec![Ty::Int]);
+    let this = m.this();
+    let idp = m.param(0);
+    m.put_field(this, dist_id, idp);
+    m.ret(None);
+    m.build();
+    // void recordOrder(Order o)
+    let mut m = pb.method(
+        district,
+        "recordOrder",
+        MethodSig::new(vec![Ty::Ref(order_cls)], None),
+    );
+    let this = m.this();
+    let o = m.param(0);
+    m.put_field(this, dist_last, o);
+    let n = m.reg();
+    m.get_field(n, this, dist_next);
+    m.iadd_imm(n, n, 1);
+    m.put_field(this, dist_next, n);
+    m.ret(None);
+    m.build();
+    // void addYtd(int amount)
+    let mut m = pb.method(district, "addYtd", MethodSig::new(vec![Ty::Int], None));
+    let this = m.this();
+    let v = m.param(0);
+    let y = m.reg();
+    m.get_field(y, this, dist_ytd);
+    m.iadd(y, y, v);
+    m.put_field(this, dist_ytd, y);
+    m.ret(None);
+    m.build();
+    // int pendingTotal(): last order's total, 0 if none.
+    let mut m = pb.method(district, "pendingTotal", MethodSig::new(vec![], Some(Ty::Int)));
+    let this = m.this();
+    let o = m.reg();
+    m.get_field(o, this, dist_last);
+    let nil = m.reg();
+    m.const_null(nil);
+    let some = m.label();
+    let isnil = m.reg();
+    m.ref_eq(isnil, o, nil);
+    m.br_icmp_imm(CmpOp::Eq, isnil, 0, some);
+    let z = m.imm(0);
+    m.ret(Some(z));
+    m.bind(some);
+    let t = m.reg();
+    m.get_field(t, o, order_total);
+    m.ret(Some(t));
+    m.build();
+
+    // ---- Tax: static mutable method over the static state field ----
+    // Four progressive-bracket policies; big enough that the baseline
+    // compiler never inlines it (like the paper's real mutable methods),
+    // so the JTOC-patched special version competes on even footing.
+    let tax = pb.class("Tax").package("spec.jbb").build();
+    let mut m = pb.static_method(tax, "compute", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let amount = m.param(0);
+    let pol = m.reg();
+    m.get_static(pol, tax_policy_f);
+    let done = m.label();
+    let out = m.reg();
+    // Each policy: two brackets with different divisors plus a surcharge.
+    let policy_arm = |m: &mut dchm_bytecode::MethodBuilder<'_>,
+                          next: dchm_bytecode::Label,
+                          which: i64,
+                          cut: i64,
+                          lo_div: i64,
+                          hi_div: i64,
+                          sur: i64| {
+        m.br_icmp_imm(CmpOp::Ne, pol, which, next);
+        let cutr = m.imm(cut);
+        let hi = m.label();
+        let merge = m.label();
+        m.br_icmp(CmpOp::Gt, amount, cutr, hi);
+        let d = m.imm(lo_div);
+        m.idiv(out, amount, d);
+        m.jmp(merge);
+        m.bind(hi);
+        let d = m.imm(hi_div);
+        m.idiv(out, amount, d);
+        let s = m.imm(sur);
+        m.iadd(out, out, s);
+        m.bind(merge);
+        m.jmp(done);
+    };
+    let p1 = m.label();
+    let p2 = m.label();
+    let p3 = m.label();
+    let p4 = m.label();
+    policy_arm(&mut m, p1, 0, 200, 12, 9, 2);
+    m.bind(p1);
+    policy_arm(&mut m, p2, 1, 150, 10, 8, 3);
+    m.bind(p2);
+    policy_arm(&mut m, p3, 2, 300, 14, 11, 1);
+    m.bind(p3);
+    policy_arm(&mut m, p4, 3, 250, 11, 7, 4);
+    m.bind(p4);
+    let default_div = m.imm(10);
+    m.idiv(out, amount, default_div);
+    m.jmp(done);
+    m.bind(done);
+    m.ret(Some(out));
+    let tax_compute = m.build();
+
+    // ---- Customer: the instance-state mutable class ----
+    let customer = pb.class("Customer").package("spec.jbb").build();
+    let cust_id = pb.instance_field(customer, "id", Ty::Int);
+    let balance = pb.instance_field(customer, "balance", Ty::Int);
+    let credit = pb.private_field(customer, "credit", Ty::Int); // 0 good, 1 bad
+    let history = pb.private_field(customer, "history", Ty::Arr(ElemKind::Int));
+    let hist_pos = pb.instance_field(customer, "histPos", Ty::Int);
+    let mut m = pb.ctor(customer, vec![Ty::Int, Ty::Int, Ty::Int]);
+    let this = m.this();
+    let idp = m.param(0);
+    m.put_field(this, cust_id, idp);
+    let crp = m.param(1);
+    m.put_field(this, credit, crp);
+    let hl = m.param(2);
+    let harr = m.reg();
+    m.new_arr(harr, ElemKind::Int, hl);
+    m.put_field(this, history, harr);
+    let bal = m.imm(1_000);
+    m.put_field(this, balance, bal);
+    m.ret(None);
+    m.build();
+
+    // int charge(int amount): four credit tiers (0 standard, 1 gold with a
+    // volume discount, 2 silver, 3 delinquent with penalty), each with its
+    // own bracket logic. Large and branchy — exactly the method shape the
+    // paper mutates, and too big for the baseline inliner.
+    let mut m = pb.method(customer, "charge", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let this = m.this();
+    let amt = m.param(0);
+    let cr = m.reg();
+    m.get_field(cr, this, credit);
+    let done = m.label();
+    let total = m.reg();
+    let tier = |m: &mut dchm_bytecode::MethodBuilder<'_>,
+                    next: dchm_bytecode::Label,
+                    which: i64,
+                    fee_div: i64,
+                    disc_cut: i64,
+                    disc_div: i64| {
+        m.br_icmp_imm(CmpOp::Ne, cr, which, next);
+        let fd = m.imm(fee_div);
+        let fee = m.reg();
+        m.idiv(fee, amt, fd);
+        m.iadd(total, amt, fee);
+        let cut = m.imm(disc_cut);
+        let small = m.label();
+        m.br_icmp(CmpOp::Lt, amt, cut, small);
+        let dd = m.imm(disc_div);
+        let disc = m.reg();
+        m.idiv(disc, amt, dd);
+        m.isub(total, total, disc);
+        m.bind(small);
+        m.jmp(done);
+    };
+    let t1 = m.label();
+    let t2 = m.label();
+    let t3 = m.label();
+    tier(&mut m, t1, 0, 50, 400, 25);
+    m.bind(t1);
+    tier(&mut m, t2, 1, 100, 200, 10);
+    m.bind(t2);
+    tier(&mut m, t3, 2, 40, 500, 50);
+    m.bind(t3);
+    // Delinquent: penalty plus a solvency check.
+    let five2 = m.imm(5);
+    let pen = m.reg();
+    m.idiv(pen, amt, five2);
+    m.iadd(total, amt, pen);
+    let b0 = m.reg();
+    m.get_field(b0, this, balance);
+    let solvent = m.label();
+    let zero = m.imm(0);
+    m.br_icmp(CmpOp::Ge, b0, zero, solvent);
+    m.iadd(total, total, pen);
+    m.bind(solvent);
+    m.bind(done);
+    let b2 = m.reg();
+    m.get_field(b2, this, balance);
+    m.isub(b2, b2, total);
+    m.put_field(this, balance, b2);
+    m.ret(Some(total));
+    m.build();
+
+    // int payment(int amount): tiered holds mirroring charge().
+    let mut m = pb.method(customer, "payment", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let this = m.this();
+    let amt = m.param(0);
+    let cr = m.reg();
+    m.get_field(cr, this, credit);
+    let done = m.label();
+    let net = m.reg();
+    let ptier = |m: &mut dchm_bytecode::MethodBuilder<'_>,
+                     next: dchm_bytecode::Label,
+                     which: i64,
+                     hold_div: i64,
+                     bonus_cut: i64| {
+        m.br_icmp_imm(CmpOp::Ne, cr, which, next);
+        let hd = m.imm(hold_div);
+        let hold = m.reg();
+        m.idiv(hold, amt, hd);
+        m.isub(net, amt, hold);
+        let cut = m.imm(bonus_cut);
+        let nobonus = m.label();
+        m.br_icmp(CmpOp::Lt, amt, cut, nobonus);
+        m.iadd_imm(net, net, 2);
+        m.bind(nobonus);
+        m.jmp(done);
+    };
+    let t1 = m.label();
+    let t2 = m.label();
+    let t3 = m.label();
+    ptier(&mut m, t1, 0, 100, 300);
+    m.bind(t1);
+    ptier(&mut m, t2, 1, 200, 150);
+    m.bind(t2);
+    ptier(&mut m, t3, 2, 50, 400);
+    m.bind(t3);
+    let ten = m.imm(10);
+    let hold = m.reg();
+    m.idiv(hold, amt, ten);
+    m.isub(net, amt, hold);
+    m.jmp(done);
+    m.bind(done);
+    let b = m.reg();
+    m.get_field(b, this, balance);
+    m.iadd(b, b, net);
+    m.put_field(this, balance, b);
+    m.ret(Some(net));
+    m.build();
+
+    // void recordOrder(int amount): hot history write (EQ 1 noise field).
+    let mut m = pb.method(customer, "recordOrder", MethodSig::new(vec![Ty::Int], None));
+    let this = m.this();
+    let amt = m.param(0);
+    let h = m.reg();
+    m.get_field(h, this, history);
+    let pos = m.reg();
+    m.get_field(pos, this, hist_pos);
+    let len = m.reg();
+    m.alen(len, h);
+    let idx = m.reg();
+    m.irem(idx, pos, len);
+    m.astore(h, idx, amt);
+    m.iadd_imm(pos, pos, 1);
+    m.put_field(this, hist_pos, pos);
+    m.ret(None);
+    m.build();
+
+    // int historySum()
+    let mut m = pb.method(customer, "historySum", MethodSig::new(vec![], Some(Ty::Int)));
+    let this = m.this();
+    let h = m.reg();
+    m.get_field(h, this, history);
+    let len = m.reg();
+    m.alen(len, h);
+    let acc = m.reg();
+    m.const_i(acc, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, len, done);
+    let v = m.reg();
+    m.aload(v, h, i);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    m.build();
+
+    // ---- DisplayScreen (paper Fig. 7) ----
+    let screen = pb.class("DisplayScreen").package("spec.jbb.infra").build();
+    let rows_f = pb.instance_field(screen, "rows", Ty::Int);
+    let cols_f = pb.instance_field(screen, "cols", Ty::Int);
+    let mut m = pb.ctor(screen, vec![]);
+    let this = m.this();
+    let r24 = m.imm(24);
+    m.put_field(this, rows_f, r24);
+    let c80 = m.imm(80);
+    m.put_field(this, cols_f, c80);
+    m.ret(None);
+    m.build();
+    // void putCell(int[] buf, int r, int c, int ch)
+    let mut m = pb.method(
+        screen,
+        "putCell",
+        MethodSig::new(
+            vec![Ty::Arr(ElemKind::Int), Ty::Int, Ty::Int, Ty::Int],
+            None,
+        ),
+    );
+    let this = m.this();
+    let buf = m.param(0);
+    let r = m.param(1);
+    let c = m.param(2);
+    let ch = m.param(3);
+    let rows = m.reg();
+    m.get_field(rows, this, rows_f);
+    let cols = m.reg();
+    m.get_field(cols, this, cols_f);
+    // Wrap out-of-range coordinates (branches on the OLC fields).
+    let r_ok = m.label();
+    m.br_icmp(CmpOp::Lt, r, rows, r_ok);
+    m.irem(r, r, rows);
+    m.bind(r_ok);
+    let c_ok = m.label();
+    m.br_icmp(CmpOp::Lt, c, cols, c_ok);
+    m.irem(c, c, cols);
+    m.bind(c_ok);
+    let idx = m.reg();
+    m.imul(idx, r, cols);
+    m.iadd(idx, idx, c);
+    m.astore(buf, idx, ch);
+    m.ret(None);
+    m.build();
+
+    // ---- Transaction hierarchy ----
+    let txn = pb.class("Transaction").package("spec.jbb").build();
+    pb.trivial_ctor(txn);
+    let mut m = pb.method(txn, "process", MethodSig::new(vec![], Some(Ty::Int)));
+    let z = m.imm(0);
+    m.ret(Some(z));
+    m.build();
+
+    // Helper to start a transaction subclass.
+    let new_order = pb.class("NewOrderTransaction").package("spec.jbb").extends(txn).build();
+    pb.trivial_ctor(new_order);
+    let payment_tx = pb.class("PaymentTransaction").package("spec.jbb").extends(txn).build();
+    pb.trivial_ctor(payment_tx);
+    let order_status = pb
+        .class("OrderStatusTransaction")
+        .package("spec.jbb")
+        .extends(txn)
+        .build();
+    pb.trivial_ctor(order_status);
+    let delivery = pb.class("DeliveryTransaction").package("spec.jbb").extends(txn).build();
+    let delivery_screen_f = pb.private_field(delivery, "deliveryScreen", Ty::Ref(screen));
+    let mut m = pb.ctor(delivery, vec![]);
+    let this = m.this();
+    let s = m.reg();
+    m.new_init(s, screen, vec![]);
+    m.put_field(this, delivery_screen_f, s);
+    m.ret(None);
+    m.build();
+    let stock_level = pb
+        .class("StockLevelTransaction")
+        .package("spec.jbb")
+        .extends(txn)
+        .build();
+    pb.trivial_ctor(stock_level);
+    let customer_report = pb
+        .class("CustomerReportTransaction")
+        .package("spec.jbb")
+        .extends(txn)
+        .build();
+    pb.trivial_ctor(customer_report);
+
+    // NewOrder.process — charges the customer per order line (the hot path
+    // through the mutable Customer class, as in TPC-C line-item pricing),
+    // draws stock from Item objects, and records a fresh Order in the
+    // district (one allocation per transaction).
+    let mut m = pb.method(new_order, "process", MethodSig::new(vec![], Some(Ty::Int)));
+    let items = m.reg();
+    m.get_static(items, items_f);
+    let nitems = m.reg();
+    m.alen(nitems, items);
+    let custs = m.reg();
+    m.get_static(custs, customers_f);
+    let nc = m.reg();
+    m.alen(nc, custs);
+    let ci = m.reg();
+    m.call_static(Some(ci), rng.next, vec![nc]);
+    let cust = m.reg();
+    m.aload(cust, custs, ci);
+    m.check_cast(cust, customer);
+    let total = m.reg();
+    m.const_i(total, 0);
+    let five = m.imm(5);
+    let lines = m.reg();
+    let ten2 = m.imm(10);
+    m.call_static(Some(lines), rng.next, vec![ten2]);
+    m.iadd(lines, lines, five);
+    let l = m.reg();
+    m.const_i(l, 0);
+    let lh = m.label();
+    let ld = m.label();
+    m.bind(lh);
+    m.br_icmp(CmpOp::Ge, l, lines, ld);
+    let ii = m.reg();
+    m.call_static(Some(ii), rng.next, vec![nitems]);
+    let itm = m.reg();
+    m.aload(itm, items, ii);
+    let qty = m.reg();
+    let five2 = m.imm(5);
+    m.call_static(Some(qty), rng.next, vec![five2]);
+    m.iadd_imm(qty, qty, 1);
+    let line_amt = m.reg();
+    m.call_virtual(Some(line_amt), itm, "take", vec![qty]);
+    let tline = m.reg();
+    m.call_static(Some(tline), tax_compute, vec![line_amt]);
+    m.iadd(line_amt, line_amt, tline);
+    let charged = m.reg();
+    m.call_virtual(Some(charged), cust, "charge", vec![line_amt]);
+    m.iadd(total, total, charged);
+    m.iadd_imm(l, l, 1);
+    m.jmp(lh);
+    m.bind(ld);
+    m.call_virtual(None, cust, "recordOrder", vec![total]);
+    // Allocate the Order and record it in a random district.
+    let ord = m.reg();
+    m.new_obj(ord, order_cls);
+    m.call_ctor(ord, order_cls, vec![total, lines]);
+    let dists = m.reg();
+    m.get_static(dists, districts_f);
+    let ten3 = m.imm(10);
+    let di = m.reg();
+    m.call_static(Some(di), rng.next, vec![ten3]);
+    let dobj = m.reg();
+    m.aload(dobj, dists, di);
+    m.call_virtual(None, dobj, "recordOrder", vec![ord]);
+    m.ret(Some(total));
+    m.build();
+
+    // Payment.process
+    let mut m = pb.method(payment_tx, "process", MethodSig::new(vec![], Some(Ty::Int)));
+    let custs = m.reg();
+    m.get_static(custs, customers_f);
+    let nc = m.reg();
+    m.alen(nc, custs);
+    let ci = m.reg();
+    m.call_static(Some(ci), rng.next, vec![nc]);
+    let cust = m.reg();
+    m.aload(cust, custs, ci);
+    m.check_cast(cust, customer);
+    let amt = m.reg();
+    let k490 = m.imm(490);
+    m.call_static(Some(amt), rng.next, vec![k490]);
+    m.iadd_imm(amt, amt, 10);
+    let t = m.reg();
+    m.call_static(Some(t), tax_compute, vec![amt]);
+    m.isub(amt, amt, t);
+    let net = m.reg();
+    m.call_virtual(Some(net), cust, "payment", vec![amt]);
+    let y = m.reg();
+    m.get_static(y, ytd_f);
+    m.iadd(y, y, net);
+    m.put_static(ytd_f, y);
+    // District-level YTD bookkeeping.
+    let dists = m.reg();
+    m.get_static(dists, districts_f);
+    let ten9 = m.imm(10);
+    let di = m.reg();
+    m.call_static(Some(di), rng.next, vec![ten9]);
+    let dobj = m.reg();
+    m.aload(dobj, dists, di);
+    m.call_virtual(None, dobj, "addYtd", vec![net]);
+    m.ret(Some(net));
+    m.build();
+
+    // OrderStatus.process
+    let mut m = pb.method(order_status, "process", MethodSig::new(vec![], Some(Ty::Int)));
+    let custs = m.reg();
+    m.get_static(custs, customers_f);
+    let nc = m.reg();
+    m.alen(nc, custs);
+    let ci = m.reg();
+    m.call_static(Some(ci), rng.next, vec![nc]);
+    let cust = m.reg();
+    m.aload(cust, custs, ci);
+    m.check_cast(cust, customer);
+    let sum = m.reg();
+    m.call_virtual(Some(sum), cust, "historySum", vec![]);
+    m.ret(Some(sum));
+    m.build();
+
+    // Delivery.process — drains each district's pending order total and
+    // formats a status line through the OLC deliveryScreen.
+    let mut m = pb.method(delivery, "process", MethodSig::new(vec![], Some(Ty::Int)));
+    let this = m.this();
+    let dists = m.reg();
+    m.get_static(dists, districts_f);
+    let total = m.reg();
+    m.const_i(total, 0);
+    let di = m.reg();
+    m.const_i(di, 0);
+    let dh = m.label();
+    let dd = m.label();
+    m.bind(dh);
+    let ten4 = m.imm(10);
+    m.br_icmp(CmpOp::Ge, di, ten4, dd);
+    let dobj = m.reg();
+    m.aload(dobj, dists, di);
+    let v = m.reg();
+    m.call_virtual(Some(v), dobj, "pendingTotal", vec![]);
+    m.iadd(total, total, v);
+    m.iadd_imm(di, di, 1);
+    m.jmp(dh);
+    m.bind(dd);
+    // Paint a 40-cell status line through the screen.
+    let buf = m.reg();
+    m.get_static(buf, screen_buf_f);
+    let k = m.reg();
+    m.const_i(k, 0);
+    let ph = m.label();
+    let pd = m.label();
+    m.bind(ph);
+    let forty = m.imm(40);
+    m.br_icmp(CmpOp::Ge, k, forty, pd);
+    let scr = m.reg();
+    m.get_field(scr, this, delivery_screen_f);
+    let col = m.reg();
+    m.iadd(col, k, total);
+    let chd = m.imm('D' as i64);
+    let row = m.reg();
+    let three = m.imm(3);
+    m.irem(row, k, three);
+    m.call_virtual(None, scr, "putCell", vec![buf, row, col, chd]);
+    m.iadd_imm(k, k, 1);
+    m.jmp(ph);
+    m.bind(pd);
+    // Observe one painted cell.
+    let probe = m.reg();
+    let idx0 = m.imm(7);
+    m.aload(probe, buf, idx0);
+    m.iadd(total, total, probe);
+    m.ret(Some(total));
+    m.build();
+
+    // StockLevel.process — scans Item objects for low stock.
+    let mut m = pb.method(stock_level, "process", MethodSig::new(vec![], Some(Ty::Int)));
+    let items = m.reg();
+    m.get_static(items, items_f);
+    let n = m.reg();
+    m.alen(n, items);
+    let count = m.reg();
+    m.const_i(count, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    let itm = m.reg();
+    m.aload(itm, items, i);
+    let v = m.reg();
+    m.get_field(v, itm, item_stock);
+    let ok = m.label();
+    let twenty = m.imm(20);
+    m.br_icmp(CmpOp::Ge, v, twenty, ok);
+    m.iadd_imm(count, count, 1);
+    m.bind(ok);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(count));
+    m.build();
+
+    // CustomerReport.process (2005 only in the mix; compiled regardless):
+    // reports on a sample of customers, allocating a fresh buffer each
+    // time (the 2005 allocation pressure the paper calls out).
+    let report_sample: i64 = 30;
+    let mut m = pb.method(customer_report, "process", MethodSig::new(vec![], Some(Ty::Int)));
+    let custs = m.reg();
+    m.get_static(custs, customers_f);
+    let nc = m.reg();
+    m.alen(nc, custs);
+    let sample = m.imm(report_sample);
+    let two = m.imm(2);
+    let rep_len = m.reg();
+    m.imul(rep_len, sample, two);
+    let report = m.reg();
+    m.new_arr(report, ElemKind::Int, rep_len);
+    let acc = m.reg();
+    m.const_i(acc, 0);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, sample, done);
+    let ci = m.reg();
+    m.call_static(Some(ci), rng.next, vec![nc]);
+    let cust = m.reg();
+    m.aload(cust, custs, ci);
+    m.check_cast(cust, customer);
+    let bal = m.reg();
+    m.get_field(bal, cust, balance);
+    m.astore(report, i, bal);
+    let hsum = m.reg();
+    m.call_virtual(Some(hsum), cust, "historySum", vec![]);
+    let slot2 = m.reg();
+    m.iadd(slot2, i, sample);
+    m.astore(report, slot2, hsum);
+    m.iadd(acc, acc, bal);
+    m.iadd(acc, acc, hsum);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    m.build();
+
+    // ---- setup() ----
+    let app = pb.class("JBBDriver").package("spec.jbb").build();
+    let mut m = pb.static_method(app, "setup", MethodSig::void());
+    let ns = m.imm(d.stock);
+    let items = m.reg();
+    m.new_arr(items, ElemKind::Ref, ns);
+    m.put_static(items_f, items);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let sh = m.label();
+    let sd = m.label();
+    m.bind(sh);
+    m.br_icmp(CmpOp::Ge, i, ns, sd);
+    let fifty = m.imm(50);
+    let s0 = m.reg();
+    m.call_static(Some(s0), rng.next, vec![fifty]);
+    m.iadd_imm(s0, s0, 50);
+    let p0 = m.reg();
+    let k99 = m.imm(99);
+    m.call_static(Some(p0), rng.next, vec![k99]);
+    m.iadd_imm(p0, p0, 1);
+    let iobj = m.reg();
+    m.new_obj(iobj, item);
+    m.call_ctor(iobj, item, vec![p0, s0]);
+    m.astore(items, i, iobj);
+    m.iadd_imm(i, i, 1);
+    m.jmp(sh);
+    m.bind(sd);
+
+    // Ten districts.
+    let ten_d = m.imm(10);
+    let dists = m.reg();
+    m.new_arr(dists, ElemKind::Ref, ten_d);
+    m.put_static(districts_f, dists);
+    let di = m.reg();
+    m.const_i(di, 0);
+    let dh2 = m.label();
+    let dd2 = m.label();
+    m.bind(dh2);
+    m.br_icmp(CmpOp::Ge, di, ten_d, dd2);
+    let dobj = m.reg();
+    m.new_obj(dobj, district);
+    m.call_ctor(dobj, district, vec![di]);
+    m.astore(dists, di, dobj);
+    m.iadd_imm(di, di, 1);
+    m.jmp(dh2);
+    m.bind(dd2);
+
+    let ncust = m.imm(d.customers);
+    let custs = m.reg();
+    m.new_arr(custs, ElemKind::Ref, ncust);
+    m.put_static(customers_f, custs);
+    let i2 = m.reg();
+    m.const_i(i2, 0);
+    let ch2 = m.label();
+    let cd2 = m.label();
+    m.bind(ch2);
+    m.br_icmp(CmpOp::Ge, i2, ncust, cd2);
+    // Credit tiers: 60% standard, 20% gold, 15% silver, 5% delinquent.
+    let twenty2 = m.imm(20);
+    let roll = m.reg();
+    m.call_static(Some(roll), rng.next, vec![twenty2]);
+    let cr = m.reg();
+    let gold = m.label();
+    let silver = m.label();
+    let delinquent = m.label();
+    let have = m.label();
+    let k12 = m.imm(12);
+    m.br_icmp(CmpOp::Ge, roll, k12, gold);
+    m.const_i(cr, 0);
+    m.jmp(have);
+    m.bind(gold);
+    let k16 = m.imm(16);
+    m.br_icmp(CmpOp::Ge, roll, k16, silver);
+    m.const_i(cr, 1);
+    m.jmp(have);
+    m.bind(silver);
+    let k19 = m.imm(19);
+    m.br_icmp(CmpOp::Ge, roll, k19, delinquent);
+    m.const_i(cr, 2);
+    m.jmp(have);
+    m.bind(delinquent);
+    m.const_i(cr, 3);
+    m.bind(have);
+    let hlen = m.imm(d.hist_len);
+    let cobj = m.reg();
+    m.new_obj(cobj, customer);
+    m.call_ctor(cobj, customer, vec![i2, cr, hlen]);
+    m.astore(custs, i2, cobj);
+    m.iadd_imm(i2, i2, 1);
+    m.jmp(ch2);
+    m.bind(cd2);
+
+    let sb_len = m.imm(24 * 80);
+    let sb = m.reg();
+    m.new_arr(sb, ElemKind::Int, sb_len);
+    m.put_static(screen_buf_f, sb);
+    // The static state field: one policy for the whole run.
+    let pol = m.imm(1);
+    m.put_static(tax_policy_f, pol);
+    m.ret(None);
+    let setup = m.build();
+
+    // ---- runWarehouse(txns) ----
+    let mut m = pb.static_method(app, "runWarehouse", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let txns = m.param(0);
+    let acc = m.reg();
+    m.const_i(acc, 0);
+    let t = m.reg();
+    m.const_i(t, 0);
+    let th = m.label();
+    let td = m.label();
+    m.bind(th);
+    m.br_icmp(CmpOp::Ge, t, txns, td);
+    let hundred = m.imm(100);
+    let roll = m.reg();
+    m.call_static(Some(roll), rng.next, vec![hundred]);
+    // Transaction mix.
+    let (w_no, w_pay, w_os, w_del, w_sl) = match variant {
+        JbbVariant::Jbb2000 => (45, 88, 92, 96, 100),
+        JbbVariant::Jbb2005 => (30, 60, 64, 67, 70), // rest: CustomerReport
+    };
+    let tobj = m.reg();
+    let mk_pay = m.label();
+    let mk_os = m.label();
+    let mk_del = m.label();
+    let mk_sl = m.label();
+    let mk_cr = m.label();
+    let run_it = m.label();
+    m.br_icmp_imm(CmpOp::Ge, roll, w_no, mk_pay);
+    m.new_init(tobj, new_order, vec![]);
+    m.jmp(run_it);
+    m.bind(mk_pay);
+    m.br_icmp_imm(CmpOp::Ge, roll, w_pay, mk_os);
+    m.new_init(tobj, payment_tx, vec![]);
+    m.jmp(run_it);
+    m.bind(mk_os);
+    m.br_icmp_imm(CmpOp::Ge, roll, w_os, mk_del);
+    m.new_init(tobj, order_status, vec![]);
+    m.jmp(run_it);
+    m.bind(mk_del);
+    m.br_icmp_imm(CmpOp::Ge, roll, w_del, mk_sl);
+    m.new_init(tobj, delivery, vec![]);
+    m.jmp(run_it);
+    m.bind(mk_sl);
+    m.br_icmp_imm(CmpOp::Ge, roll, w_sl, mk_cr);
+    m.new_init(tobj, stock_level, vec![]);
+    m.jmp(run_it);
+    m.bind(mk_cr);
+    m.new_init(tobj, customer_report, vec![]);
+    m.bind(run_it);
+    let r = m.reg();
+    m.call_virtual(Some(r), tobj, "process", vec![]);
+    m.iadd(acc, acc, r);
+    m.iadd_imm(t, t, 1);
+    m.jmp(th);
+    m.bind(td);
+    m.sink_int(acc);
+    m.ret(Some(acc));
+    let run = m.build();
+
+    // Entry point for ad-hoc runs: setup + one warehouse.
+    let mut m = pb.static_method(app, "main", MethodSig::void());
+    m.call_static(None, setup, vec![]);
+    let n = m.imm(d.txns);
+    m.call_static(None, run, vec![n]);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+
+    Workload {
+        name: match variant {
+            JbbVariant::Jbb2000 => "SPECjbb2000",
+            JbbVariant::Jbb2005 => "SPECjbb2005",
+        },
+        program: pb.finish().expect("jbb verifies"),
+        heap_bytes: d.heap,
+        driver: Driver::Warehouse {
+            setup,
+            run,
+            txns: d.txns,
+            warehouses: d.warehouses,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_vm::Vm;
+
+    #[test]
+    fn jbb2000_runs_warehouses_deterministically() {
+        let w = build(JbbVariant::Jbb2000, Scale::Small);
+        let mut a = Vm::new(w.program.clone(), w.vm_config());
+        let runs_a = w.run_warehouses(&mut a).unwrap();
+        let mut b = Vm::new(w.program.clone(), w.vm_config());
+        let runs_b = w.run_warehouses(&mut b).unwrap();
+        assert_eq!(a.state.output.checksum, b.state.output.checksum);
+        assert_eq!(runs_a.len(), 3);
+        assert_eq!(
+            runs_a.iter().map(|r| r.cycles).collect::<Vec<_>>(),
+            runs_b.iter().map(|r| r.cycles).collect::<Vec<_>>()
+        );
+        assert!(runs_a[0].throughput() > 0.0);
+    }
+
+    #[test]
+    fn jbb2005_mixes_in_customer_report() {
+        let w = build(JbbVariant::Jbb2005, Scale::Small);
+        let mut vm = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut vm).unwrap();
+        let cr = w.program.class_by_name("CustomerReportTransaction").unwrap();
+        let process = w.program.method_by_name(cr, "process").unwrap();
+        assert!(
+            vm.stats().per_method[process.index()].invocations > 0,
+            "CustomerReport must run in the 2005 mix"
+        );
+        // 2005 allocates more than 2000 at the same scale.
+        let w0 = build(JbbVariant::Jbb2000, Scale::Small);
+        let mut vm0 = Vm::new(w0.program.clone(), w0.vm_config());
+        w0.run(&mut vm0).unwrap();
+        let per_txn_2005 =
+            vm.state.heap.stats.bytes_allocated as f64 / (3.0 * 100.0);
+        let per_txn_2000 =
+            vm0.state.heap.stats.bytes_allocated as f64 / (3.0 * 120.0);
+        assert!(
+            per_txn_2005 > per_txn_2000,
+            "2005 must be more allocation-heavy: {per_txn_2005} vs {per_txn_2000}"
+        );
+    }
+
+    #[test]
+    fn table1_scale_relationship_holds() {
+        // Paper Table 1: the JBB programs are by far the largest.
+        let jbb = build(JbbVariant::Jbb2000, Scale::Small);
+        let sal = crate::salarydb::build(Scale::Small);
+        let (jc, jm) = jbb.program.table1_counts();
+        let (sc, sm) = sal.program.table1_counts();
+        assert!(jc > sc);
+        assert!(jm > sm);
+    }
+}

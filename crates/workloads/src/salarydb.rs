@@ -1,0 +1,219 @@
+//! SalaryDB — the paper's Figure 2 microbenchmark, reproduced verbatim.
+//!
+//! `SalaryEmployee.raise()` branches four ways on the `grade` field (plus a
+//! range check calling `reportError`); the driver loops `raise()` over an
+//! employee database. `grade` takes exactly the values 0–3, so the class has
+//! four hot states — the textbook case for dynamic class mutation.
+
+use crate::util::add_rng;
+use crate::{Driver, Scale, Workload};
+use dchm_bytecode::{CmpOp, ElemKind, MethodSig, ProgramBuilder, Ty};
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (employees, iters) = match scale {
+        Scale::Small => (24, 120),
+        Scale::Full => (200, 2_000),
+    };
+
+    let mut pb = ProgramBuilder::new();
+    let rng = add_rng(&mut pb, 0x5a1a17);
+
+    // class Employee { private double salary; public void raise() {} }
+    let employee = pb.class("Employee").build();
+    let salary = pb.field_raw(
+        employee,
+        "salary",
+        Ty::Double,
+        false,
+        dchm_bytecode::Visibility::Package,
+        0.0f64.into(),
+    );
+    pb.trivial_ctor(employee);
+    let mut m = pb.method(employee, "raise", MethodSig::void());
+    m.ret(None);
+    m.build();
+
+    // class HourlyEmployee extends Employee { public void raise() {...} }
+    let hourly = pb.class("HourlyEmployee").extends(employee).build();
+    pb.trivial_ctor(hourly);
+    let mut m = pb.method(hourly, "raise", MethodSig::void());
+    let this = m.this();
+    let s = m.reg();
+    m.get_field(s, this, salary);
+    let half = m.imm_d(0.5);
+    m.dadd(s, s, half);
+    m.put_field(this, salary, s);
+    m.ret(None);
+    m.build();
+
+    // static void reportError() — the paper's range-check sink.
+    let err_class = pb.class("ErrorReporter").build();
+    let mut m = pb.static_method(err_class, "reportError", MethodSig::void());
+    let v = m.imm(-999);
+    m.sink_int(v);
+    m.ret(None);
+    let report_error = m.build();
+
+    // class SalaryEmployee extends Employee { private int grade; ... }
+    let sal = pb.class("SalaryEmployee").extends(employee).build();
+    let grade = pb.private_field(sal, "grade", Ty::Int);
+    let mut m = pb.ctor(sal, vec![Ty::Int]);
+    let this = m.this();
+    let g = m.param(0);
+    m.put_field(this, grade, g);
+    m.ret(None);
+    m.build();
+
+    // public void raise() — the paper's exact branch ladder.
+    let mut m = pb.method(sal, "raise", MethodSig::void());
+    let this = m.this();
+    let g = m.reg();
+    m.get_field(g, this, grade);
+    let ok1 = m.label();
+    let no_err = m.label();
+    // if (grade < 0 || grade > 3) reportError();
+    m.br_icmp_imm(CmpOp::Ge, g, 0, ok1);
+    m.call_static(None, report_error, vec![]);
+    m.jmp(no_err);
+    m.bind(ok1);
+    let three = m.imm(3);
+    m.br_icmp(CmpOp::Le, g, three, no_err);
+    m.call_static(None, report_error, vec![]);
+    m.bind(no_err);
+
+    let l1 = m.label();
+    let l2 = m.label();
+    let l3 = m.label();
+    let done = m.label();
+    let s = m.reg();
+    m.get_field(s, this, salary);
+    // if (grade == 0) salary += 1;
+    m.br_icmp_imm(CmpOp::Ne, g, 0, l1);
+    let one = m.imm_d(1.0);
+    m.dadd(s, s, one);
+    m.jmp(done);
+    // else if (grade == 1) salary += 2;
+    m.bind(l1);
+    m.br_icmp_imm(CmpOp::Ne, g, 1, l2);
+    let two = m.imm_d(2.0);
+    m.dadd(s, s, two);
+    m.jmp(done);
+    // else if (grade == 2) salary *= 1.01;
+    m.bind(l2);
+    m.br_icmp_imm(CmpOp::Ne, g, 2, l3);
+    let k = m.imm_d(1.01);
+    m.dmul(s, s, k);
+    m.jmp(done);
+    // else salary *= 1.02;
+    m.bind(l3);
+    let k = m.imm_d(1.02);
+    m.dmul(s, s, k);
+    m.bind(done);
+    m.put_field(this, salary, s);
+    m.ret(None);
+    m.build();
+
+    // class TestDriver { public static void main() }
+    let driver = pb.class("TestDriver").build();
+    let mut m = pb.static_method(driver, "main", MethodSig::void());
+    let n = m.imm(employees);
+    let arr = m.reg();
+    m.new_arr(arr, ElemKind::Ref, n);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let fill_head = m.label();
+    let fill_done = m.label();
+    m.bind(fill_head);
+    m.br_icmp(CmpOp::Ge, i, n, fill_done);
+    let four = m.imm(4);
+    let g = m.reg();
+    m.call_static(Some(g), rng.next, vec![four]);
+    let o = m.reg();
+    m.new_obj(o, sal);
+    m.call_ctor(o, sal, vec![g]);
+    m.astore(arr, i, o);
+    m.iadd_imm(i, i, 1);
+    m.jmp(fill_head);
+    m.bind(fill_done);
+
+    // for (i = 0; i < iters; i++) for (j = 0; j < n; j++) emps[j].raise();
+    let it = m.reg();
+    m.const_i(it, 0);
+    let ohead = m.label();
+    let odone = m.label();
+    m.bind(ohead);
+    let lim = m.imm(iters);
+    m.br_icmp(CmpOp::Ge, it, lim, odone);
+    let j = m.reg();
+    m.const_i(j, 0);
+    let ihead = m.label();
+    let idone = m.label();
+    m.bind(ihead);
+    m.br_icmp(CmpOp::Ge, j, n, idone);
+    let o = m.reg();
+    m.aload(o, arr, j);
+    m.call_virtual(None, o, "raise", vec![]);
+    m.iadd_imm(j, j, 1);
+    m.jmp(ihead);
+    m.bind(idone);
+    m.iadd_imm(it, it, 1);
+    m.jmp(ohead);
+    m.bind(odone);
+
+    // Sink final salaries (observable output).
+    let j = m.reg();
+    m.const_i(j, 0);
+    let shead = m.label();
+    let sdone = m.label();
+    m.bind(shead);
+    m.br_icmp(CmpOp::Ge, j, n, sdone);
+    let o = m.reg();
+    m.aload(o, arr, j);
+    let sv = m.reg();
+    m.get_field(sv, o, salary);
+    m.sink_double(sv);
+    m.iadd_imm(j, j, 1);
+    m.jmp(shead);
+    m.bind(sdone);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+
+    Workload {
+        name: "SalaryDB",
+        program: pb.finish().expect("SalaryDB verifies"),
+        heap_bytes: 50 << 20,
+        driver: Driver::Entry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_vm::Vm;
+
+    #[test]
+    fn runs_and_matches_table1_shape() {
+        let w = build(Scale::Small);
+        // Paper Table 1: 3 classes, 8 methods. We additionally carry the
+        // RNG and error-reporter helpers; the employee hierarchy itself is
+        // 3 classes with raise() defined 3x + ctors + main.
+        let (classes, methods) = w.program.table1_counts();
+        assert!((3..=6).contains(&classes), "classes = {classes}");
+        assert!(methods >= 8, "methods = {methods}");
+        let mut vm = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut vm).unwrap();
+        assert_ne!(vm.state.output.checksum, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = build(Scale::Small);
+        let mut a = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut a).unwrap();
+        let mut b = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut b).unwrap();
+        assert_eq!(a.state.output.checksum, b.state.output.checksum);
+    }
+}

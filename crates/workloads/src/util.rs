@@ -1,0 +1,101 @@
+//! Shared building blocks for the benchmark programs.
+
+use dchm_bytecode::{ClassId, FieldId, MethodId, MethodSig, ProgramBuilder, Ty};
+
+/// A deterministic in-bytecode linear congruential generator.
+///
+/// `Rng.next(bound)` advances the shared seed and returns a value in
+/// `[0, bound)`. The seed is a static field that is *written* on every call,
+/// so EQ 1 correctly rejects it as a state field — realistic noise for the
+/// analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct Rng {
+    /// The Rng class.
+    pub class: ClassId,
+    /// `static int next(int bound)`.
+    pub next: MethodId,
+    /// The seed field.
+    pub seed: FieldId,
+}
+
+/// Adds the RNG class to a program.
+pub fn add_rng(pb: &mut ProgramBuilder, seed: i64) -> Rng {
+    let class = pb.class("Rng").package("util").build();
+    let seed_f = pb.static_field(class, "seed", Ty::Int, seed.into());
+    let mut m = pb.static_method(class, "next", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let bound = m.param(0);
+    let s = m.reg();
+    m.get_static(s, seed_f);
+    let a = m.imm(6364136223846793005);
+    m.imul(s, s, a);
+    let c = m.imm(1442695040888963407);
+    m.iadd(s, s, c);
+    m.put_static(seed_f, s);
+    // Take the high bits, make non-negative, reduce modulo bound.
+    let sh = m.imm(33);
+    let hi = m.reg();
+    m.ibin(dchm_bytecode::IBinOp::Shr, hi, s, sh);
+    let out = m.reg();
+    m.intrinsic(Some(out), dchm_bytecode::IntrinsicKind::IAbs, vec![hi]);
+    m.irem(out, out, bound);
+    m.ret(Some(out));
+    let next = m.build();
+    Rng {
+        class,
+        next,
+        seed: seed_f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_bytecode::{CmpOp, Value};
+    use dchm_vm::{Vm, VmConfig};
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut pb = ProgramBuilder::new();
+        let rng = add_rng(&mut pb, 42);
+        let c = pb.class("T").build();
+        let mut m = pb.static_method(c, "main", MethodSig::new(vec![], Some(Ty::Int)));
+        // Draw 1000 values in [0, 10); fail (return -1) if out of range.
+        let i = m.reg();
+        m.const_i(i, 0);
+        let acc = m.reg();
+        m.const_i(acc, 0);
+        let head = m.label();
+        let done = m.label();
+        let bad = m.label();
+        m.bind(head);
+        let lim = m.imm(1000);
+        m.br_icmp(CmpOp::Ge, i, lim, done);
+        let ten = m.imm(10);
+        let v = m.reg();
+        m.call_static(Some(v), rng.next, vec![ten]);
+        let zero = m.imm(0);
+        m.br_icmp(CmpOp::Lt, v, zero, bad);
+        m.br_icmp(CmpOp::Ge, v, ten, bad);
+        m.iadd(acc, acc, v);
+        m.iadd_imm(i, i, 1);
+        m.jmp(head);
+        m.bind(bad);
+        let neg = m.imm(-1);
+        m.ret(Some(neg));
+        m.bind(done);
+        m.ret(Some(acc));
+        let main = m.build();
+        pb.set_entry(main);
+        let p = pb.finish().unwrap();
+
+        let mut vm1 = Vm::new(p.clone(), VmConfig::default());
+        let r1 = vm1.run_entry().unwrap().unwrap();
+        let mut vm2 = Vm::new(p, VmConfig::default());
+        let r2 = vm2.run_entry().unwrap().unwrap();
+        assert_eq!(r1, r2, "deterministic");
+        let Value::Int(sum) = r1 else { panic!() };
+        assert!(sum > 0, "in-range values (got {sum})");
+        // Mean should be near 4.5 for uniform [0,10).
+        assert!((3_000..6_000).contains(&sum), "sum {sum} not plausible");
+    }
+}

@@ -1,0 +1,299 @@
+//! Weka — a data-mining workload modeled on the Weka 3.2.3 tool-set run the
+//! paper measures: a k-nearest-neighbour classifier over a synthetic
+//! numeric dataset.
+//!
+//! The `Classifier` is configured once with a distance metric
+//! (`metric`: Euclidean vs. Manhattan) and a normalization flag; its
+//! innermost distance loop branches on the metric for every dimension of
+//! every point. Those two configuration fields are the class's state
+//! fields, with one distinct hot state per run.
+
+use crate::util::add_rng;
+use crate::{Driver, Scale, Workload};
+use dchm_bytecode::{CmpOp, ElemKind, MethodSig, ProgramBuilder, Ty};
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (points, dims, queries) = match scale {
+        Scale::Small => (40, 4, 12),
+        Scale::Full => (300, 8, 220),
+    };
+
+    let mut pb = ProgramBuilder::new();
+    let rng = add_rng(&mut pb, 0x33ea);
+
+    // class Classifier { private int metric; private int normalize; }
+    let cls = pb.class("Classifier").build();
+    let metric = pb.private_field(cls, "metric", Ty::Int);
+    let normalize = pb.private_field(cls, "normalize", Ty::Int);
+    let mut m = pb.ctor(cls, vec![Ty::Int, Ty::Int]);
+    let this = m.this();
+    let a = m.param(0);
+    m.put_field(this, metric, a);
+    let b = m.param(1);
+    m.put_field(this, normalize, b);
+    m.ret(None);
+    m.build();
+
+    // double distance(double[] data, int base, double[] query, int dims)
+    let mut m = pb.method(
+        cls,
+        "distance",
+        MethodSig::new(
+            vec![
+                Ty::Arr(ElemKind::Double),
+                Ty::Int,
+                Ty::Arr(ElemKind::Double),
+                Ty::Int,
+            ],
+            Some(Ty::Double),
+        ),
+    );
+    let this = m.this();
+    let data = m.param(0);
+    let base = m.param(1);
+    let query = m.param(2);
+    let nd = m.param(3);
+    let acc = m.reg();
+    m.const_d(acc, 0.0);
+    let d = m.reg();
+    m.const_i(d, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, d, nd, done);
+    let idx = m.reg();
+    m.iadd(idx, base, d);
+    let x = m.reg();
+    m.aload(x, data, idx);
+    let y = m.reg();
+    m.aload(y, query, d);
+    let diff = m.reg();
+    m.dsub(diff, x, y);
+    // Missing-value handling: zero entries contribute a fixed penalty
+    // (state-independent work, as in real attribute handling).
+    let zero_d = m.imm_d(0.0);
+    let missing = m.reg();
+    m.dcmp(CmpOp::Eq, missing, x, zero_d);
+    let present = m.label();
+    m.br_icmp_imm(CmpOp::Eq, missing, 0, present);
+    let penalty = m.imm_d(0.5);
+    m.dadd(acc, acc, penalty);
+    m.bind(present);
+    // Branch on the metric field in the innermost loop.
+    let mv = m.reg();
+    m.get_field(mv, this, metric);
+    let manhattan = m.label();
+    let accum = m.label();
+    let term = m.reg();
+    m.br_icmp_imm(CmpOp::Ne, mv, 0, manhattan);
+    m.dmul(term, diff, diff); // Euclidean: diff^2
+    m.jmp(accum);
+    m.bind(manhattan);
+    m.intrinsic(Some(term), dchm_bytecode::IntrinsicKind::DAbs, vec![diff]);
+    m.bind(accum);
+    // Attribute weighting: w = 1 + d/8 (feature importance ramp).
+    let dd_f = m.reg();
+    m.i2d(dd_f, d);
+    let eighth = m.imm_d(0.125);
+    let w = m.reg();
+    m.dmul(w, dd_f, eighth);
+    let one_d = m.imm_d(1.0);
+    m.dadd(w, w, one_d);
+    m.dmul(term, term, w);
+    // Clamp outlier contributions.
+    let cap = m.imm_d(1000.0);
+    let over = m.reg();
+    m.dcmp(CmpOp::Gt, over, term, cap);
+    let no_clamp = m.label();
+    m.br_icmp_imm(CmpOp::Eq, over, 0, no_clamp);
+    m.mov(term, cap);
+    m.bind(no_clamp);
+    m.dadd(acc, acc, term);
+    m.iadd_imm(d, d, 1);
+    m.jmp(head);
+    m.bind(done);
+    // Normalization divides by the dimension count.
+    let nv = m.reg();
+    m.get_field(nv, this, normalize);
+    let skip = m.label();
+    m.br_icmp_imm(CmpOp::Eq, nv, 0, skip);
+    let ndd = m.reg();
+    m.i2d(ndd, nd);
+    m.ddiv(acc, acc, ndd);
+    m.bind(skip);
+    m.ret(Some(acc));
+    m.build();
+
+    // int classify(double[] data, int[] labels, double[] query, int dims)
+    let mut m = pb.method(
+        cls,
+        "classify",
+        MethodSig::new(
+            vec![
+                Ty::Arr(ElemKind::Double),
+                Ty::Arr(ElemKind::Int),
+                Ty::Arr(ElemKind::Double),
+                Ty::Int,
+            ],
+            Some(Ty::Int),
+        ),
+    );
+    let this = m.this();
+    let data = m.param(0);
+    let labels = m.param(1);
+    let query = m.param(2);
+    let nd = m.param(3);
+    let np = m.reg();
+    m.alen(np, labels);
+    let best = m.reg();
+    m.const_d(best, 1.0e300);
+    let best_label = m.reg();
+    m.const_i(best_label, -1);
+    let p = m.reg();
+    m.const_i(p, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, p, np, done);
+    let base = m.reg();
+    m.imul(base, p, nd);
+    let dist = m.reg();
+    m.call_virtual(Some(dist), this, "distance", vec![data, base, query, nd]);
+    let closer = m.reg();
+    m.dcmp(CmpOp::Lt, closer, dist, best);
+    let no = m.label();
+    m.br_icmp_imm(CmpOp::Eq, closer, 0, no);
+    m.mov(best, dist);
+    m.aload(best_label, labels, p);
+    m.bind(no);
+    m.iadd_imm(p, p, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(best_label));
+    m.build();
+
+    // main: build dataset, classify queries.
+    let app = pb.class("Weka").build();
+    let mut m = pb.static_method(app, "main", MethodSig::void());
+    let npts = m.imm(points);
+    let ndim = m.imm(dims);
+    let total = m.reg();
+    m.imul(total, npts, ndim);
+    let data = m.reg();
+    m.new_arr(data, ElemKind::Double, total);
+    let labels = m.reg();
+    m.new_arr(labels, ElemKind::Int, npts);
+
+    // Fill data with values in [0, 100) / 10.
+    let i = m.reg();
+    m.const_i(i, 0);
+    let fh = m.label();
+    let fd = m.label();
+    m.bind(fh);
+    m.br_icmp(CmpOp::Ge, i, total, fd);
+    let hundred = m.imm(100);
+    let v = m.reg();
+    m.call_static(Some(v), rng.next, vec![hundred]);
+    let vd = m.reg();
+    m.i2d(vd, v);
+    let ten = m.imm_d(10.0);
+    m.ddiv(vd, vd, ten);
+    m.astore(data, i, vd);
+    m.iadd_imm(i, i, 1);
+    m.jmp(fh);
+    m.bind(fd);
+    // Labels 0..3.
+    let i2 = m.reg();
+    m.const_i(i2, 0);
+    let lh = m.label();
+    let ld = m.label();
+    m.bind(lh);
+    m.br_icmp(CmpOp::Ge, i2, npts, ld);
+    let four = m.imm(4);
+    let lab = m.reg();
+    m.call_static(Some(lab), rng.next, vec![four]);
+    m.astore(labels, i2, lab);
+    m.iadd_imm(i2, i2, 1);
+    m.jmp(lh);
+    m.bind(ld);
+
+    // Euclidean, normalized classifier.
+    let zero = m.imm(0);
+    let one = m.imm(1);
+    let c = m.reg();
+    m.new_obj(c, cls);
+    m.call_ctor(c, cls, vec![zero, one]);
+
+    let query = m.reg();
+    m.new_arr(query, ElemKind::Double, ndim);
+    let q = m.reg();
+    m.const_i(q, 0);
+    let qh = m.label();
+    let qd = m.label();
+    m.bind(qh);
+    let nq = m.imm(queries);
+    m.br_icmp(CmpOp::Ge, q, nq, qd);
+    // Random query point.
+    let d = m.reg();
+    m.const_i(d, 0);
+    let dh = m.label();
+    let dd = m.label();
+    m.bind(dh);
+    m.br_icmp(CmpOp::Ge, d, ndim, dd);
+    let hundred = m.imm(100);
+    let v = m.reg();
+    m.call_static(Some(v), rng.next, vec![hundred]);
+    let vd = m.reg();
+    m.i2d(vd, v);
+    let ten = m.imm_d(10.0);
+    m.ddiv(vd, vd, ten);
+    m.astore(query, d, vd);
+    m.iadd_imm(d, d, 1);
+    m.jmp(dh);
+    m.bind(dd);
+    let label = m.reg();
+    m.call_virtual(Some(label), c, "classify", vec![data, labels, query, ndim]);
+    m.sink_int(label);
+    m.iadd_imm(q, q, 1);
+    m.jmp(qh);
+    m.bind(qd);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+
+    Workload {
+        name: "Weka",
+        program: pb.finish().expect("Weka verifies"),
+        heap_bytes: 50 << 20,
+        driver: Driver::Entry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_vm::Vm;
+
+    #[test]
+    fn classifies_deterministically() {
+        let w = build(Scale::Small);
+        let mut a = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut a).unwrap();
+        let mut b = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut b).unwrap();
+        assert_eq!(a.state.output.checksum, b.state.output.checksum);
+        assert_ne!(a.state.output.checksum, 0);
+    }
+
+    #[test]
+    fn distance_dominates_profile() {
+        let w = build(Scale::Small);
+        let mut vm = Vm::new(w.program.clone(), w.vm_config());
+        w.run(&mut vm).unwrap();
+        let hot = vm.stats().hot_methods();
+        let cls = w.program.class_by_name("Classifier").unwrap();
+        let distance = w.program.method_by_name(cls, "distance").unwrap();
+        assert_eq!(hot[0].0, distance, "distance() should be hottest");
+    }
+}

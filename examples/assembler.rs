@@ -1,0 +1,123 @@
+//! Write a stateful program in dchm assembly text, run it through the full
+//! mutation pipeline, and watch the class hierarchy mutate.
+//!
+//! ```text
+//! cargo run --release --example assembler
+//! ```
+
+use dchm::bytecode::assemble;
+use dchm::core::pipeline::{prepare, PipelineConfig};
+use dchm::vm::VmConfig;
+
+const SOURCE: &str = r#"
+; A traffic light controller: the light's phase is a state field with three
+; hot values; tick() branches on it for every vehicle.
+.class Light
+.field phase int private
+.ctor (int)
+  putfield r0, Light.phase, r1
+  ret
+.end_method
+.method advance void (int)
+  putfield r0, Light.phase, r1
+  ret
+.end_method
+.method tick int (int)
+  getfield r2, r0, Light.phase
+  consti r3, 0
+  icmp eq, r4, r2, r3
+  brif r4, Lgreen
+  consti r3, 1
+  icmp eq, r4, r2, r3
+  brif r4, Lyellow
+  ; red: nobody moves
+  consti r5, 0
+  ret r5
+Lgreen:
+  consti r6, 3
+  imul r5, r1, r6
+  ret r5
+Lyellow:
+  consti r6, 1
+  iand r5, r1, r6
+  ret r5
+.end_method
+.end
+
+.class Sim
+.smethod main void ()
+  new r0, Light
+  consti r1, 0
+  callctor r0, Light, r1
+  consti r2, 0          ; i
+  consti r3, 0          ; moved
+Lloop:
+  consti r4, 120000
+  icmp ge, r5, r2, r4
+  brif r5, Ldone
+  ; cycle the phase every 4000 vehicles
+  consti r6, 4000
+  irem r7, r2, r6
+  consti r8, 0
+  icmp eq, r9, r7, r8
+  brif r9, Lswitch
+Lafter:
+  callvirtual r10, r0, tick, r2
+  iadd r3, r3, r10
+  consti r11, 1
+  iadd r2, r2, r11
+  jmp Lloop
+Lswitch:
+  consti r12, 12000
+  idiv r13, r2, r12
+  consti r14, 3
+  irem r13, r13, r14
+  callvirtual_v r0, advance, r13
+  jmp Lafter
+Ldone:
+  sinkint r3
+  ret
+.end_method
+.end
+.entry Sim.main
+"#;
+
+fn main() {
+    let program = assemble(SOURCE).expect("assembles and verifies");
+    println!(
+        "assembled {} classes / {} methods",
+        program.classes.len(),
+        program.methods.len()
+    );
+
+    let prepared = prepare(program, &PipelineConfig::default(), |vm| {
+        vm.run_entry().unwrap();
+    });
+    for mc in &prepared.plan.classes {
+        println!(
+            "mutable class {} with {} hot state(s): {:?}",
+            prepared.program.class(mc.class).name,
+            mc.hot_states.len(),
+            mc.hot_states
+                .iter()
+                .map(|s| s.instance_values[0].1)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    let mut base = prepared.make_baseline_vm(VmConfig::default());
+    base.run_entry().unwrap();
+    let mut mutated = prepared.make_vm(VmConfig::default());
+    mutated.run_entry().unwrap();
+    assert_eq!(base.state.output.checksum, mutated.state.output.checksum);
+    let b = base.state.stats.exec_cycles as f64;
+    let m = mutated.state.stats.exec_cycles as f64;
+    println!(
+        "baseline {b:.0} cycles, mutated {m:.0} cycles: {:+.1}%",
+        (b / m - 1.0) * 100.0
+    );
+    println!(
+        "TIB flips: {} (the light re-classes itself at every phase change)",
+        mutated.stats().tib_flips
+    );
+}

@@ -1,0 +1,58 @@
+//! SPECjbb-style throughput-over-warehouses curves (the paper's
+//! Figures 13 and 15): runs each warehouse interval with and without
+//! mutation and prints the per-warehouse throughput delta.
+//!
+//! ```text
+//! cargo run --release --example jbb_throughput          # SPECjbb2000
+//! cargo run --release --example jbb_throughput -- 2005  # SPECjbb2005
+//! ```
+
+use dchm::core::pipeline::{prepare, PipelineConfig};
+use dchm::workloads::{jbb, Scale};
+
+fn main() {
+    let variant = if std::env::args().any(|a| a == "2005") {
+        jbb::JbbVariant::Jbb2005
+    } else {
+        jbb::JbbVariant::Jbb2000
+    };
+    let w = jbb::build(variant, Scale::Full);
+    println!("running {} ...", w.name);
+
+    let mut cfg = PipelineConfig::default();
+    cfg.profile_vm = w.vm_config();
+    let wl = w.clone();
+    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
+        wl.run(vm).unwrap();
+    });
+
+    let mut run_cfg = w.vm_config();
+    run_cfg.sample_period = 60_000;
+    let mut base = prepared.make_baseline_vm(run_cfg.clone());
+    let base_runs = w.run_warehouses(&mut base).unwrap();
+    let mut mutated = prepared.make_vm(run_cfg);
+    let mut_runs = w.run_warehouses(&mut mutated).unwrap();
+    assert_eq!(base.state.output.checksum, mutated.state.output.checksum);
+
+    println!("{:>4} {:>14} {:>14} {:>8}", "wh", "base tx/s", "mutated tx/s", "delta");
+    for (i, (b, m)) in base_runs.iter().zip(&mut_runs).enumerate() {
+        let tb = b.throughput();
+        let tm = m.throughput();
+        println!(
+            "{:>4} {:>14.0} {:>14.0} {:>+7.1}%",
+            i + 1,
+            tb,
+            tm,
+            (tm / tb - 1.0) * 100.0
+        );
+    }
+    let half = base_runs.len() / 2;
+    let sb: f64 = base_runs[half..].iter().map(|r| r.throughput()).sum();
+    let sm: f64 = mut_runs[half..].iter().map(|r| r.throughput()).sum();
+    println!(
+        "steady-state improvement: {:+.1}%  (paper: {} ~{}%)",
+        (sm / sb - 1.0) * 100.0,
+        w.name,
+        if variant == jbb::JbbVariant::Jbb2000 { "4.5" } else { "1.9" },
+    );
+}

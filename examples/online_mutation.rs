@@ -1,0 +1,69 @@
+//! Online dynamic class hierarchy mutation — the paper's future work
+//! (Sec. 9), running end to end: one VM profiles itself, picks state
+//! fields with EQ 1, samples their values, builds the plan and installs the
+//! mutation engine **between SPECjbb warehouses**, without restarting.
+//!
+//! ```text
+//! cargo run --release --example online_mutation
+//! ```
+
+use dchm::core::analysis::AnalysisConfig;
+use dchm::core::online::OnlineSession;
+use dchm::bytecode::Value;
+use dchm::workloads::{jbb, Driver, Scale};
+
+fn main() {
+    let w = jbb::build(jbb::JbbVariant::Jbb2000, Scale::Full);
+    let Driver::Warehouse { setup, run, txns, warehouses } = w.driver else {
+        unreachable!()
+    };
+    let mut cfg = w.vm_config();
+    cfg.sample_period = 15_000;
+
+    let mut s = OnlineSession::new(w.program.clone(), cfg, AnalysisConfig::default());
+    println!("phase: {:?}", s.phase());
+    s.vm_mut().call_static(setup, &[]).unwrap();
+
+    let mut per_wh = Vec::new();
+    for wh in 0..warehouses {
+        // Phase transitions between warehouses, like a production JVM.
+        if wh == 1 {
+            let candidates = s.begin_value_sampling();
+            println!("after wh1: value sampling on {candidates} candidate field(s)");
+        }
+        if wh == 2 {
+            let classes = s.install_mutation();
+            println!("after wh2: mutation installed — {classes} mutable class(es)");
+            for mc in &s.plan().unwrap().classes {
+                println!(
+                    "    {} ({} hot states)",
+                    w.program.class(mc.class).name,
+                    mc.hot_states.len()
+                );
+            }
+        }
+        let before = s.vm().cycles();
+        s.vm_mut().call_static(run, &[Value::Int(txns)]).unwrap();
+        let cycles = s.vm().cycles() - before;
+        per_wh.push(cycles);
+        println!(
+            "wh{:<2} {:>12} cycles   ({:?})",
+            wh + 1,
+            cycles,
+            s.phase()
+        );
+    }
+
+    let pre: f64 = per_wh[0] as f64;
+    let post: f64 = per_wh[warehouses - 1] as f64;
+    println!(
+        "\nfirst warehouse vs last: {:+.1}% throughput (same process, mutated mid-run)",
+        (pre / post - 1.0) * 100.0
+    );
+    println!(
+        "special TIBs: {}, TIB flips: {}, specials compiled: {}",
+        s.vm().stats().special_tibs,
+        s.vm().stats().tib_flips,
+        s.vm().stats().special_compiles
+    );
+}

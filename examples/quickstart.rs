@@ -1,0 +1,103 @@
+//! Quickstart: build a tiny Java-like program, run it on the VM, then run
+//! it again with dynamic class hierarchy mutation and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dchm::bytecode::{CmpOp, MethodSig, ProgramBuilder, Ty};
+use dchm::core::pipeline::{prepare, PipelineConfig};
+use dchm::vm::VmConfig;
+
+fn main() {
+    // A `Task` whose `run()` behaves differently per `priority` — the
+    // stateful-class pattern the paper targets.
+    let mut pb = ProgramBuilder::new();
+    let task = pb.class("Task").build();
+    let priority = pb.private_field(task, "priority", Ty::Int);
+    let mut m = pb.ctor(task, vec![Ty::Int]);
+    let this = m.this();
+    let p = m.param(0);
+    m.put_field(this, priority, p);
+    m.ret(None);
+    m.build();
+
+    // int run(int work): urgent tasks take the fast path.
+    let mut m = pb.method(task, "run", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let this = m.this();
+    let work = m.param(0);
+    let pr = m.reg();
+    m.get_field(pr, this, priority);
+    let slow = m.label();
+    let out = m.reg();
+    m.br_icmp_imm(CmpOp::Ne, pr, 0, slow);
+    let two = m.imm(2);
+    m.imul(out, work, two);
+    m.ret(Some(out));
+    m.bind(slow);
+    let three = m.imm(3);
+    m.imul(out, work, three);
+    m.iadd_imm(out, out, 7);
+    m.ret(Some(out));
+    m.build();
+
+    // main: hammer an urgent task.
+    let mut m = pb.static_method(task, "main", MethodSig::void());
+    let t = m.reg();
+    let zero = m.imm(0);
+    m.new_init(t, task, vec![zero]);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    let lim = m.imm(200_000);
+    m.br_icmp(CmpOp::Ge, i, lim, done);
+    let r = m.reg();
+    m.call_virtual(Some(r), t, "run", vec![i]);
+    m.sink_int(r);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+    let program = pb.finish().expect("program verifies");
+
+    // Offline pipeline: profile, find state fields (EQ 1), derive hot
+    // states, build the mutation plan.
+    let prepared = prepare(program, &PipelineConfig::default(), |vm| {
+        vm.run_entry().unwrap();
+    });
+    println!("mutation plan: {} mutable class(es)", prepared.plan.classes.len());
+    for mc in &prepared.plan.classes {
+        println!(
+            "  class {} with {} hot state(s)",
+            prepared.program.class(mc.class).name,
+            mc.hot_states.len()
+        );
+    }
+
+    // Baseline.
+    let mut base = prepared.make_baseline_vm(VmConfig::default());
+    base.run_entry().unwrap();
+
+    // With dynamic class hierarchy mutation.
+    let mut mutated = prepared.make_vm(VmConfig::default());
+    mutated.run_entry().unwrap();
+
+    assert_eq!(
+        base.state.output.checksum, mutated.state.output.checksum,
+        "mutation must preserve behaviour"
+    );
+    let b = base.state.stats.exec_cycles;
+    let m = mutated.state.stats.exec_cycles;
+    println!("baseline exec cycles: {b}");
+    println!("mutated  exec cycles: {m}");
+    println!("speedup: {:+.1}%", (b as f64 / m as f64 - 1.0) * 100.0);
+    println!(
+        "special TIBs created: {}, object TIB flips: {}",
+        mutated.stats().special_tibs,
+        mutated.stats().tib_flips
+    );
+}

@@ -1,0 +1,144 @@
+//! End-to-end reproduction tests: for every benchmark in the paper's
+//! Table 1, the full pipeline (profile → EQ 1 → value sampling → plan →
+//! OLC → mutation engine) must
+//!
+//! 1. preserve observable behaviour exactly, and
+//! 2. for the mutation-friendly workloads, reduce execution cycles.
+
+use dchm::core::pipeline::{prepare, PipelineConfig};
+use dchm::vm::VmConfig;
+use dchm::workloads::{catalog, Scale, Workload};
+
+fn fast_vm_config(w: &Workload) -> VmConfig {
+    let mut c = w.vm_config();
+    // Small-scale runs need aggressive sampling to reach opt2 in tests.
+    c.sample_period = 12_000;
+    c.opt1_samples = 2;
+    c.opt2_samples = 5;
+    c
+}
+
+fn prepared_for(w: &Workload) -> dchm::core::pipeline::Prepared {
+    let mut cfg = PipelineConfig::default();
+    cfg.profile_vm = fast_vm_config(w);
+    let wl = w.clone();
+    prepare(w.program.clone(), &cfg, move |vm| {
+        wl.run(vm).expect("profiling run");
+    })
+}
+
+#[test]
+fn mutation_preserves_behaviour_on_every_benchmark() {
+    for w in catalog(Scale::Small) {
+        let prepared = prepared_for(&w);
+        let mut base = prepared.make_baseline_vm(fast_vm_config(&w));
+        w.run(&mut base).unwrap();
+        let mut mutated = prepared.make_vm(fast_vm_config(&w));
+        w.run(&mut mutated).unwrap();
+        assert_eq!(
+            base.state.output.checksum, mutated.state.output.checksum,
+            "{}: mutation changed observable behaviour",
+            w.name
+        );
+        assert_eq!(
+            base.state.output.text, mutated.state.output.text,
+            "{}: mutation changed printed output",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_finds_mutable_classes() {
+    let expected: &[(&str, &str)] = &[
+        ("SalaryDB", "SalaryEmployee"),
+        ("SimLogic", "Gate"),
+        ("CSVToXML", "Converter"),
+        ("Java2XHTML", "Formatter"),
+        ("Weka", "Classifier"),
+        ("SPECjbb2000", "Customer"),
+        ("SPECjbb2005", "Customer"),
+    ];
+    for w in catalog(Scale::Small) {
+        let prepared = prepared_for(&w);
+        let want = expected
+            .iter()
+            .find(|(n, _)| *n == w.name)
+            .map(|(_, c)| *c)
+            .unwrap();
+        let class = w.program.class_by_name(want).unwrap();
+        assert!(
+            prepared.plan.class(class).is_some(),
+            "{}: expected {} to be a mutable class; plan = {:?}",
+            w.name,
+            want,
+            prepared
+                .plan
+                .classes
+                .iter()
+                .map(|c| w.program.class(c.class).name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn salarydb_has_four_hot_states() {
+    let w = dchm::workloads::salarydb::build(Scale::Small);
+    let prepared = prepared_for(&w);
+    let sal = w.program.class_by_name("SalaryEmployee").unwrap();
+    let mc = prepared.plan.class(sal).unwrap();
+    assert_eq!(mc.hot_states.len(), 4, "{:?}", mc.hot_states);
+    let grade = w.program.field_by_name(sal, "grade").unwrap();
+    assert_eq!(mc.instance_state_fields, vec![grade]);
+}
+
+#[test]
+fn jbb_plan_includes_static_state_and_olc() {
+    let w = dchm::workloads::jbb::build(dchm::workloads::jbb::JbbVariant::Jbb2000, Scale::Small);
+    let prepared = prepared_for(&w);
+
+    // Static state field taxPolicy on some mutable class.
+    let company = w.program.class_by_name("Company").unwrap();
+    let tax_policy = w.program.field_by_name(company, "taxPolicy").unwrap();
+    let has_static_state = prepared
+        .plan
+        .classes
+        .iter()
+        .any(|c| c.static_state_fields.contains(&tax_policy));
+    assert!(has_static_state, "taxPolicy must be a static state field");
+
+    // Fig. 7: deliveryScreen's rows/cols are object lifetime constants.
+    let delivery = w.program.class_by_name("DeliveryTransaction").unwrap();
+    let screen_field = w.program.field_by_name(delivery, "deliveryScreen").unwrap();
+    let info = prepared
+        .olc
+        .infos
+        .get(&screen_field)
+        .expect("deliveryScreen must be an OLC reference");
+    let screen = w.program.class_by_name("DisplayScreen").unwrap();
+    assert_eq!(info.exact_class, screen);
+    let rows = w.program.field_by_name(screen, "rows").unwrap();
+    let cols = w.program.field_by_name(screen, "cols").unwrap();
+    assert_eq!(info.bindings.get(&rows), Some(&dchm::bytecode::Value::Int(24)));
+    assert_eq!(info.bindings.get(&cols), Some(&dchm::bytecode::Value::Int(80)));
+}
+
+#[test]
+fn salarydb_mutation_speeds_up_execution() {
+    let w = dchm::workloads::salarydb::build(Scale::Small);
+    let prepared = prepared_for(&w);
+    let mut base = prepared.make_baseline_vm(fast_vm_config(&w));
+    w.run(&mut base).unwrap();
+    let mut mutated = prepared.make_vm(fast_vm_config(&w));
+    w.run(&mut mutated).unwrap();
+    let b = base.state.stats.exec_cycles as f64;
+    let m = mutated.state.stats.exec_cycles as f64;
+    assert!(
+        m < b,
+        "SalaryDB must speed up under mutation: {m} vs {b} ({}%)",
+        (b / m - 1.0) * 100.0
+    );
+    assert!(mutated.stats().special_tibs >= 4);
+    assert!(mutated.stats().tib_flips > 0);
+}

@@ -1,0 +1,67 @@
+//! Persistence round-trips: linked programs (serde) and mutation plans
+//! (JSON) survive serialization with identical observable behaviour —
+//! the storage path a deployment of this system would use.
+
+use dchm::vm::{Vm, VmConfig};
+use dchm::workloads::{salarydb, Scale};
+
+#[test]
+fn program_survives_serde_roundtrip() {
+    let w = salarydb::build(Scale::Small);
+    let json = serde_json::to_string(&w.program).expect("programs serialize");
+    let back: dchm::bytecode::Program = serde_json::from_str(&json).expect("deserialize");
+
+    let mut vm1 = Vm::new(w.program.clone(), VmConfig::default());
+    w.run(&mut vm1).unwrap();
+    let mut vm2 = Vm::new(back, VmConfig::default());
+    vm2.run_entry().unwrap();
+    assert_eq!(vm1.state.output.checksum, vm2.state.output.checksum);
+}
+
+#[test]
+fn plan_roundtrips_and_drives_a_fresh_vm() {
+    use dchm::core::pipeline::{prepare, PipelineConfig};
+    use dchm::core::{MutationEngine, MutationPlan};
+
+    let w = salarydb::build(Scale::Small);
+    let mut cfg = PipelineConfig::default();
+    cfg.profile_vm.sample_period = 10_000;
+    let prepared = prepare(w.program.clone(), &cfg, |vm| {
+        vm.run_entry().unwrap();
+    });
+
+    // Serialize the plan (the "fed into the JVM at startup" artifact) and
+    // rebuild an engine in a fresh process-equivalent.
+    let json = prepared.plan.to_json().unwrap();
+    let plan = MutationPlan::from_json(&json).unwrap();
+    assert_eq!(plan, prepared.plan);
+
+    let engine = MutationEngine::new(plan, prepared.olc.clone());
+    let mut run_cfg = VmConfig::default();
+    run_cfg.sample_period = 10_000;
+    let mut vm = engine.attach(w.program.clone(), run_cfg.clone());
+    w.run(&mut vm).unwrap();
+
+    let mut base = Vm::new(w.program.clone(), run_cfg);
+    w.run(&mut base).unwrap();
+    assert_eq!(vm.state.output.checksum, base.state.output.checksum);
+    assert!(vm.stats().special_tibs >= 4);
+}
+
+#[test]
+fn asm_text_is_a_full_persistence_format() {
+    // print_asm + assemble: a second storage path, human-readable.
+    let w = salarydb::build(Scale::Small);
+    let text = dchm::bytecode::print_asm(&w.program);
+    let back = dchm::bytecode::assemble(&text)
+        .unwrap_or_else(|e| panic!("round-trip failed: {e}"));
+
+    let mut vm1 = Vm::new(w.program.clone(), VmConfig::default());
+    w.run(&mut vm1).unwrap();
+    let mut vm2 = Vm::new(back, VmConfig::default());
+    vm2.run_entry().unwrap();
+    assert_eq!(
+        vm1.state.output.checksum, vm2.state.output.checksum,
+        "assembly text round-trip changed behaviour"
+    );
+}
