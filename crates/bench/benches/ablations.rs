@@ -24,8 +24,10 @@ fn bench_r_param(c: &mut Criterion) {
     for r in [0.0, 1.0, 100.0] {
         g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
             b.iter(|| {
-                let mut cfg = AnalysisConfig::default();
-                cfg.r = r;
+                let cfg = AnalysisConfig {
+                    r,
+                    ..Default::default()
+                };
                 let m = measure_with_analysis(&w, cfg);
                 std::hint::black_box(m.speedup())
             })
@@ -43,8 +45,10 @@ fn bench_k_inlining(c: &mut Criterion) {
     for k in [-5i64, 0, 5] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
-                let mut cfg = AnalysisConfig::default();
-                cfg.k = k;
+                let cfg = AnalysisConfig {
+                    k,
+                    ..Default::default()
+                };
                 let m = measure_with_analysis(&w, cfg);
                 std::hint::black_box(m.speedup())
             })
@@ -62,8 +66,10 @@ fn bench_mutation_level(c: &mut Criterion) {
     for level in [1u8, 2] {
         g.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
             b.iter(|| {
-                let mut cfg = AnalysisConfig::default();
-                cfg.mutation_level = level;
+                let cfg = AnalysisConfig {
+                    mutation_level: level,
+                    ..Default::default()
+                };
                 let prepared = prepare_workload_with(&w, cfg);
                 let mut vm = prepared.make_vm(measured_config(&w));
                 w.run(&mut vm).unwrap();
@@ -83,8 +89,10 @@ fn bench_hot_state_cap(c: &mut Criterion) {
     for cap in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
             b.iter(|| {
-                let mut cfg = AnalysisConfig::default();
-                cfg.max_hot_states_per_class = cap;
+                let cfg = AnalysisConfig {
+                    max_hot_states_per_class: cap,
+                    ..Default::default()
+                };
                 let m = measure_with_analysis(&w, cfg);
                 std::hint::black_box((m.speedup(), m.mutated.special_tib_bytes))
             })

@@ -1,0 +1,199 @@
+//! Dispatch-path microbenchmarks for the fast-path interpreter: inline-cache
+//! hit behaviour (monomorphic sites), cache-defeating polymorphic sites,
+//! interface dispatch with cached IMT extras, and statically-bound calls.
+//! Complements `bench_interp` (whole-workload wall throughput) by isolating
+//! the call round-trip itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dchm_bytecode::{CmpOp, MethodId, MethodSig, Program, ProgramBuilder, Ty, Value};
+use dchm_vm::{Vm, VmConfig};
+
+const CALLS: i64 = 10_000;
+
+fn run(p: &Program, entry: MethodId, expect: i64) {
+    let cfg = VmConfig {
+        enable_inlining: false, // measure real dispatch, not inlined bodies
+        ..Default::default()
+    };
+    let mut vm = Vm::new(p.clone(), cfg);
+    let r = vm.call_static(entry, &[Value::Int(CALLS)]).unwrap();
+    assert_eq!(r, Some(Value::Int(expect)));
+    std::hint::black_box(vm.stats().ic_hits);
+}
+
+/// One receiver, one site: every call after the first is an IC hit.
+fn mono_program() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C").build();
+    pb.trivial_ctor(c);
+    let mut m = pb.method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+    let r = m.imm(1);
+    m.ret(Some(r));
+    m.build();
+    let mut m = pb.static_method(c, "spin", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let n = m.param(0);
+    let obj = m.reg();
+    m.new_init(obj, c, vec![]);
+    let acc = m.reg();
+    let i = m.reg();
+    let v = m.reg();
+    m.const_i(acc, 0);
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    m.call_virtual(Some(v), obj, "f", vec![]);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    let spin = m.build();
+    (pb.finish().unwrap(), spin)
+}
+
+/// Two receiver classes alternating at one site: the monomorphic cache
+/// misses every call — the slow-path dispatch cost.
+fn poly_program() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let a = pb.class("A").build();
+    let b = pb.class("B").extends(a).build();
+    pb.trivial_ctor(a);
+    pb.trivial_ctor(b);
+    let mut m = pb.method(a, "f", MethodSig::new(vec![], Some(Ty::Int)));
+    let r = m.imm(1);
+    m.ret(Some(r));
+    m.build();
+    let mut m = pb.method(b, "f", MethodSig::new(vec![], Some(Ty::Int)));
+    let r = m.imm(1);
+    m.ret(Some(r));
+    m.build();
+    let mut m = pb.static_method(a, "spin", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let n = m.param(0);
+    let oa = m.reg();
+    let ob = m.reg();
+    m.new_init(oa, a, vec![]);
+    m.new_init(ob, b, vec![]);
+    let acc = m.reg();
+    let i = m.reg();
+    let v = m.reg();
+    let recv = m.reg();
+    let rem = m.reg();
+    let two = m.imm(2);
+    let zero = m.imm(0);
+    m.const_i(acc, 0);
+    m.const_i(i, 0);
+    let head = m.label();
+    let use_b = m.label();
+    let call = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    // Alternate receivers through the SAME call site at `call`.
+    m.irem(rem, i, two);
+    m.br_icmp(CmpOp::Eq, rem, zero, use_b);
+    m.mov(recv, oa);
+    m.jmp(call);
+    m.bind(use_b);
+    m.mov(recv, ob);
+    m.jmp(call);
+    m.bind(call);
+    m.call_virtual(Some(v), recv, "f", vec![]);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    let spin = m.build();
+    (pb.finish().unwrap(), spin)
+}
+
+/// Interface dispatch at one site (cached IMT extras on the hit path).
+fn iface_program() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let iface = pb.class("I").interface().build();
+    pb.abstract_method(iface, "f", MethodSig::new(vec![], Some(Ty::Int)));
+    let c = pb.class("C").implements(iface).build();
+    pb.trivial_ctor(c);
+    let mut m = pb.method(c, "f", MethodSig::new(vec![], Some(Ty::Int)));
+    let r = m.imm(1);
+    m.ret(Some(r));
+    m.build();
+    let mut m = pb.static_method(c, "spin", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let n = m.param(0);
+    let obj = m.reg();
+    m.new_init(obj, c, vec![]);
+    let acc = m.reg();
+    let i = m.reg();
+    let v = m.reg();
+    m.const_i(acc, 0);
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    m.call_interface(Some(v), iface, obj, "f", vec![]);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    let spin = m.build();
+    (pb.finish().unwrap(), spin)
+}
+
+/// Statically-bound calls at one site (JTOC path, cached resolution).
+fn static_program() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C").build();
+    let mut m = pb.static_method(c, "one", MethodSig::new(vec![], Some(Ty::Int)));
+    let r = m.imm(1);
+    m.ret(Some(r));
+    let one = m.build();
+    let mut m = pb.static_method(c, "spin", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+    let n = m.param(0);
+    let acc = m.reg();
+    let i = m.reg();
+    let v = m.reg();
+    m.const_i(acc, 0);
+    m.const_i(i, 0);
+    let head = m.label();
+    let done = m.label();
+    m.bind(head);
+    m.br_icmp(CmpOp::Ge, i, n, done);
+    m.call_static(Some(v), one, vec![]);
+    m.iadd(acc, acc, v);
+    m.iadd_imm(i, i, 1);
+    m.jmp(head);
+    m.bind(done);
+    m.ret(Some(acc));
+    let spin = m.build();
+    (pb.finish().unwrap(), spin)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_dispatch");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    let (p, e) = mono_program();
+    g.bench_function("virtual_mono_ic_hit_10k", |b| b.iter(|| run(&p, e, CALLS)));
+
+    let (p, e) = poly_program();
+    g.bench_function("virtual_poly_ic_miss_10k", |b| b.iter(|| run(&p, e, CALLS)));
+
+    let (p, e) = iface_program();
+    g.bench_function("interface_ic_hit_10k", |b| b.iter(|| run(&p, e, CALLS)));
+
+    let (p, e) = static_program();
+    g.bench_function("static_jtoc_10k", |b| b.iter(|| run(&p, e, CALLS)));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

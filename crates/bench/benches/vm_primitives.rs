@@ -48,8 +48,10 @@ fn bench_virtual_dispatch(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(400));
     g.bench_function("10k_calls", |b| {
         b.iter(|| {
-            let mut cfg = VmConfig::default();
-            cfg.enable_inlining = false; // measure real dispatch
+            let cfg = VmConfig {
+                enable_inlining: false, // measure real dispatch
+                ..Default::default()
+            };
             let mut vm = Vm::new(p.clone(), cfg);
             let r = vm.call_static(spin, &[Value::Int(10_000)]).unwrap();
             std::hint::black_box(r)

@@ -1,0 +1,111 @@
+//! Real-time interpreter throughput: `BENCH_interp.json` emitter.
+//!
+//! Unlike every other number in this repo (which is *modeled* cycles), this
+//! harness measures the host-side speed of the evaluator itself: wall-clock
+//! ops/sec executing the Figure 9 workloads with mutation off. It writes
+//! `BENCH_interp.json` at the repo root, comparing against the recorded
+//! pre-optimization (seed) throughput so the interpreter fast-path work is
+//! tracked release over release.
+//!
+//! Usage: `cargo run --release -p dchm-bench --bin bench_interp [--small]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dchm_bench::measured_config;
+use dchm_vm::Vm;
+use dchm_workloads::{catalog, Scale, Workload};
+
+/// Seed throughput (ops/sec, best of 3) recorded on this repo's reference
+/// machine immediately before the interpreter fast-path rewrite, at
+/// `Scale::Full` with mutation off. Regenerate with `--print-baseline` on a
+/// pre-rewrite checkout if the workloads themselves change.
+const SEED_OPS_PER_SEC: &[(&str, f64)] = &[
+    ("SalaryDB", 75144209.0),
+    ("SimLogic", 84786772.0),
+    ("CSVToXML", 122177776.0),
+    ("Java2XHTML", 111944970.0),
+    ("Weka", 113385189.0),
+    ("SPECjbb2000", 95386067.0),
+    ("SPECjbb2005", 101876591.0),
+];
+
+struct Row {
+    name: &'static str,
+    ops_per_sec: f64,
+    ops_executed: u64,
+    wall_ms: f64,
+}
+
+fn measure_throughput(w: &Workload, repeats: u32) -> Row {
+    let mut best_ops_per_sec = 0.0f64;
+    let mut ops_executed = 0u64;
+    let mut best_ms = f64::MAX;
+    for _ in 0..repeats {
+        let mut vm = Vm::new(w.program.clone(), measured_config(w));
+        let start = Instant::now();
+        w.run(&mut vm).expect("workload must not trap");
+        let secs = start.elapsed().as_secs_f64();
+        ops_executed = vm.stats().ops_executed;
+        let rate = ops_executed as f64 / secs.max(1e-12);
+        if rate > best_ops_per_sec {
+            best_ops_per_sec = rate;
+            best_ms = secs * 1e3;
+        }
+    }
+    Row {
+        name: w.name,
+        ops_per_sec: best_ops_per_sec,
+        ops_executed,
+        wall_ms: best_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let print_baseline = args.iter().any(|a| a == "--print-baseline");
+    let scale = if small { Scale::Small } else { Scale::Full };
+
+    // Best-of-5: wall-clock rates on shared machines are noisy and only the
+    // fastest run approximates the interpreter's actual cost.
+    let rows: Vec<Row> = catalog(scale)
+        .iter()
+        .map(|w| measure_throughput(w, 5))
+        .collect();
+
+    if print_baseline {
+        println!("const SEED_OPS_PER_SEC: &[(&str, f64)] = &[");
+        for r in &rows {
+            println!("    (\"{}\", {:.0}.0),", r.name, r.ops_per_sec);
+        }
+        println!("];");
+        return;
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"interpreter_throughput\",\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"unit\": \"ops_per_sec_wall_clock\",");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let seed = SEED_OPS_PER_SEC
+            .iter()
+            .find(|(n, _)| *n == r.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        let speedup = if seed > 0.0 { r.ops_per_sec / seed } else { 0.0 };
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.0}, \"ops_executed\": {}, \"wall_ms\": {:.3}, \"seed_ops_per_sec\": {:.0}, \"speedup_vs_seed\": {:.3}}}",
+            r.name, r.ops_per_sec, r.ops_executed, r.wall_ms, seed, speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+    print!("{json}");
+    for r in &rows {
+        println!("{:<12} {:>12.0} ops/sec ({:.1} ms)", r.name, r.ops_per_sec, r.wall_ms);
+    }
+}

@@ -135,9 +135,10 @@ pub fn prepare_workload_with(
     w: &Workload,
     analysis: dchm_core::AnalysisConfig,
 ) -> Prepared {
-    let mut cfg = PipelineConfig::default();
-    cfg.analysis = analysis;
-    cfg.profile_vm = measured_config(w);
+    let cfg = PipelineConfig {
+        analysis,
+        profile_vm: measured_config(w),
+    };
     let wl = w.clone();
     prepare(w.program.clone(), &cfg, move |vm| {
         wl.run(vm).expect("profiling run");

@@ -247,8 +247,10 @@ pub fn build_plan(
     for (class, mut fields) in by_class {
         fields.truncate(cfg.max_state_fields_per_class);
 
-        // Hot values per field, from the sampling histograms.
-        let mut field_values: Vec<(FieldId, bool, Vec<(Value, f64)>)> = Vec::new();
+        // Hot values per field, from the sampling histograms:
+        // (field, is_static, ranked (value, frequency) pairs).
+        type FieldHotValues = (FieldId, bool, Vec<(Value, f64)>);
+        let mut field_values: Vec<FieldHotValues> = Vec::new();
         for fs in &fields {
             let hist = values.histogram(fs.field);
             if hist.total == 0 {
@@ -469,8 +471,10 @@ mod tests {
         let hot = profile_hot_methods(p.clone(), VmConfig::default(), |vm| {
             vm.run_entry().unwrap();
         });
-        let mut cfg = AnalysisConfig::default();
-        cfg.r = 0.0;
+        let mut cfg = AnalysisConfig {
+            r: 0.0,
+            ..Default::default()
+        };
         let v0 = find_state_fields(&p, &hot, &cfg)
             .iter()
             .find(|f| f.field == grade)
@@ -570,15 +574,19 @@ mod tests {
 
         // Equal synthetic hotness for both work() methods.
         let p = pb.finish().unwrap();
-        let mut hot = dchm_profile::HotMethodReport::default();
-        hot.hotness = vec![0.0; p.methods.len()];
+        let mut hot = dchm_profile::HotMethodReport {
+            hotness: vec![0.0; p.methods.len()],
+            ..Default::default()
+        };
         for (mi, md) in p.methods.iter().enumerate() {
             if md.name == "work" {
                 hot.hotness[mi] = 0.5;
             }
         }
-        let mut cfg = AnalysisConfig::default();
-        cfg.min_score = -1.0;
+        let cfg = AnalysisConfig {
+            min_score: -1.0,
+            ..Default::default()
+        };
         let scores = find_state_fields(&p, &hot, &cfg);
         let score_of = |f: FieldId| scores.iter().find(|s| s.field == f).map(|s| s.score).unwrap();
         assert!(

@@ -107,7 +107,7 @@ impl MutationEngine {
             if mc.has_instance_state() {
                 spec.ctor_classes.insert(mc.class);
             }
-            vm.mutable_classes.insert(mc.class);
+            vm.mark_mutable_class(mc.class);
             // Section 5 `M`: per mutable method, the state fields it reads.
             for &mm in &mc.mutable_methods {
                 let count = spec_fields_read(
@@ -618,11 +618,12 @@ mod tests {
     }
 
     fn fast_config() -> VmConfig {
-        let mut c = VmConfig::default();
-        c.sample_period = 15_000;
-        c.opt1_samples = 2;
-        c.opt2_samples = 5;
-        c
+        VmConfig {
+            sample_period: 15_000,
+            opt1_samples: 2,
+            opt2_samples: 5,
+            ..Default::default()
+        }
     }
 
     fn engine_for(p: &dchm_bytecode::Program) -> MutationEngine {

@@ -235,11 +235,12 @@ mod tests {
     }
 
     fn fast() -> VmConfig {
-        let mut c = VmConfig::default();
-        c.sample_period = 8_000;
-        c.opt1_samples = 2;
-        c.opt2_samples = 4;
-        c
+        VmConfig {
+            sample_period: 8_000,
+            opt1_samples: 2,
+            opt2_samples: 4,
+            ..Default::default()
+        }
     }
 
     #[test]

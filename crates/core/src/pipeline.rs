@@ -146,10 +146,12 @@ mod tests {
         });
         assert!(prepared.plan.class(gate).is_some());
 
-        let mut fast = VmConfig::default();
-        fast.sample_period = 10_000;
-        fast.opt1_samples = 2;
-        fast.opt2_samples = 4;
+        let fast = VmConfig {
+            sample_period: 10_000,
+            opt1_samples: 2,
+            opt2_samples: 4,
+            ..Default::default()
+        };
 
         let mut base = prepared.make_baseline_vm(fast.clone());
         base.run_entry().unwrap();

@@ -8,11 +8,12 @@ use dchm_core::{MutationEngine, OlcReport};
 use dchm_vm::{CodeSlot, Vm, VmConfig};
 
 fn fast() -> VmConfig {
-    let mut c = VmConfig::default();
-    c.sample_period = 6_000;
-    c.opt1_samples = 2;
-    c.opt2_samples = 4;
-    c
+    VmConfig {
+        sample_period: 6_000,
+        opt1_samples: 2,
+        opt2_samples: 4,
+        ..Default::default()
+    }
 }
 
 /// `Meter.read()` depends on instance `unit` and static `calibration`.

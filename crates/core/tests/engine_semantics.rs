@@ -9,11 +9,12 @@ use dchm_core::{MutationEngine, OlcReport};
 use dchm_vm::{Vm, VmConfig};
 
 fn fast() -> VmConfig {
-    let mut c = VmConfig::default();
-    c.sample_period = 8_000;
-    c.opt1_samples = 2;
-    c.opt2_samples = 4;
-    c
+    VmConfig {
+        sample_period: 8_000,
+        opt1_samples: 2,
+        opt2_samples: 4,
+        ..Default::default()
+    }
 }
 
 /// Static-only mutable class: `Calc.scale()` branches on static `mode`.

@@ -94,7 +94,7 @@ fn eval_op(op: &Op, get: &dyn Fn(Reg) -> Lat) -> Option<Value> {
     }
 }
 
-fn transfer(state: &mut Vec<Lat>, op: &Op) {
+fn transfer(state: &mut [Lat], op: &Op) {
     let folded = eval_op(op, &|r: Reg| state[r.index()]);
     if let Some(d) = op.def() {
         state[d.index()] = match folded {
@@ -154,11 +154,11 @@ pub fn constprop(f: &mut Function) -> usize {
 
     // Rewrite using the solved entry states.
     let mut rewrites = 0;
-    for bi in 0..nblocks {
-        let Some(mut state) = in_states[bi].clone() else {
+    for (entry_state, block) in in_states.iter().zip(f.blocks.iter_mut()) {
+        let Some(mut state) = entry_state.clone() else {
             continue; // unreachable; simplify_cfg will drop it
         };
-        for op in &mut f.blocks[bi].ops {
+        for op in &mut block.ops {
             let folded = eval_op(op, &|r: Reg| state[r.index()]);
             if let (Some(v), Some(dst)) = (folded, op.def()) {
                 if let Some(new_op) = const_to_op(dst, v) {
@@ -174,9 +174,9 @@ pub fn constprop(f: &mut Function) -> usize {
             }
             transfer(&mut state, op);
         }
-        if let Term::Br { cond, t, f: fb } = f.blocks[bi].term {
+        if let Term::Br { cond, t, f: fb } = block.term {
             if let Lat::Const(Value::Int(v)) = state[cond.index()] {
-                f.blocks[bi].term = Term::Jmp(if v != 0 { t } else { fb });
+                block.term = Term::Jmp(if v != 0 { t } else { fb });
                 rewrites += 1;
             }
         }

@@ -299,8 +299,10 @@ fn exact_receiver(
         if prev.def() == Some(obj) {
             if let Op::GetField { field, .. } = prev {
                 if let Some(info) = hints.olc.get(field) {
-                    let mut b = Bindings::default();
-                    b.instance = info.bindings.clone();
+                    let b = Bindings {
+                        instance: info.bindings.clone(),
+                        ..Default::default()
+                    };
                     return Some((info.exact_class, b));
                 }
             }
@@ -332,10 +334,10 @@ pub fn bindings_from(
     instance: &[(FieldId, Value)],
     statics: &[(FieldId, Value)],
 ) -> Bindings {
-    let mut b = Bindings::default();
-    b.instance = instance.iter().copied().collect();
-    b.statics = statics.iter().copied().collect();
-    b
+    Bindings {
+        instance: instance.iter().copied().collect(),
+        statics: statics.iter().copied().collect(),
+    }
 }
 
 #[cfg(test)]

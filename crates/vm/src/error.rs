@@ -43,6 +43,10 @@ pub enum RunError {
     /// The evaluator exceeded the configured fuel (instruction budget);
     /// guards tests against infinite loops.
     OutOfFuel,
+    /// An `Unreachable` terminator was executed — an optimizer or codegen
+    /// bug. Surfaced as a trap (rather than a host panic) so the VM state
+    /// stays inspectable post-mortem.
+    UnreachableExecuted,
 }
 
 impl fmt::Display for RunError {
@@ -64,6 +68,9 @@ impl fmt::Display for RunError {
             }
             RunError::NoSuchMethod { what } => write!(f, "no such method: {what}"),
             RunError::OutOfFuel => write!(f, "execution fuel exhausted"),
+            RunError::UnreachableExecuted => {
+                write!(f, "unreachable terminator executed (optimizer bug)")
+            }
         }
     }
 }

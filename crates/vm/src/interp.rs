@@ -1,29 +1,45 @@
 //! The evaluator: executes compiled IR with deterministic cycle accounting,
 //! TIB-based dispatch, adaptive sampling, and delivery of mutation patch
 //! points to the [`MutationHandler`].
+//!
+//! # Fast-path structure
+//!
+//! The hot loop runs on a *local execution cursor* — `(func, method, cid,
+//! base, block, op)` held in locals rather than re-read from
+//! `frames.last()` per op — and writes the cursor back to the frame only at
+//! call boundaries, traps and fuel exhaustion. Registers live in the pooled
+//! [`VmState::reg_stack`] (each frame owns a contiguous window), so a call
+//! extends the pool instead of allocating a fresh `Vec`. All ops dispatch
+//! through a single `match` in the loop body (no second dispatch through a
+//! helper). Cycle and op charges accumulate per basic block and flush
+//! before every point that observes the clock (terminators/`maybe_sample`,
+//! call dispatch, traps), keeping the *modeled* cycle counts bit-identical
+//! to per-op accounting; the fuel check is likewise hoisted to block
+//! granularity (loops always cross a block boundary, so infinite loops
+//! still trap). Receiver-polymorphic call sites carry monomorphic inline
+//! caches keyed on the receiver's TIB (see [`VmState::ic_lookup`]),
+//! invalidated wholesale whenever the mutation engine patches TIBs, the
+//! JTOC, or installs code.
 
 use crate::error::RunError;
 use crate::hooks::{MutationHandler, NoopHandler, VmObserver};
-use crate::state::{CodeSlot, CompiledId, Frame, VmConfig, VmState};
+use crate::state::{CodeSlot, CompiledId, Frame, VmConfig, VmState, STATIC_SITE_TIB};
 use crate::stats::VmStats;
+use crate::tib::TibId;
 use dchm_bytecode::value::ObjRef;
 use dchm_bytecode::{
     ClassId, IntrinsicKind, MethodId, MethodKind, Op, Program, Reg, SelectorId, Value,
 };
-use dchm_ir::cost::{op_cost, CostModel};
+use dchm_ir::cost::CostModel;
 use dchm_ir::Term;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 /// Extra cycles for an IMT conflict stub search (Sec. 3.2.3).
 const IMT_CONFLICT_COST: u64 = 6;
 /// Extra load when dispatching an interface method on a mutable class
 /// (the IMT stores a TIB offset instead of a code pointer — Sec. 3.2.3).
 const IMT_MUTABLE_EXTRA_LOAD: u64 = 1;
-
-enum Flow {
-    Continue,
-    PushedFrame,
-}
 
 /// The virtual machine: state + mutation handler + optional observer.
 pub struct Vm {
@@ -112,15 +128,15 @@ impl Vm {
         );
         let cid = self.state.ensure_compiled(mid);
         self.drain_events();
-        let cm = &self.state.code[cid.index()];
-        let func = cm.func.clone();
-        let mut regs = vec![Value::Int(0); func.num_regs as usize];
-        regs[..args.len()].copy_from_slice(args);
+        let nregs = self.state.code[cid.index()].func.num_regs as usize;
+        let base = self.state.reg_stack.len();
+        self.state.reg_stack.resize(base + nregs, Value::Int(0));
+        self.state.reg_stack[base..base + args.len()].copy_from_slice(args);
         self.state.stats.per_method[mid.index()].invocations += 1;
         self.state.frames.push(Frame {
             method: mid,
-            func,
-            regs,
+            cid,
+            base,
             block: 0,
             op: 0,
             ret_dst: None,
@@ -134,60 +150,397 @@ impl Vm {
 
     fn run_loop(&mut self) -> Result<Option<Value>, RunError> {
         let mut final_ret: Option<Value> = None;
+        // `config.fuel` cannot change mid-run; fold the `Option` away so the
+        // per-block check is a single compare.
+        let fuel_limit = self.state.config.fuel.unwrap_or(u64::MAX);
+        // Not a `while let`: the loop body re-borrows `self.state` mutably
+        // throughout, so the cursor must be destructured to `Copy` locals
+        // in a scope of its own.
+        #[allow(clippy::while_let_loop)]
         'frames: loop {
-            let (func, method) = match self.state.frames.last() {
-                Some(fr) => (fr.func.clone(), fr.method),
+            // (Re)load the execution cursor from the top frame. The frame's
+            // block/op stay stale until the cursor is written back at a
+            // call, trap or fuel stop.
+            let (method, cid, base, mut bi, mut oi) = match self.state.frames.last() {
+                Some(fr) => (
+                    fr.method,
+                    fr.cid,
+                    fr.base,
+                    fr.block as usize,
+                    fr.op as usize,
+                ),
                 None => break,
             };
-            loop {
-                let (bi, mut oi) = {
-                    let fr = self.state.frames.last().expect("frame");
-                    (fr.block as usize, fr.op as usize)
-                };
-                let block = &func.blocks[bi];
-                while oi < block.ops.len() {
-                    let op = &block.ops[oi];
-                    oi += 1;
+            let cm = &self.state.code[cid.index()];
+            let func = Rc::clone(&cm.func);
+            let meta = Rc::clone(&cm.meta);
+            // The ops in `seg..oi` form the straight-line segment executed
+            // since the last flush; its cycle cost is the prefix-sum
+            // difference, so nothing is accumulated per op. Flushed before
+            // anything that observes the clock or op count: terminators
+            // (sampling), call dispatch (compilation), traps and the fuel
+            // stop. Both are (re)assigned at every block entry.
+            let mut seg;
+            let mut prefix;
+            macro_rules! flush {
+                () => {
+                    let span = prefix[oi] - prefix[seg];
+                    if span != 0 {
+                        self.charge(method, span);
+                    }
+                    self.state.stats.ops_executed += (oi - seg) as u64;
+                    // Dead on paths that exit the loop right after.
+                    #[allow(unused_assignments)]
                     {
-                        let fr = self.state.frames.last_mut().expect("frame");
-                        fr.op = oi as u32;
+                        seg = oi;
                     }
-                    let cost = op_cost(op);
-                    self.charge(method, cost);
-                    self.state.stats.ops_executed += 1;
-                    if let Some(fuel) = self.state.config.fuel {
-                        if self.state.stats.ops_executed > fuel {
-                            return Err(RunError::OutOfFuel);
+                };
+            }
+            macro_rules! trap {
+                ($e:expr) => {{
+                    flush!();
+                    self.write_back(bi, oi);
+                    return Err($e);
+                }};
+            }
+            macro_rules! reg {
+                ($r:expr) => {
+                    self.state.reg_stack[base + $r.index()]
+                };
+            }
+            macro_rules! non_null {
+                ($r:expr) => {
+                    match reg!($r).as_ref_opt() {
+                        Some(o) => o,
+                        None => trap!(RunError::NullPointer),
+                    }
+                };
+            }
+            loop {
+                // Fuel check, hoisted to block granularity: every loop
+                // crosses a block boundary, so runaway programs still stop.
+                // Nothing is pending here (blocks are entered flushed), so
+                // trap directly.
+                if self.state.stats.ops_executed > fuel_limit {
+                    self.write_back(bi, oi);
+                    return Err(RunError::OutOfFuel);
+                }
+                let block = &func.blocks[bi];
+                prefix = meta.prefix(bi);
+                seg = oi;
+                let nops = block.ops.len();
+                for op in &block.ops[oi..] {
+                    oi += 1;
+                    match op {
+                        Op::ConstI { dst, val } => reg!(dst) = Value::Int(*val),
+                        Op::ConstD { dst, val } => reg!(dst) = Value::Double(*val),
+                        Op::ConstNull { dst } => reg!(dst) = Value::Null,
+                        Op::Mov { dst, src } => reg!(dst) = reg!(src),
+                        Op::IBin { op: bin, dst, a, b } => {
+                            let (a, b) = (reg!(a).as_int(), reg!(b).as_int());
+                            let r = match bin.eval(a, b) {
+                                Some(r) => r,
+                                None => trap!(RunError::DivideByZero),
+                            };
+                            reg!(dst) = Value::Int(r);
                         }
-                    }
-                    match self.exec_op(op, method)? {
-                        Flow::Continue => {}
-                        Flow::PushedFrame => continue 'frames,
+                        Op::INeg { dst, a } => {
+                            reg!(dst) = Value::Int(reg!(a).as_int().wrapping_neg());
+                        }
+                        Op::DBin { op: bin, dst, a, b } => {
+                            let (a, b) = (reg!(a).as_double(), reg!(b).as_double());
+                            reg!(dst) = Value::Double(bin.eval(a, b));
+                        }
+                        Op::DNeg { dst, a } => {
+                            reg!(dst) = Value::Double(-reg!(a).as_double());
+                        }
+                        Op::I2D { dst, a } => {
+                            reg!(dst) = Value::Double(reg!(a).as_int() as f64);
+                        }
+                        Op::D2I { dst, a } => {
+                            reg!(dst) = Value::Int(reg!(a).as_double() as i64);
+                        }
+                        Op::ICmp { op: cmp, dst, a, b } => {
+                            let r = cmp.eval_int(reg!(a).as_int(), reg!(b).as_int());
+                            reg!(dst) = Value::Int(r as i64);
+                        }
+                        Op::DCmp { op: cmp, dst, a, b } => {
+                            let r = cmp.eval_double(reg!(a).as_double(), reg!(b).as_double());
+                            reg!(dst) = Value::Int(r as i64);
+                        }
+                        Op::RefEq { dst, a, b } => {
+                            let r = match (reg!(a), reg!(b)) {
+                                (Value::Null, Value::Null) => true,
+                                (Value::Ref(x), Value::Ref(y)) => x == y,
+                                (Value::Null, Value::Ref(_)) | (Value::Ref(_), Value::Null) => {
+                                    false
+                                }
+                                (x, y) => panic!("RefEq on non-references {x:?}, {y:?}"),
+                            };
+                            reg!(dst) = Value::Int(r as i64);
+                        }
+                        Op::New { dst, class } => {
+                            let r = match self.state.alloc_object(*class) {
+                                Ok(r) => r,
+                                Err(e) => trap!(e),
+                            };
+                            reg!(dst) = Value::Ref(r);
+                        }
+                        Op::GetField { dst, obj, field } => {
+                            let o = non_null!(obj);
+                            let slot = self.state.field_slot(*field);
+                            reg!(dst) = self.state.heap.object(o).fields[slot];
+                        }
+                        Op::PutField { obj, field, src } => {
+                            let o = non_null!(obj);
+                            let v = reg!(src);
+                            let slot = self.state.field_slot(*field);
+                            self.state.heap.object_mut(o).fields[slot] = v;
+                            if !self.watched.is_empty() && self.watched[field.index()] {
+                                let class = self.state.heap.object(o).class;
+                                if let Some(obs) = &mut self.observer {
+                                    obs.on_instance_store(class, *field, v);
+                                }
+                            }
+                        }
+                        Op::GetStatic { dst, field } => {
+                            reg!(dst) = self.state.get_static(*field);
+                        }
+                        Op::PutStatic { field, src } => {
+                            let v = reg!(src);
+                            self.state.set_static(*field, v);
+                            if !self.watched.is_empty() && self.watched[field.index()] {
+                                if let Some(obs) = &mut self.observer {
+                                    obs.on_static_store(*field, v);
+                                }
+                            }
+                        }
+                        Op::CallVirtual {
+                            dst,
+                            sel,
+                            obj,
+                            args,
+                        } => {
+                            flush!();
+                            let recv = non_null!(obj);
+                            let tib = self.state.heap.object(recv).tib;
+                            let site = meta.site(bi, oi - 1);
+                            let (target, tcid) = match self.state.ic_lookup(cid, site, tib) {
+                                Some((m, c, _)) => (m, c),
+                                None => match self.dispatch_virtual(recv, *sel) {
+                                    Ok((m, c)) => {
+                                        self.state.ic_store(cid, site, tib, m, c, 0);
+                                        (m, c)
+                                    }
+                                    Err(e) => trap!(e),
+                                },
+                            };
+                            self.write_back(bi, oi);
+                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base);
+                            continue 'frames;
+                        }
+                        Op::CallInterface {
+                            dst,
+                            iface: _,
+                            sel,
+                            obj,
+                            args,
+                        } => {
+                            flush!();
+                            let recv = non_null!(obj);
+                            let tib = self.state.heap.object(recv).tib;
+                            let site = meta.site(bi, oi - 1);
+                            let (target, tcid) = match self.state.ic_lookup(cid, site, tib) {
+                                Some((m, c, extra)) => {
+                                    // Replay the deterministic dispatch
+                                    // extras the slow path would charge.
+                                    if extra != 0 {
+                                        self.charge(method, extra);
+                                    }
+                                    (m, c)
+                                }
+                                None => match self.dispatch_interface(recv, *sel, method) {
+                                    Ok((m, c, extra)) => {
+                                        self.state.ic_store(cid, site, tib, m, c, extra);
+                                        (m, c)
+                                    }
+                                    Err(e) => trap!(e),
+                                },
+                            };
+                            self.write_back(bi, oi);
+                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base);
+                            continue 'frames;
+                        }
+                        Op::CallSpecial {
+                            dst,
+                            class,
+                            sel,
+                            obj,
+                            args,
+                        } => {
+                            flush!();
+                            let recv = non_null!(obj);
+                            let site = meta.site(bi, oi - 1);
+                            let (target, tcid) =
+                                match self.state.ic_lookup(cid, site, STATIC_SITE_TIB) {
+                                    Some((m, c, _)) => (m, c),
+                                    None => {
+                                        let target = match self
+                                            .state
+                                            .resolve_special_cached(*class, *sel)
+                                        {
+                                            Some(t) => t,
+                                            None => trap!(RunError::NoSuchMethod {
+                                                what: format!("{}::{}", class, sel),
+                                            }),
+                                        };
+                                        let tcid = self.dispatch_static_bound(target);
+                                        self.state
+                                            .ic_store(cid, site, STATIC_SITE_TIB, target, tcid, 0);
+                                        (target, tcid)
+                                    }
+                                };
+                            self.write_back(bi, oi);
+                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base);
+                            continue 'frames;
+                        }
+                        Op::CallStatic {
+                            dst,
+                            method: m,
+                            args,
+                        } => {
+                            flush!();
+                            let site = meta.site(bi, oi - 1);
+                            let tcid = match self.state.ic_lookup(cid, site, STATIC_SITE_TIB) {
+                                Some((_, c, _)) => c,
+                                None => {
+                                    let c = self.dispatch_static_bound(*m);
+                                    self.state.ic_store(cid, site, STATIC_SITE_TIB, *m, c, 0);
+                                    c
+                                }
+                            };
+                            self.write_back(bi, oi);
+                            self.push_call(*m, tcid, None, args, *dst, base);
+                            continue 'frames;
+                        }
+                        Op::InstanceOf { dst, obj, class } => {
+                            let r = match reg!(obj) {
+                                Value::Null => false,
+                                Value::Ref(o) => {
+                                    // Type tests consult the TIB's
+                                    // type-information entry, never TIB
+                                    // identity (Sec. 3.2.3).
+                                    let tib = self.state.heap.object(o).tib;
+                                    let oc = self.state.tibs[tib.index()].class;
+                                    self.state.program.instance_of(oc, *class)
+                                }
+                                v => panic!("instanceof on non-reference {v:?}"),
+                            };
+                            reg!(dst) = Value::Int(r as i64);
+                        }
+                        Op::CheckCast { obj, class } => match reg!(obj) {
+                            Value::Null => {}
+                            Value::Ref(o) => {
+                                let tib = self.state.heap.object(o).tib;
+                                let oc = self.state.tibs[tib.index()].class;
+                                if !self.state.program.instance_of(oc, *class) {
+                                    trap!(RunError::ClassCast);
+                                }
+                            }
+                            v => panic!("checkcast on non-reference {v:?}"),
+                        },
+                        Op::NewArr { dst, kind, len } => {
+                            let n = reg!(len).as_int();
+                            let r = match self.state.alloc_array(*kind, n) {
+                                Ok(r) => r,
+                                Err(e) => trap!(e),
+                            };
+                            reg!(dst) = Value::Ref(r);
+                        }
+                        Op::ALoad { dst, arr, idx } => {
+                            let a = non_null!(arr);
+                            let i = reg!(idx).as_int();
+                            let arr = self.state.heap.array(a);
+                            let v = usize::try_from(i)
+                                .ok()
+                                .and_then(|ix| arr.elems.get(ix).copied());
+                            match v {
+                                Some(v) => reg!(dst) = v,
+                                None => {
+                                    let len = arr.elems.len();
+                                    trap!(RunError::ArrayBounds { index: i, len });
+                                }
+                            }
+                        }
+                        Op::AStore { arr, idx, src } => {
+                            let a = non_null!(arr);
+                            let i = reg!(idx).as_int();
+                            let v = reg!(src);
+                            let arr = self.state.heap.array_mut(a);
+                            let slot = usize::try_from(i)
+                                .ok()
+                                .and_then(|ix| arr.elems.get_mut(ix));
+                            match slot {
+                                Some(slot) => *slot = v,
+                                None => {
+                                    let len = arr.elems.len();
+                                    trap!(RunError::ArrayBounds { index: i, len });
+                                }
+                            }
+                        }
+                        Op::ALen { dst, arr } => {
+                            let a = non_null!(arr);
+                            let n = self.state.heap.array(a).elems.len() as i64;
+                            reg!(dst) = Value::Int(n);
+                        }
+                        Op::Intrinsic { dst, kind, args } => {
+                            self.exec_intrinsic(base, *dst, *kind, args);
+                        }
+                        Op::NotifyCtorExit { obj, class } => {
+                            if let Value::Ref(o) = reg!(obj) {
+                                self.handler.on_ctor_exit(&mut self.state, o, *class);
+                            }
+                        }
+                        Op::NotifyInstStore { obj, class, field } => {
+                            if let Value::Ref(o) = reg!(obj) {
+                                self.handler
+                                    .on_instance_store(&mut self.state, o, *class, *field);
+                            }
+                        }
+                        Op::NotifyStaticStore { field } => {
+                            self.handler.on_static_store(&mut self.state, *field);
+                        }
                     }
                 }
 
-                // Terminator.
-                self.charge(method, CostModel::TERM_COST);
-                match block.term.clone() {
+                // Terminator: charge the remaining block tail plus the
+                // terminator itself in one go (oi == nops here). Ret folds
+                // its FRAME_COST into the same charge — nothing observes the
+                // clock between the two in the split version.
+                let tail = prefix[nops] - prefix[seg] + CostModel::TERM_COST;
+                self.state.stats.ops_executed += (nops - seg) as u64;
+                match &block.term {
                     Term::Jmp(b) => {
-                        let fr = self.state.frames.last_mut().expect("frame");
-                        fr.block = b.0;
-                        fr.op = 0;
+                        self.charge(method, tail);
+                        bi = b.0 as usize;
+                        oi = 0;
                     }
                     Term::Br { cond, t, f } => {
-                        let v = self.reg(cond).as_int();
-                        let fr = self.state.frames.last_mut().expect("frame");
-                        fr.block = if v != 0 { t.0 } else { f.0 };
-                        fr.op = 0;
+                        self.charge(method, tail);
+                        let v = reg!(cond).as_int();
+                        bi = if v != 0 { t.0 as usize } else { f.0 as usize };
+                        oi = 0;
                     }
                     Term::Ret(v) => {
+                        self.charge(method, tail + CostModel::FRAME_COST);
                         let popped = self.state.frames.pop().expect("frame");
-                        let val = v.map(|r| popped.regs[r.index()]);
-                        self.charge(method, CostModel::FRAME_COST);
-                        match self.state.frames.last_mut() {
-                            Some(caller) => {
+                        let val = v.map(|r| self.state.reg_stack[popped.base + r.index()]);
+                        self.state.reg_stack.truncate(popped.base);
+                        let caller_base = self.state.frames.last().map(|c| c.base);
+                        match caller_base {
+                            Some(cb) => {
                                 if let Some(dst) = popped.ret_dst {
-                                    caller.regs[dst.index()] =
+                                    self.state.reg_stack[cb + dst.index()] =
                                         val.expect("non-void return expected");
                                 }
                             }
@@ -197,7 +550,9 @@ impl Vm {
                         continue 'frames;
                     }
                     Term::Unreachable => {
-                        unreachable!("executed Unreachable terminator (optimizer bug)")
+                        self.charge(method, tail);
+                        self.write_back(bi, oi);
+                        return Err(RunError::UnreachableExecuted);
                     }
                 }
                 self.maybe_sample(method);
@@ -206,27 +561,45 @@ impl Vm {
         Ok(final_ret)
     }
 
+    /// Writes the local cursor back to the top frame (call boundaries,
+    /// traps, fuel stop).
     #[inline]
+    fn write_back(&mut self, bi: usize, oi: usize) {
+        let fr = self.state.frames.last_mut().expect("frame");
+        fr.block = bi as u32;
+        fr.op = oi as u32;
+    }
+
+    #[inline(always)]
     fn charge(&mut self, method: MethodId, cycles: u64) {
         self.state.clock += cycles;
         self.state.stats.exec_cycles += cycles;
         self.state.stats.per_method[method.index()].cycles += cycles;
     }
 
-    #[inline]
-    fn reg(&self, r: Reg) -> Value {
-        self.state.frames.last().expect("frame").regs[r.index()]
+    /// Reads a register of the frame whose window starts at `base`.
+    #[inline(always)]
+    fn rget(&self, base: usize, r: Reg) -> Value {
+        self.state.reg_stack[base + r.index()]
     }
 
-    #[inline]
-    fn set_reg(&mut self, r: Reg, v: Value) {
-        self.state.frames.last_mut().expect("frame").regs[r.index()] = v;
+    /// Writes a register of the frame whose window starts at `base`.
+    #[inline(always)]
+    fn rset(&mut self, base: usize, r: Reg, v: Value) {
+        self.state.reg_stack[base + r.index()] = v;
     }
 
+    /// Block-bottom sampling check; inlined so the common no-sample case is
+    /// one compare, with the actual sampling work kept out of line.
+    #[inline(always)]
     fn maybe_sample(&mut self, method: MethodId) {
-        if self.state.clock < self.state.next_sample_at {
-            return;
+        if self.state.clock >= self.state.next_sample_at {
+            self.take_sample(method);
         }
+    }
+
+    #[cold]
+    fn take_sample(&mut self, method: MethodId) {
         let st = &mut self.state;
         // Deterministic jitter (splitmix-style hash of the tick count)
         // breaks resonance between the sample period and loop periods —
@@ -267,275 +640,60 @@ impl Vm {
         }
     }
 
-    // -----------------------------------------------------------------
-    // Op execution
-    // -----------------------------------------------------------------
-
-    fn exec_op(&mut self, op: &Op, method: MethodId) -> Result<Flow, RunError> {
-        match op {
-            Op::ConstI { dst, val } => self.set_reg(*dst, Value::Int(*val)),
-            Op::ConstD { dst, val } => self.set_reg(*dst, Value::Double(*val)),
-            Op::ConstNull { dst } => self.set_reg(*dst, Value::Null),
-            Op::Mov { dst, src } => {
-                let v = self.reg(*src);
-                self.set_reg(*dst, v);
-            }
-            Op::IBin { op: bin, dst, a, b } => {
-                let (a, b) = (self.reg(*a).as_int(), self.reg(*b).as_int());
-                let r = bin.eval(a, b).ok_or(RunError::DivideByZero)?;
-                self.set_reg(*dst, Value::Int(r));
-            }
-            Op::INeg { dst, a } => {
-                let v = self.reg(*a).as_int().wrapping_neg();
-                self.set_reg(*dst, Value::Int(v));
-            }
-            Op::DBin { op: bin, dst, a, b } => {
-                let (a, b) = (self.reg(*a).as_double(), self.reg(*b).as_double());
-                self.set_reg(*dst, Value::Double(bin.eval(a, b)));
-            }
-            Op::DNeg { dst, a } => {
-                let v = -self.reg(*a).as_double();
-                self.set_reg(*dst, Value::Double(v));
-            }
-            Op::I2D { dst, a } => {
-                let v = self.reg(*a).as_int() as f64;
-                self.set_reg(*dst, Value::Double(v));
-            }
-            Op::D2I { dst, a } => {
-                let v = self.reg(*a).as_double() as i64;
-                self.set_reg(*dst, Value::Int(v));
-            }
-            Op::ICmp { op: cmp, dst, a, b } => {
-                let r = cmp.eval_int(self.reg(*a).as_int(), self.reg(*b).as_int());
-                self.set_reg(*dst, Value::Int(r as i64));
-            }
-            Op::DCmp { op: cmp, dst, a, b } => {
-                let r = cmp.eval_double(self.reg(*a).as_double(), self.reg(*b).as_double());
-                self.set_reg(*dst, Value::Int(r as i64));
-            }
-            Op::RefEq { dst, a, b } => {
-                let r = match (self.reg(*a), self.reg(*b)) {
-                    (Value::Null, Value::Null) => true,
-                    (Value::Ref(x), Value::Ref(y)) => x == y,
-                    (Value::Null, Value::Ref(_)) | (Value::Ref(_), Value::Null) => false,
-                    (x, y) => panic!("RefEq on non-references {x:?}, {y:?}"),
-                };
-                self.set_reg(*dst, Value::Int(r as i64));
-            }
-            Op::New { dst, class } => {
-                let r = self.state.alloc_object(*class)?;
-                self.set_reg(*dst, Value::Ref(r));
-            }
-            Op::GetField { dst, obj, field } => {
-                let o = self.obj_ref(*obj)?;
-                let slot = self.state.program.field(*field).slot as usize;
-                let v = self.state.heap.object(o).fields[slot];
-                self.set_reg(*dst, v);
-            }
-            Op::PutField { obj, field, src } => {
-                let o = self.obj_ref(*obj)?;
-                let v = self.reg(*src);
-                let slot = self.state.program.field(*field).slot as usize;
-                self.state.heap.object_mut(o).fields[slot] = v;
-                if !self.watched.is_empty() && self.watched[field.index()] {
-                    let class = self.state.heap.object(o).class;
-                    if let Some(obs) = &mut self.observer {
-                        obs.on_instance_store(class, *field, v);
-                    }
-                }
-            }
-            Op::GetStatic { dst, field } => {
-                let v = self.state.get_static(*field);
-                self.set_reg(*dst, v);
-            }
-            Op::PutStatic { field, src } => {
-                let v = self.reg(*src);
-                self.state.set_static(*field, v);
-                if !self.watched.is_empty() && self.watched[field.index()] {
-                    if let Some(obs) = &mut self.observer {
-                        obs.on_static_store(*field, v);
-                    }
-                }
-            }
-            Op::CallVirtual {
-                dst,
-                sel,
-                obj,
-                args,
-            } => {
-                let recv = self.obj_ref(*obj)?;
-                let (target, cid) = self.dispatch_virtual(recv, *sel)?;
-                return self.push_call(target, cid, Some(Value::Ref(recv)), args, *dst);
-            }
-            Op::CallSpecial {
-                dst,
-                class,
-                sel,
-                obj,
-                args,
-            } => {
-                let recv = self.obj_ref(*obj)?;
-                let target = self
-                    .state
-                    .resolve_special_cached(*class, *sel)
-                    .ok_or_else(|| RunError::NoSuchMethod {
-                        what: format!("{}::{}", class, sel),
-                    })?;
-                let cid = self.dispatch_static_bound(target);
-                return self.push_call(target, cid, Some(Value::Ref(recv)), args, *dst);
-            }
-            Op::CallStatic { dst, method: m, args } => {
-                let cid = self.dispatch_static_bound(*m);
-                return self.push_call(*m, cid, None, args, *dst);
-            }
-            Op::CallInterface {
-                dst,
-                iface: _,
-                sel,
-                obj,
-                args,
-            } => {
-                let recv = self.obj_ref(*obj)?;
-                let (target, cid) = self.dispatch_interface(recv, *sel, method)?;
-                return self.push_call(target, cid, Some(Value::Ref(recv)), args, *dst);
-            }
-            Op::InstanceOf { dst, obj, class } => {
-                let r = match self.reg(*obj) {
-                    Value::Null => false,
-                    Value::Ref(o) => {
-                        // Type tests consult the TIB's type-information
-                        // entry, never TIB identity (Sec. 3.2.3).
-                        let tib = self.state.heap.object(o).tib;
-                        let oc = self.state.tibs[tib.index()].class;
-                        self.state.program.instance_of(oc, *class)
-                    }
-                    v => panic!("instanceof on non-reference {v:?}"),
-                };
-                self.set_reg(*dst, Value::Int(r as i64));
-            }
-            Op::CheckCast { obj, class } => match self.reg(*obj) {
-                Value::Null => {}
-                Value::Ref(o) => {
-                    let tib = self.state.heap.object(o).tib;
-                    let oc = self.state.tibs[tib.index()].class;
-                    if !self.state.program.instance_of(oc, *class) {
-                        return Err(RunError::ClassCast);
-                    }
-                }
-                v => panic!("checkcast on non-reference {v:?}"),
-            },
-            Op::NewArr { dst, kind, len } => {
-                let n = self.reg(*len).as_int();
-                let r = self.state.alloc_array(*kind, n)?;
-                self.set_reg(*dst, Value::Ref(r));
-            }
-            Op::ALoad { dst, arr, idx } => {
-                let a = self.obj_ref(*arr)?;
-                let i = self.reg(*idx).as_int();
-                let arr = self.state.heap.array(a);
-                let v = *arr
-                    .elems
-                    .get(usize::try_from(i).map_err(|_| RunError::ArrayBounds {
-                        index: i,
-                        len: arr.elems.len(),
-                    })?)
-                    .ok_or(RunError::ArrayBounds {
-                        index: i,
-                        len: arr.elems.len(),
-                    })?;
-                self.set_reg(*dst, v);
-            }
-            Op::AStore { arr, idx, src } => {
-                let a = self.obj_ref(*arr)?;
-                let i = self.reg(*idx).as_int();
-                let v = self.reg(*src);
-                let arr = self.state.heap.array_mut(a);
-                let len = arr.elems.len();
-                let slot = arr
-                    .elems
-                    .get_mut(usize::try_from(i).map_err(|_| RunError::ArrayBounds {
-                        index: i,
-                        len,
-                    })?)
-                    .ok_or(RunError::ArrayBounds { index: i, len })?;
-                *slot = v;
-            }
-            Op::ALen { dst, arr } => {
-                let a = self.obj_ref(*arr)?;
-                let n = self.state.heap.array(a).elems.len() as i64;
-                self.set_reg(*dst, Value::Int(n));
-            }
-            Op::Intrinsic { dst, kind, args } => self.exec_intrinsic(*dst, *kind, args),
-            Op::NotifyCtorExit { obj, class } => {
-                if let Value::Ref(o) = self.reg(*obj) {
-                    self.handler.on_ctor_exit(&mut self.state, o, *class);
-                }
-            }
-            Op::NotifyInstStore { obj, class, field } => {
-                if let Value::Ref(o) = self.reg(*obj) {
-                    self.handler
-                        .on_instance_store(&mut self.state, o, *class, *field);
-                }
-            }
-            Op::NotifyStaticStore { field } => {
-                self.handler.on_static_store(&mut self.state, *field);
-            }
-        }
-        Ok(Flow::Continue)
-    }
-
-    fn exec_intrinsic(&mut self, dst: Option<Reg>, kind: IntrinsicKind, args: &[Reg]) {
+    fn exec_intrinsic(&mut self, base: usize, dst: Option<Reg>, kind: IntrinsicKind, args: &[Reg]) {
         match kind {
             IntrinsicKind::PrintInt => {
-                let v = self.reg(args[0]).as_int();
+                let v = self.rget(base, args[0]).as_int();
                 let _ = writeln!(self.state.output.text, "{v}");
             }
             IntrinsicKind::PrintDouble => {
-                let v = self.reg(args[0]).as_double();
+                let v = self.rget(base, args[0]).as_double();
                 let _ = writeln!(self.state.output.text, "{v}");
             }
             IntrinsicKind::PrintChar => {
-                let v = self.reg(args[0]).as_int();
+                let v = self.rget(base, args[0]).as_int();
                 let c = char::from_u32(v as u32).unwrap_or('\u{FFFD}');
                 self.state.output.text.push(c);
             }
             IntrinsicKind::SinkInt => {
-                let v = self.reg(args[0]).as_int();
+                let v = self.rget(base, args[0]).as_int();
                 self.state.output.sink_int(v);
             }
             IntrinsicKind::SinkDouble => {
-                let v = self.reg(args[0]).as_double();
+                let v = self.rget(base, args[0]).as_double();
                 self.state.output.sink_double(v);
             }
             IntrinsicKind::DSqrt => {
-                let v = self.reg(args[0]).as_double().sqrt();
-                self.set_reg(dst.expect("DSqrt needs dst"), Value::Double(v));
+                let v = self.rget(base, args[0]).as_double().sqrt();
+                self.rset(base, dst.expect("DSqrt needs dst"), Value::Double(v));
             }
             IntrinsicKind::DAbs => {
-                let v = self.reg(args[0]).as_double().abs();
-                self.set_reg(dst.expect("DAbs needs dst"), Value::Double(v));
+                let v = self.rget(base, args[0]).as_double().abs();
+                self.rset(base, dst.expect("DAbs needs dst"), Value::Double(v));
             }
             IntrinsicKind::IAbs => {
-                let v = self.reg(args[0]).as_int().wrapping_abs();
-                self.set_reg(dst.expect("IAbs needs dst"), Value::Int(v));
+                let v = self.rget(base, args[0]).as_int().wrapping_abs();
+                self.rset(base, dst.expect("IAbs needs dst"), Value::Int(v));
             }
             IntrinsicKind::IMin => {
-                let v = self.reg(args[0]).as_int().min(self.reg(args[1]).as_int());
-                self.set_reg(dst.expect("IMin needs dst"), Value::Int(v));
+                let v = self
+                    .rget(base, args[0])
+                    .as_int()
+                    .min(self.rget(base, args[1]).as_int());
+                self.rset(base, dst.expect("IMin needs dst"), Value::Int(v));
             }
             IntrinsicKind::IMax => {
-                let v = self.reg(args[0]).as_int().max(self.reg(args[1]).as_int());
-                self.set_reg(dst.expect("IMax needs dst"), Value::Int(v));
+                let v = self
+                    .rget(base, args[0])
+                    .as_int()
+                    .max(self.rget(base, args[1]).as_int());
+                self.rset(base, dst.expect("IMax needs dst"), Value::Int(v));
             }
         }
     }
 
-    #[inline]
-    fn obj_ref(&self, r: Reg) -> Result<ObjRef, RunError> {
-        self.reg(r).as_ref_opt().ok_or(RunError::NullPointer)
-    }
-
-    /// Virtual dispatch through the object's (possibly special) TIB.
+    /// Virtual dispatch through the object's (possibly special) TIB — the
+    /// inline-cache miss path.
     fn dispatch_virtual(
         &mut self,
         recv: ObjRef,
@@ -547,9 +705,7 @@ impl Vm {
         };
         let vslot = self
             .state
-            .program
-            .class(class)
-            .vtable_slot(sel)
+            .vtable_slot_fast(class, sel)
             .ok_or_else(|| RunError::NoSuchMethod {
                 what: format!(
                     "{}::{}",
@@ -560,32 +716,33 @@ impl Vm {
         self.resolve_slot(tib, class, vslot)
     }
 
-    /// Interface dispatch through the shared IMT.
+    /// Interface dispatch through the shared IMT — the inline-cache miss
+    /// path. Returns the deterministic extra dispatch cycles charged
+    /// (conflict search + mutable-class load) so the caller can cache them.
     fn dispatch_interface(
         &mut self,
         recv: ObjRef,
         sel: SelectorId,
         caller: MethodId,
-    ) -> Result<(MethodId, CompiledId), RunError> {
+    ) -> Result<(MethodId, CompiledId, u64), RunError> {
         let (tib, class) = {
             let o = self.state.heap.object(recv);
             (o.tib, o.class)
         };
         let imt_idx = self.state.tibs[tib.index()].imt as usize;
         let hit = self.state.imts[imt_idx].lookup(sel);
+        let mut extra = 0u64;
         let vslot = match hit {
             Some((v, conflicted)) => {
                 if conflicted {
-                    self.charge(caller, IMT_CONFLICT_COST);
+                    extra += IMT_CONFLICT_COST;
                 }
                 v as usize
             }
             None => {
                 // Robust fallback through the vtable mapping.
                 self.state
-                    .program
-                    .class(class)
-                    .vtable_slot(sel)
+                    .vtable_slot_fast(class, sel)
                     .ok_or_else(|| RunError::NoSuchMethod {
                         what: format!(
                             "interface {} on {}",
@@ -596,15 +753,19 @@ impl Vm {
             }
         };
         if self.state.mutable_classes.contains(&class) {
-            self.charge(caller, IMT_MUTABLE_EXTRA_LOAD);
+            extra += IMT_MUTABLE_EXTRA_LOAD;
         }
-        self.resolve_slot(tib, class, vslot)
+        if extra != 0 {
+            self.charge(caller, extra);
+        }
+        let (m, c) = self.resolve_slot(tib, class, vslot)?;
+        Ok((m, c, extra))
     }
 
     /// Resolves a TIB method slot, compiling lazily on first touch.
     fn resolve_slot(
         &mut self,
-        tib: crate::tib::TibId,
+        tib: TibId,
         class: ClassId,
         vslot: usize,
     ) -> Result<(MethodId, CompiledId), RunError> {
@@ -645,6 +806,10 @@ impl Vm {
         self.state.static_override[mid.index()].unwrap_or(cid)
     }
 
+    /// Pushes a callee frame: extends the pooled register stack by the
+    /// callee's window and copies receiver + arguments from the caller's
+    /// window (`caller_base`).
+    #[inline]
     fn push_call(
         &mut self,
         target: MethodId,
@@ -652,30 +817,32 @@ impl Vm {
         recv: Option<Value>,
         args: &[Reg],
         dst: Option<Reg>,
-    ) -> Result<Flow, RunError> {
-        let func = self.state.code[cid.index()].func.clone();
-        let mut regs = vec![Value::Int(0); func.num_regs as usize];
-        let mut i = 0;
+        caller_base: usize,
+    ) {
+        let nregs = self.state.code[cid.index()].func.num_regs as usize;
+        let new_base = self.state.reg_stack.len();
+        // Incoming values are pushed first, then the remaining locals are
+        // zero-filled in one resize, so no slot is written twice.
+        self.state.reg_stack.reserve(nregs);
         if let Some(r) = recv {
-            regs[0] = r;
-            i = 1;
+            self.state.reg_stack.push(r);
         }
         for &a in args {
-            regs[i] = self.reg(a);
-            i += 1;
+            let v = self.state.reg_stack[caller_base + a.index()];
+            self.state.reg_stack.push(v);
         }
+        self.state.reg_stack.resize(new_base + nregs, Value::Int(0));
         self.state.clock += CostModel::FRAME_COST;
         self.state.stats.exec_cycles += CostModel::FRAME_COST;
         self.state.stats.per_method[target.index()].invocations += 1;
         self.state.frames.push(Frame {
             method: target,
-            func,
-            regs,
+            cid,
+            base: new_base,
             block: 0,
             op: 0,
             ret_dst: dst,
         });
-        Ok(Flow::PushedFrame)
     }
 }
 

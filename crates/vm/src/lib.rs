@@ -62,6 +62,6 @@ pub use hooks::{
     CompilerHints, MutationHandler, NoopHandler, OlcInfo, PatchSpec, VmObserver,
 };
 pub use interp::Vm;
-pub use state::{CodeSlot, CompiledId, CompiledMethod, VmConfig, VmState};
+pub use state::{CodeMeta, CodeSlot, CompiledId, CompiledMethod, VmConfig, VmState};
 pub use stats::{MethodProfile, VmStats};
 pub use tib::{Imt, ImtEntry, Tib, TibId, TibKind, IMT_SLOTS};

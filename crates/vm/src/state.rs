@@ -9,8 +9,8 @@ use crate::hooks::{CompilerHints, PatchSpec};
 use crate::stats::VmStats;
 use crate::tib::{Imt, Tib, TibId, TibKind};
 use dchm_bytecode::value::ObjRef;
-use dchm_bytecode::{ClassId, FieldId, MethodId, Program, Reg, SelectorId, Value};
-use dchm_ir::cost::CostModel;
+use dchm_bytecode::{ClassId, FieldId, MethodId, Op, Program, Reg, SelectorId, Value};
+use dchm_ir::cost::{op_cost, CostModel};
 use dchm_ir::passes::Bindings;
 use dchm_ir::Function;
 use std::collections::{HashMap, HashSet};
@@ -45,6 +45,117 @@ pub enum CodeSlot {
     Code(CompiledId),
 }
 
+/// Sentinel for "this op is not an inline-cache call site".
+pub const NO_SITE: u32 = u32::MAX;
+
+/// Pseudo-TIB key for inline-cache entries at receiver-monomorphic sites
+/// (`CallSpecial`/`CallStatic`), whose resolution does not depend on the
+/// receiver's TIB. No real TIB ever gets this id.
+pub const STATIC_SITE_TIB: TibId = TibId(u32::MAX);
+
+/// Per-compiled-method metadata precomputed at compile time for the
+/// interpreter fast path:
+///
+/// * dense call-site numbering — every call op gets a sequential site id
+///   (everything else maps to [`NO_SITE`]), indexing this method's
+///   inline-cache row in [`VmState::icaches`]. Receiver-polymorphic sites
+///   (`CallVirtual`/`CallInterface`) key their entry on the receiver TIB;
+///   monomorphic sites (`CallSpecial`/`CallStatic`) use
+///   [`STATIC_SITE_TIB`], caching the JTOC/special resolution;
+/// * per-block cycle-cost prefix sums — `cost_prefix[block][i]` is the
+///   summed [`op_cost`] of ops `0..i`, so the evaluator charges a whole
+///   straight-line segment with one subtraction instead of a per-op cost
+///   lookup, while traps mid-block still charge the exact prefix.
+#[derive(Debug)]
+pub struct CodeMeta {
+    /// `sites[block][op]` -> site id or [`NO_SITE`].
+    sites: Vec<Vec<u32>>,
+    /// `cost_prefix[block]` has `ops.len() + 1` entries.
+    cost_prefix: Vec<Vec<u64>>,
+    /// Number of inline-cache sites (length of the cache row).
+    pub num_sites: u32,
+}
+
+impl CodeMeta {
+    /// Builds the metadata for `func`.
+    pub fn build(func: &Function) -> Self {
+        let mut next = 0u32;
+        let mut sites = Vec::with_capacity(func.blocks.len());
+        let mut cost_prefix = Vec::with_capacity(func.blocks.len());
+        for b in &func.blocks {
+            let mut row = Vec::with_capacity(b.ops.len());
+            let mut prefix = Vec::with_capacity(b.ops.len() + 1);
+            let mut sum = 0u64;
+            prefix.push(0);
+            for op in &b.ops {
+                row.push(match op {
+                    Op::CallVirtual { .. }
+                    | Op::CallInterface { .. }
+                    | Op::CallSpecial { .. }
+                    | Op::CallStatic { .. } => {
+                        let s = next;
+                        next += 1;
+                        s
+                    }
+                    _ => NO_SITE,
+                });
+                sum += op_cost(op);
+                prefix.push(sum);
+            }
+            sites.push(row);
+            cost_prefix.push(prefix);
+        }
+        CodeMeta {
+            sites,
+            cost_prefix,
+            num_sites: next,
+        }
+    }
+
+    /// The site id at `(block, op)`, or [`NO_SITE`].
+    #[inline]
+    pub fn site(&self, block: usize, op: usize) -> u32 {
+        self.sites[block][op]
+    }
+
+    /// The cost prefix sums of `block` (`ops.len() + 1` entries).
+    #[inline]
+    pub fn prefix(&self, block: usize) -> &[u64] {
+        &self.cost_prefix[block]
+    }
+}
+
+/// One monomorphic inline-cache entry: the last dispatch outcome observed
+/// at a call site, keyed by the receiver's TIB. `version` ties the entry to
+/// the global [`VmState::ic_version`]; any TIB/JTOC patch bumps the version
+/// and implicitly empties every cache in O(1).
+#[derive(Clone, Copy, Debug)]
+pub struct IcEntry {
+    /// `ic_version` at fill time; a stale version means the entry is empty.
+    version: u64,
+    /// The receiver TIB this entry was filled for.
+    tib: u32,
+    /// Cached dispatch target method.
+    method: MethodId,
+    /// Cached dispatch target code.
+    cid: CompiledId,
+    /// Deterministic extra dispatch cycles to charge on a hit (IMT conflict
+    /// search + mutable-class TIB-offset load for interface sites; 0 for
+    /// virtual sites). Pure function of `(tib, selector)`, so cacheable.
+    extra: u64,
+}
+
+impl IcEntry {
+    /// A never-filled entry (version 0 predates every `ic_version`).
+    pub const EMPTY: IcEntry = IcEntry {
+        version: 0,
+        tib: 0,
+        method: MethodId(0),
+        cid: CompiledId(0),
+        extra: 0,
+    };
+}
+
 /// One compiled method: the unit the optimizing compiler produces.
 #[derive(Clone, Debug)]
 pub struct CompiledMethod {
@@ -58,6 +169,8 @@ pub struct CompiledMethod {
     pub special: bool,
     /// The executable IR.
     pub func: Rc<Function>,
+    /// Fast-path metadata (inline-cache site numbering, cost prefix sums).
+    pub meta: Rc<CodeMeta>,
     /// Modeled machine-code size in bytes.
     pub size_bytes: usize,
 }
@@ -109,19 +222,29 @@ impl Default for VmConfig {
     }
 }
 
-/// One activation record.
-#[derive(Clone, Debug)]
+/// One activation record — plain `Copy` data, so frame pushes and pops are
+/// raw memcpys with no refcount or drop traffic. Registers live in the
+/// shared [`VmState::reg_stack`] pool: this frame owns the contiguous
+/// window starting at `base` (its code's `num_regs` slots), pushed on call
+/// and truncated on return, so activation needs no per-call heap
+/// allocation.
+#[derive(Clone, Copy, Debug)]
 pub struct Frame {
     /// Method whose code is executing (general or special share this).
     pub method: MethodId,
-    /// The code being executed (frames keep old code alive across
-    /// recompilation; no on-stack replacement, as in the paper).
-    pub func: Rc<Function>,
-    /// Register file.
-    pub regs: Vec<Value>,
-    /// Current block index.
+    /// Id of the executing code in the append-only [`VmState::code`] store.
+    /// Pins the exact code version (frames keep old code across
+    /// recompilation; no on-stack replacement, as in the paper) and keys
+    /// the inline-cache row.
+    pub cid: CompiledId,
+    /// First register slot of this frame's window in the pooled stack.
+    pub base: usize,
+    /// Current block index. Kept current only at call boundaries: while a
+    /// frame is topmost the interpreter runs on a local cursor and writes
+    /// it back when pushing a callee frame, trapping, or running out of
+    /// fuel.
     pub block: u32,
-    /// Next op index within the block.
+    /// Next op index within the block (same caveat as `block`).
     pub op: u32,
     /// Caller register receiving the return value.
     pub ret_dst: Option<Reg>,
@@ -197,6 +320,25 @@ pub struct VmState {
     pub next_sample_at: u64,
     /// Activation stack.
     pub frames: Vec<Frame>,
+    /// Pooled register stack: every frame's register window is a contiguous
+    /// slice of this vector (see [`Frame`]). Host re-entry simply allocates
+    /// past the current top, so no free list is needed.
+    pub reg_stack: Vec<Value>,
+    /// Per-compiled-method inline-cache rows, parallel to `code`; indexed
+    /// by the call-site ids in [`CompiledMethod::sites`].
+    pub(crate) icaches: Vec<Vec<IcEntry>>,
+    /// Global inline-cache generation. Bumped by every TIB/JTOC patch,
+    /// code install and mutable-class marking; entries with an older
+    /// version are treated as empty.
+    pub(crate) ic_version: u64,
+    /// Flattened `class x selector -> vtable slot` table
+    /// (`[class * num_selectors + selector]`, [`NO_SITE`] = absent);
+    /// replaces the per-class hash lookup on the dispatch miss path.
+    vslot_dense: Vec<u32>,
+    /// Selector count (row stride of `vslot_dense`).
+    num_selectors: usize,
+    /// Dense `field -> slot` table (see [`Self::field_slot`]).
+    field_slots: Vec<u32>,
     /// Program output.
     pub output: Output,
     /// Extra GC roots registered by the host.
@@ -276,6 +418,22 @@ impl VmState {
             .filter_map(|(s, v)| (v.len() == 1).then(|| (s, v[0])))
             .collect();
 
+        // Dense class x selector -> vslot dispatch table.
+        let num_selectors = program.selectors.len();
+        let mut vslot_dense = vec![NO_SITE; nclasses * num_selectors];
+        for (ci, c) in program.classes.iter().enumerate() {
+            for si in 0..num_selectors {
+                if let Some(v) = c.vtable_slot(SelectorId(si as u32)) {
+                    vslot_dense[ci * num_selectors + si] = v;
+                }
+            }
+        }
+
+        // Dense field -> object/static slot table: the interpreter's
+        // field-access fast path skips the full `FieldDef` (whose `String`
+        // name would drag a cold cache line into the loop).
+        let field_slots = program.fields.iter().map(|f| f.slot).collect();
+
         // Per-class zero-value field templates.
         let field_templates = (0..nclasses)
             .map(|ci| {
@@ -306,6 +464,12 @@ impl VmState {
             clock: 0,
             next_sample_at: sample_period,
             frames: Vec::new(),
+            reg_stack: Vec::new(),
+            icaches: Vec::new(),
+            ic_version: 1,
+            vslot_dense,
+            num_selectors,
+            field_slots,
             output: Output::default(),
             handles: Vec::new(),
             recompile_events: Vec::new(),
@@ -397,11 +561,15 @@ impl VmState {
             self.stats.code_bytes_by_level[l] += size as u64;
         }
         let cid = CompiledId(self.code.len() as u32);
+        let func = Rc::new(outcome.func);
+        let meta = Rc::new(CodeMeta::build(&func));
+        self.icaches.push(vec![IcEntry::EMPTY; meta.num_sites as usize]);
         self.code.push(CompiledMethod {
             method: mid,
             level,
             special,
-            func: Rc::new(outcome.func),
+            func,
+            meta,
             size_bytes: size,
         });
         cid
@@ -412,6 +580,7 @@ impl VmState {
     /// TIB and every subclass TIB still inheriting this method. General
     /// code (never special code) propagates to subclasses — paper Fig. 6.
     pub fn install_general(&mut self, mid: MethodId, cid: CompiledId) {
+        self.invalidate_inline_caches();
         self.general_code[mid.index()] = Some(cid);
         let md = self.program.method(mid);
         if !md.is_virtual() {
@@ -466,6 +635,7 @@ impl VmState {
 
     /// Points a TIB method slot at specific compiled code.
     pub fn set_tib_slot(&mut self, tib: TibId, vslot: u32, code: CodeSlot) {
+        self.invalidate_inline_caches();
         self.tibs[tib.index()].methods[vslot as usize] = code;
         self.stats.code_patches += 1;
     }
@@ -480,6 +650,7 @@ impl VmState {
     /// manages itself). Keeps special TIBs identical to the class TIB for
     /// inherited/unrelated methods, preserving lazy compilation.
     pub fn sync_special_from_class(&mut self, class: ClassId, special: TibId, skip: &[u32]) {
+        self.invalidate_inline_caches();
         let class_tib = self.class_tibs[class.index()];
         let n = self.tibs[class_tib.index()].methods.len();
         for v in 0..n {
@@ -511,13 +682,83 @@ impl VmState {
     /// restores the general code) — the JTOC patching of Fig. 4/5 for
     /// static and `invokespecial`-bound methods.
     pub fn set_static_override(&mut self, mid: MethodId, code: Option<CompiledId>) {
+        self.invalidate_inline_caches();
         self.static_override[mid.index()] = code;
         self.stats.code_patches += 1;
     }
 
+    /// Marks `class` mutable: its interface dispatch pays the extra
+    /// TIB-offset load (Sec. 3.2.3). Invalidates inline caches because
+    /// interface-site entries cache that extra charge.
+    pub fn mark_mutable_class(&mut self, class: ClassId) {
+        self.invalidate_inline_caches();
+        self.mutable_classes.insert(class);
+    }
+
     // ---------------------------------------------------------------
-    // Dispatch helpers
+    // Inline caches & dispatch helpers
     // ---------------------------------------------------------------
+
+    /// Empties every inline cache in O(1) by bumping the global generation.
+    /// Called on any patch that can change a dispatch outcome (code
+    /// install, TIB slot write, JTOC override, mutable-class marking).
+    pub fn invalidate_inline_caches(&mut self) {
+        self.ic_version += 1;
+        self.stats.ic_invalidations += 1;
+    }
+
+    /// Inline-cache probe for call site `site` of compiled method `cid`
+    /// with receiver TIB `tib`. On a hit returns the cached
+    /// `(target method, target code, extra dispatch cycles)`.
+    #[inline]
+    pub(crate) fn ic_lookup(
+        &mut self,
+        cid: CompiledId,
+        site: u32,
+        tib: TibId,
+    ) -> Option<(MethodId, CompiledId, u64)> {
+        let e = &self.icaches[cid.index()][site as usize];
+        if e.version == self.ic_version && e.tib == tib.0 {
+            self.stats.ic_hits += 1;
+            Some((e.method, e.cid, e.extra))
+        } else {
+            self.stats.ic_misses += 1;
+            None
+        }
+    }
+
+    /// Fills the inline-cache entry after a slow-path dispatch.
+    #[inline]
+    pub(crate) fn ic_store(
+        &mut self,
+        cid: CompiledId,
+        site: u32,
+        tib: TibId,
+        method: MethodId,
+        target: CompiledId,
+        extra: u64,
+    ) {
+        self.icaches[cid.index()][site as usize] = IcEntry {
+            version: self.ic_version,
+            tib: tib.0,
+            method,
+            cid: target,
+            extra,
+        };
+    }
+
+    /// Dense `class x selector -> vtable slot` lookup (dispatch miss path).
+    #[inline]
+    pub fn vtable_slot_fast(&self, class: ClassId, sel: SelectorId) -> Option<u32> {
+        let v = self.vslot_dense[class.index() * self.num_selectors + sel.index()];
+        (v != NO_SITE).then_some(v)
+    }
+
+    /// Dense `field -> storage slot` lookup (field-access fast path).
+    #[inline]
+    pub fn field_slot(&self, field: FieldId) -> usize {
+        self.field_slots[field.index()] as usize
+    }
 
     /// Cached `invokespecial` resolution.
     pub fn resolve_special_cached(&mut self, class: ClassId, sel: SelectorId) -> Option<MethodId> {
@@ -576,13 +817,13 @@ impl VmState {
     }
 
     /// Runs a collection with roots from frames, statics and host handles.
+    /// Every live frame's registers are a window of `reg_stack`, so one
+    /// linear scan of the pool covers all frames.
     pub fn gc_now(&mut self) {
         let mut roots: Vec<ObjRef> = Vec::new();
-        for f in &self.frames {
-            for v in &f.regs {
-                if let Value::Ref(r) = v {
-                    roots.push(*r);
-                }
+        for v in &self.reg_stack {
+            if let Value::Ref(r) = v {
+                roots.push(*r);
             }
         }
         for v in &self.statics {
@@ -616,12 +857,13 @@ impl VmState {
 
     /// Reads a static field.
     pub fn get_static(&self, field: FieldId) -> Value {
-        self.statics[self.program.field(field).slot as usize]
+        self.statics[self.field_slot(field)]
     }
 
     /// Writes a static field (host-side; does not fire patch points).
     pub fn set_static(&mut self, field: FieldId, v: Value) {
-        self.statics[self.program.field(field).slot as usize] = v;
+        let slot = self.field_slot(field);
+        self.statics[slot] = v;
     }
 
     /// Reads an instance field of a heap object (host-side helper).

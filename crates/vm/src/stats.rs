@@ -55,6 +55,14 @@ pub struct VmStats {
     pub tib_flips: u64,
     /// Code-pointer patches applied to TIBs/JTOC by the engine.
     pub code_patches: u64,
+    /// Inline-cache hits at receiver-polymorphic call sites (host-side
+    /// fast path; no effect on modeled cycles).
+    pub ic_hits: u64,
+    /// Inline-cache misses (empty, stale-generation or wrong-TIB entries).
+    pub ic_misses: u64,
+    /// Global inline-cache invalidations (generation bumps) caused by
+    /// code installs, TIB/JTOC patches and mutable-class marking.
+    pub ic_invalidations: u64,
     /// Per-method profiles, indexed by [`MethodId`].
     pub per_method: Vec<MethodProfile>,
 }

@@ -115,10 +115,12 @@ fn megamorphic_call_site_dispatches_correctly() {
     let p = pb.finish().unwrap();
 
     // Aggressive sampling so recompilation churns mid-run.
-    let mut cfg = VmConfig::default();
-    cfg.sample_period = 5_000;
-    cfg.opt1_samples = 2;
-    cfg.opt2_samples = 4;
+    let cfg = VmConfig {
+        sample_period: 5_000,
+        opt1_samples: 2,
+        opt2_samples: 4,
+        ..Default::default()
+    };
     let mut vm = Vm::new(p, cfg);
     assert_eq!(
         vm.run_entry().unwrap(),

@@ -113,9 +113,11 @@ fn churn_program(rounds: i64, churn: i64, keep_mod: i64) -> dchm_bytecode::Progr
 }
 
 fn run_with_heap(p: &dchm_bytecode::Program, heap: usize) -> (u64, u64, u64) {
-    let mut cfg = VmConfig::default();
-    cfg.heap_bytes = heap;
-    cfg.fuel = Some(20_000_000);
+    let cfg = VmConfig {
+        heap_bytes: heap,
+        fuel: Some(20_000_000),
+        ..Default::default()
+    };
     let mut vm = Vm::new(p.clone(), cfg);
     vm.run_entry().unwrap();
     (

@@ -135,10 +135,12 @@ fn build_and_run(stmts: &[Stmt], level: u8) -> (Result<Option<Value>, RunError>,
     pb.set_entry(main);
     let p = pb.finish().expect("generated program verifies");
 
-    let mut cfg = VmConfig::default();
-    cfg.initial_level = level;
-    cfg.sample_period = u64::MAX; // no recompilation mid-run
-    cfg.fuel = Some(2_000_000);
+    let cfg = VmConfig {
+        initial_level: level,
+        sample_period: u64::MAX, // no recompilation mid-run
+        fuel: Some(2_000_000),
+        ..Default::default()
+    };
     let mut vm = Vm::new(p, cfg);
     let r = vm.run_entry();
     (r, vm.state.output.checksum)

@@ -146,10 +146,12 @@ fn deep_recursion_does_not_overflow_host_stack() {
     pb.set_entry(main);
     let p = pb.finish().unwrap();
 
-    let mut cfg = VmConfig::default();
     // Recursion this deep with inlining is fine, but keep the test focused
     // on frame-stack depth at the baseline tier.
-    cfg.sample_period = u64::MAX;
+    let cfg = VmConfig {
+        sample_period: u64::MAX,
+        ..Default::default()
+    };
     let mut vm = Vm::new(p, cfg);
     assert_eq!(vm.run_entry().unwrap(), Some(Value::Int(200_000)));
 }

@@ -237,8 +237,10 @@ fn adaptive_system_promotes_hot_method_and_preserves_result() {
     // Expected: 600 * sum(3i, i<50) = 600 * 3675
     let expected = Some(Value::Int(600 * 3675));
 
-    let mut cfg = VmConfig::default();
-    cfg.sample_period = 20_000; // sample aggressively
+    let cfg = VmConfig {
+        sample_period: 20_000, // sample aggressively
+        ..Default::default()
+    };
     let (vm, r) = run_main(build, cfg);
     assert_eq!(r.unwrap(), expected);
     // The hot loop methods got promoted to opt2.
@@ -251,8 +253,10 @@ fn adaptive_system_promotes_hot_method_and_preserves_result() {
 
     // A VM that never samples computes the same answer (semantic equivalence
     // across tiers).
-    let mut cfg0 = VmConfig::default();
-    cfg0.sample_period = u64::MAX;
+    let cfg0 = VmConfig {
+        sample_period: u64::MAX,
+        ..Default::default()
+    };
     let (vm0, r0) = run_main(build, cfg0);
     assert_eq!(r0.unwrap(), expected);
     assert_eq!(vm0.stats().compiles_by_level[2], 0);
@@ -260,8 +264,10 @@ fn adaptive_system_promotes_hot_method_and_preserves_result() {
 
 #[test]
 fn gc_runs_and_program_survives() {
-    let mut cfg = VmConfig::default();
-    cfg.heap_bytes = 8 << 10; // 8 KB: forces many collections
+    let cfg = VmConfig {
+        heap_bytes: 8 << 10, // 8 KB: forces many collections
+        ..Default::default()
+    };
     let (vm, r) = run_main(
         |pb| {
             let c = pb.class("Churn").build();
@@ -346,8 +352,10 @@ fn traps_propagate() {
 
 #[test]
 fn fuel_guard_catches_infinite_loop() {
-    let mut cfg = VmConfig::default();
-    cfg.fuel = Some(10_000);
+    let cfg = VmConfig {
+        fuel: Some(10_000),
+        ..Default::default()
+    };
     let (_, r) = run_main(
         |pb| {
             let c = pb.class("C").build();

@@ -89,9 +89,10 @@ pub struct Workload {
 impl Workload {
     /// The VM configuration this workload runs under.
     pub fn vm_config(&self) -> VmConfig {
-        let mut c = VmConfig::default();
-        c.heap_bytes = self.heap_bytes;
-        c
+        VmConfig {
+            heap_bytes: self.heap_bytes,
+            ..Default::default()
+        }
     }
 
     /// Runs the full workload on `vm`.

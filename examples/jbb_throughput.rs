@@ -19,8 +19,10 @@ fn main() {
     let w = jbb::build(variant, Scale::Full);
     println!("running {} ...", w.name);
 
-    let mut cfg = PipelineConfig::default();
-    cfg.profile_vm = w.vm_config();
+    let cfg = PipelineConfig {
+        profile_vm: w.vm_config(),
+        ..Default::default()
+    };
     let wl = w.clone();
     let prepared = prepare(w.program.clone(), &cfg, move |vm| {
         wl.run(vm).unwrap();

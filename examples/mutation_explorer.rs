@@ -41,8 +41,10 @@ fn main() {
     }
 
     // The plan.
-    let mut cfg = PipelineConfig::default();
-    cfg.profile_vm = w.vm_config();
+    let cfg = PipelineConfig {
+        profile_vm: w.vm_config(),
+        ..Default::default()
+    };
     let wl = w.clone();
     let prepared = prepare(p.clone(), &cfg, move |vm| {
         wl.run(vm).unwrap();
@@ -81,9 +83,10 @@ fn main() {
     println!("{general}");
 
     if let Some(state) = mc.hot_states.first() {
-        let mut bind = Bindings::default();
-        bind.instance = state.instance_values.iter().copied().collect();
-        bind.statics = state.static_values.iter().copied().collect();
+        let bind = Bindings {
+            instance: state.instance_values.iter().copied().collect(),
+            statics: state.static_values.iter().copied().collect(),
+        };
         let describe = |vals: &[(dchm::bytecode::FieldId, Value)]| {
             vals.iter()
                 .map(|(f, v)| format!("{}={v}", p.field(*f).name))

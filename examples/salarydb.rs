@@ -11,8 +11,10 @@ use dchm::workloads::{salarydb, Scale};
 
 fn main() {
     let w = salarydb::build(Scale::Full);
-    let mut cfg = PipelineConfig::default();
-    cfg.profile_vm = w.vm_config();
+    let cfg = PipelineConfig {
+        profile_vm: w.vm_config(),
+        ..Default::default()
+    };
     let wl = w.clone();
     let prepared = prepare(w.program.clone(), &cfg, move |vm| {
         wl.run(vm).unwrap();

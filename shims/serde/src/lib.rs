@@ -1,0 +1,276 @@
+//! Minimal, offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the small subset of serde it actually uses: a pair
+//! of JSON-oriented traits ([`Serialize`], [`Deserialize`]), a JSON document
+//! model ([`Value`]), and derive macros re-exported from `serde_derive`.
+//!
+//! The derives cover exactly the shapes this repository serializes: structs
+//! with named fields, tuple/newtype structs, and enums with unit, tuple and
+//! struct variants, using serde's externally-tagged enum encoding. No
+//! `#[serde(...)]` attributes are supported (none are used in-tree).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON document. Object keys keep insertion order so output is
+/// deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (JSON numbers without a fraction or exponent).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Support routines used by the generated derive code. Not a public API.
+pub mod helpers {
+    use super::{Error, Value};
+
+    /// Looks up a named field in an object value.
+    pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Looks up a positional element in an array value.
+    pub fn index(v: &Value, i: usize) -> Result<&Value, Error> {
+        match v {
+            Value::Array(items) => items
+                .get(i)
+                .ok_or_else(|| Error::msg(format!("missing tuple element {i}"))),
+            other => Err(Error::msg(format!("expected array, found {other:?}"))),
+        }
+    }
+
+    /// Splits an externally-tagged enum value `{"Variant": payload}` into
+    /// its tag and payload.
+    pub fn variant(v: &Value) -> Result<(&str, &Value), Error> {
+        match v {
+            Value::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), &fields[0].1))
+            }
+            other => Err(Error::msg(format!(
+                "expected single-key enum object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("integer {n} out of range"))),
+                    other => Err(Error::msg(format!("expected integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            // `1.0` prints as `1`, which parses back as an integer.
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::msg(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::msg(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::from_json_value(helpers::index(v, $n)?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// Maps are encoded as arrays of `[key, value]` pairs so non-string keys
+// (e.g. newtype ids) round-trip without a string conversion. Entries are
+// sorted by their serialized key for deterministic output.
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        let mut entries: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+            .collect();
+        entries.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| {
+                    Ok((
+                        K::from_json_value(helpers::index(pair, 0)?)?,
+                        V::from_json_value(helpers::index(pair, 1)?)?,
+                    ))
+                })
+                .collect(),
+            other => Err(Error::msg(format!("expected map array, found {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! shim.
+//!
+//! The offline build environment has no `syn`/`quote`, so the input item is
+//! parsed directly from the `proc_macro::TokenStream` and the generated
+//! impls are emitted as source strings. Supported shapes (the only ones used
+//! in-tree): non-generic structs with named fields, tuple/newtype structs,
+//! unit structs, and enums whose variants are unit, tuple or struct-like.
+//! Enums use serde's externally-tagged encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    item: Item,
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // `#` followed by the bracketed group
+        } else if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Splits a field list on commas that sit outside both `<...>` and nested
+/// groups (groups are single opaque tokens at this level, so only angle
+/// brackets need tracking).
+fn count_top_level_segments(toks: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                in_segment = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_segment {
+            segments += 1;
+            in_segment = true;
+        }
+    }
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde shim derive: expected field name, found {:?}", toks[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "serde shim derive: expected `:`");
+        i += 1;
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde shim derive: expected variant name, found {:?}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Tuple(count_top_level_segments(&fields))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(named)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if i < toks.len() {
+            assert!(
+                is_punct(&toks[i], ','),
+                "serde shim derive: expected `,` after variant (discriminants unsupported)"
+            );
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde shim derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde shim derive: generic types are not supported");
+    }
+    let item = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Struct(Shape::Tuple(count_top_level_segments(&fields)))
+            }
+            _ => Item::Struct(Shape::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Input { name, item }
+}
+
+const STR: &str = "::std::string::String::from";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.item {
+        Item::Struct(Shape::Unit) => {
+            body.push_str("::serde::Value::Null");
+        }
+        Item::Struct(Shape::Tuple(1)) => {
+            body.push_str("::serde::Serialize::to_json_value(&self.0)");
+        }
+        Item::Struct(Shape::Tuple(n)) => {
+            body.push_str("::serde::Value::Array(::std::vec![");
+            for k in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_json_value(&self.{k}),");
+            }
+            body.push_str("])");
+        }
+        Item::Struct(Shape::Named(fields)) => {
+            body.push_str("::serde::Value::Object(::std::vec![");
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "({STR}(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f})),"
+                );
+            }
+            body.push_str("])");
+        }
+        Item::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vn} => ::serde::Value::Str({STR}(\"{vn}\")),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        let _ = write!(
+                            body,
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![({STR}(\"{vn}\"), {payload})]),",
+                            binds.join(",")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({STR}(\"{f}\"), ::serde::Serialize::to_json_value({f}))")
+                            })
+                            .collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![({STR}(\"{vn}\"), ::serde::Value::Object(::std::vec![{}]))]),",
+                            fields.join(","),
+                            items.join(",")
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    let ok = "::std::result::Result::Ok";
+    let err = "::std::result::Result::Err";
+    match &input.item {
+        Item::Struct(Shape::Unit) => {
+            let _ = write!(body, "{ok}({name})");
+        }
+        Item::Struct(Shape::Tuple(1)) => {
+            let _ = write!(
+                body,
+                "{ok}({name}(::serde::Deserialize::from_json_value(__v)?))"
+            );
+        }
+        Item::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_json_value(::serde::helpers::index(__v, {k})?)?"
+                    )
+                })
+                .collect();
+            let _ = write!(body, "{ok}({name}({}))", items.join(","));
+        }
+        Item::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(::serde::helpers::field(__v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            let _ = write!(body, "{ok}({name} {{ {} }})", items.join(","));
+        }
+        Item::Enum(variants) => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .collect();
+            if !units.is_empty() {
+                body.push_str("if let ::serde::Value::Str(__s) = __v { return match __s.as_str() {");
+                for v in &units {
+                    let _ = write!(body, "\"{0}\" => {ok}({name}::{0}),", v.name);
+                }
+                let _ = write!(
+                    body,
+                    "__other => {err}(::serde::Error::msg(::std::format!(\
+                         \"unknown variant `{{__other}}` for {name}\"))), }}; }}"
+                );
+            }
+            body.push_str("let (__tag, __payload) = ::serde::helpers::variant(__v)?;");
+            body.push_str("match __tag {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "\"{vn}\" => {ok}({name}::{vn}(::serde::Deserialize::from_json_value(__payload)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_json_value(::serde::helpers::index(__payload, {k})?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(body, "\"{vn}\" => {ok}({name}::{vn}({})),", items.join(","));
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(::serde::helpers::field(__payload, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            body,
+                            "\"{vn}\" => {ok}({name}::{vn} {{ {} }}),",
+                            items.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => {err}(::serde::Error::msg(::std::format!(\
+                     \"unknown variant `{{__other}}` for {name}\"))), }}"
+            );
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,92 @@
+//! Cycle-model fingerprinting.
+//!
+//! The reproduction's results are *modeled* cycle counts, so any host-side
+//! change to the evaluator (interpreter fast paths, inline caches, register
+//! pooling) must leave them bit-identical. A [`Fingerprint`] condenses one
+//! run's observable cost-model state: the final clock, the executed-op
+//! count, and an order-sensitive hash over every method's invocation and
+//! cycle totals. `tests/determinism.rs` pins these against golden values
+//! recorded from the pre-optimization evaluator;
+//! `examples/golden_cycles.rs` regenerates the table when the cost model
+//! changes on purpose.
+
+use dchm_core::pipeline::{prepare, PipelineConfig};
+use dchm_vm::{Vm, VmConfig};
+use dchm_workloads::{catalog, Scale, Workload};
+
+/// Condensed cost-model observables of one finished run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Final modeled clock (exec + compile + GC cycles).
+    pub clock: u64,
+    /// Total ops executed by the evaluator.
+    pub ops_executed: u64,
+    /// FNV-1a over every method's `(index, invocations, cycles)` triple.
+    pub per_method_hash: u64,
+}
+
+/// Fingerprints a finished VM.
+pub fn fingerprint(vm: &Vm) -> Fingerprint {
+    let stats = vm.stats();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (i, m) in stats.per_method.iter().enumerate() {
+        mix(i as u64);
+        mix(m.invocations);
+        mix(m.cycles);
+    }
+    Fingerprint {
+        clock: vm.cycles(),
+        ops_executed: stats.ops_executed,
+        per_method_hash: h,
+    }
+}
+
+/// The VM configuration fingerprinted runs use (the bench harness's
+/// measured cadence: samples every 15k cycles, opt1 after 3, opt2 after 8).
+pub fn fingerprint_config(w: &Workload) -> VmConfig {
+    let mut c = w.vm_config();
+    c.sample_period = 15_000;
+    c.opt1_samples = 3;
+    c.opt2_samples = 8;
+    c
+}
+
+/// Runs `w` with mutation off and fingerprints the result.
+pub fn run_baseline(w: &Workload) -> Fingerprint {
+    let mut vm = Vm::new(w.program.clone(), fingerprint_config(w));
+    w.run(&mut vm).expect("baseline run must not trap");
+    fingerprint(&vm)
+}
+
+/// Runs `w` through the full profile → plan → mutation pipeline and
+/// fingerprints the mutated run.
+pub fn run_mutated(w: &Workload) -> Fingerprint {
+    let cfg = PipelineConfig {
+        profile_vm: fingerprint_config(w),
+        ..Default::default()
+    };
+    let wl = w.clone();
+    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
+        wl.run(vm).expect("profiling run must not trap");
+    });
+    let mut vm = prepared.make_vm(fingerprint_config(w));
+    w.run(&mut vm).expect("mutated run must not trap");
+    fingerprint(&vm)
+}
+
+/// Fingerprints all seven workloads at `Scale::Small`, mutation off and on,
+/// labeled `"<name>/base"` and `"<name>/mutated"` in catalog order.
+pub fn fingerprint_all() -> Vec<(String, Fingerprint)> {
+    let mut rows = Vec::new();
+    for w in catalog(Scale::Small) {
+        rows.push((format!("{}/base", w.name), run_baseline(&w)));
+        rows.push((format!("{}/mutated", w.name), run_mutated(&w)));
+    }
+    rows
+}

@@ -96,8 +96,10 @@ fn assembled_program_goes_through_full_mutation_pipeline() {
     assert_eq!(mc.instance_state_fields, vec![tier]);
     assert_eq!(mc.hot_states.len(), 2);
 
-    let mut run_cfg = VmConfig::default();
-    run_cfg.sample_period = 10_000;
+    let run_cfg = VmConfig {
+        sample_period: 10_000,
+        ..Default::default()
+    };
     let mut base = prepared.make_baseline_vm(run_cfg.clone());
     base.run_entry().unwrap();
     let mut mutated = prepared.make_vm(run_cfg);

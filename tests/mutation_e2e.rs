@@ -19,8 +19,10 @@ fn fast_vm_config(w: &Workload) -> VmConfig {
 }
 
 fn prepared_for(w: &Workload) -> dchm::core::pipeline::Prepared {
-    let mut cfg = PipelineConfig::default();
-    cfg.profile_vm = fast_vm_config(w);
+    let cfg = PipelineConfig {
+        profile_vm: fast_vm_config(w),
+        ..Default::default()
+    };
     let wl = w.clone();
     prepare(w.program.clone(), &cfg, move |vm| {
         wl.run(vm).expect("profiling run");

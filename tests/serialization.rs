@@ -37,8 +37,10 @@ fn plan_roundtrips_and_drives_a_fresh_vm() {
     assert_eq!(plan, prepared.plan);
 
     let engine = MutationEngine::new(plan, prepared.olc.clone());
-    let mut run_cfg = VmConfig::default();
-    run_cfg.sample_period = 10_000;
+    let run_cfg = VmConfig {
+        sample_period: 10_000,
+        ..Default::default()
+    };
     let mut vm = engine.attach(w.program.clone(), run_cfg.clone());
     w.run(&mut vm).unwrap();
 
