@@ -1,0 +1,123 @@
+//! Guard/deopt overhead: `BENCH_deopt.json` emitter.
+//!
+//! Measures what the guard-and-recover subsystem costs in *modeled* cycles
+//! (everything here is deterministic — no wall clock):
+//!
+//! * `clock_guards_on` / `clock_guards_off` — the full mutated run with
+//!   state guards planted vs. the same plan with `emit_guards: false`.
+//!   Guard ops execute for free (0 cycles) but grow specialized code (4
+//!   bytes + 4 per binding), which is billed at compile time, and they veto
+//!   inlining callees that store guarded fields — the overhead is the net
+//!   of both.
+//! * `clock_forced` / `deopts_forced` — the same run under the fault
+//!   injector forcing guard failures (seed 1): every specialized frame that
+//!   trips a guard pays a baseline compile and finishes the method in
+//!   baseline code. This bounds the recovery cost of a worst-case
+//!   mutation storm.
+//!
+//! Usage: `cargo run --release -p dchm-bench --bin bench_deopt [--small]`
+
+use std::fmt::Write as _;
+
+use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
+use dchm_core::MutationEngine;
+use dchm_vm::{FaultConfig, FaultInjector, Vm, VmConfig};
+use dchm_workloads::{catalog, Scale, Workload};
+
+struct Row {
+    name: &'static str,
+    clock_off: u64,
+    clock_on: u64,
+    clock_forced: u64,
+    guards_executed: u64,
+    deopts_forced: u64,
+    baseline_compiles_forced: u64,
+}
+
+/// The determinism-harness cadence (same as `tests/determinism.rs`).
+fn config(w: &Workload) -> VmConfig {
+    let mut c = w.vm_config();
+    c.sample_period = 15_000;
+    c.opt1_samples = 3;
+    c.opt2_samples = 8;
+    c
+}
+
+fn mutated_vm(prepared: &Prepared, w: &Workload, emit_guards: bool) -> Vm {
+    let mut plan = prepared.plan.clone();
+    plan.emit_guards = emit_guards;
+    let engine = MutationEngine::new(plan, prepared.olc.clone());
+    engine.attach(prepared.program.clone(), config(w))
+}
+
+fn measure(w: &Workload) -> Row {
+    let cfg = PipelineConfig {
+        profile_vm: config(w),
+        ..Default::default()
+    };
+    let wl = w.clone();
+    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
+        wl.run(vm).expect("profiling run must not trap");
+    });
+
+    let mut on = mutated_vm(&prepared, w, true);
+    w.run(&mut on).expect("guarded run must not trap");
+
+    let mut off = mutated_vm(&prepared, w, false);
+    w.run(&mut off).expect("unguarded run must not trap");
+
+    let mut forced = mutated_vm(&prepared, w, true);
+    forced.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(1)));
+    w.run(&mut forced).expect("forced-failure run must not trap");
+
+    Row {
+        name: w.name,
+        clock_off: off.cycles(),
+        clock_on: on.cycles(),
+        clock_forced: forced.cycles(),
+        guards_executed: on.stats().guards_executed,
+        deopts_forced: forced.stats().deopts,
+        baseline_compiles_forced: forced.stats().deopt_baseline_compiles,
+    }
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { Scale::Small } else { Scale::Full };
+    let rows: Vec<Row> = catalog(scale).iter().map(measure).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"benchmark\": \"guard_deopt_overhead\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(out, "  \"unit\": \"modeled_cycles\",");
+    let _ = writeln!(out, "  \"forced_failure_seed\": 1,");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let overhead = r.clock_on as f64 / r.clock_off as f64 - 1.0;
+        let forced = r.clock_forced as f64 / r.clock_on as f64 - 1.0;
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"clock_guards_off\": {}, \"clock_guards_on\": {}, \
+             \"guard_overhead_pct\": {:.3}, \"clock_forced_failures\": {}, \
+             \"forced_failure_overhead_pct\": {:.3}, \"guards_executed\": {}, \
+             \"deopts_forced\": {}, \"baseline_compiles_forced\": {}}}{}",
+            r.name,
+            r.clock_off,
+            r.clock_on,
+            overhead * 100.0,
+            r.clock_forced,
+            forced * 100.0,
+            r.guards_executed,
+            r.deopts_forced,
+            r.baseline_compiles_forced,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    print!("{out}");
+    std::fs::write("BENCH_deopt.json", out).expect("write BENCH_deopt.json");
+    eprintln!("wrote BENCH_deopt.json");
+}

@@ -348,9 +348,12 @@ fn op_str(p: &Program, op: &Op) -> String {
                 format!("{name} {}", regs_str(args))
             }
         }
-        Op::NotifyCtorExit { .. } | Op::NotifyInstStore { .. } | Op::NotifyStaticStore { .. } => {
+        Op::NotifyCtorExit { .. }
+        | Op::NotifyInstStore { .. }
+        | Op::NotifyStaticStore { .. }
+        | Op::GuardState { .. } => {
             // Compiler-internal; never present in frontend programs.
-            "; <notify pseudo-op: not printable>".into()
+            "; <compiler pseudo-op: not printable>".into()
         }
     }
 }

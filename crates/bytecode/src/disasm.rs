@@ -63,6 +63,25 @@ impl fmt::Display for Op {
                 write!(f, "notify-inst-store {obj}.{field} : {class}")
             }
             Op::NotifyStaticStore { field } => write!(f, "notify-static-store {field}"),
+            Op::GuardState {
+                obj,
+                instance,
+                statics,
+                guard,
+                live_prefix,
+            } => {
+                write!(f, "guard-state")?;
+                if let Some(o) = obj {
+                    write!(f, " {o}")?;
+                }
+                for (fid, v) in instance {
+                    write!(f, " {fid}=={v}")?;
+                }
+                for (fid, v) in statics {
+                    write!(f, " static {fid}=={v}")?;
+                }
+                write!(f, " else deopt#{guard} (live r0..r{live_prefix})")
+            }
         }
     }
 }

@@ -8,13 +8,16 @@
 //! * [`Instr`] — an `Op` or a control-flow instruction (`Jmp`, `BrIf`, `Ret`)
 //!   with [`Label`] targets. Method bodies are `Vec<Instr>`.
 //!
-//! The three `Notify*` pseudo-ops are never written by frontends; the VM's
-//! compiler inserts them at *patch points* (state-field assignments and
-//! constructor exits) when a mutation plan is installed, mirroring how the
-//! paper patches compiled code at those sites (Figure 4).
+//! The three `Notify*` pseudo-ops and the [`Op::GuardState`] pseudo-op are
+//! never written by frontends; the VM's compiler inserts the notifies at
+//! *patch points* (state-field assignments and constructor exits) when a
+//! mutation plan is installed, mirroring how the paper patches compiled
+//! code at those sites (Figure 4), and inserts state guards into
+//! specialized method bodies so a frame can deoptimize to baseline code
+//! when its state assumptions break mid-method.
 
 use crate::ids::{ClassId, FieldId, Label, MethodId, Reg, SelectorId};
-use crate::value::{CmpOp, ElemKind};
+use crate::value::{CmpOp, ElemKind, Value};
 use serde::{Deserialize, Serialize};
 
 /// Integer binary operators.
@@ -268,6 +271,25 @@ pub enum Op {
     NotifyInstStore { obj: Reg, class: ClassId, field: FieldId },
     /// Mutation patch point: a static state field was just stored.
     NotifyStaticStore { field: FieldId },
+    /// State guard in specialized code: checks that every listed binding
+    /// still holds and otherwise deoptimizes the frame onto the method's
+    /// baseline code version (entry `guard` of its deopt side table).
+    /// Inserted by the VM compiler, never by frontends.
+    GuardState {
+        /// Receiver whose instance bindings are checked (`None` when only
+        /// statics are bound).
+        obj: Option<Reg>,
+        /// Instance-field bindings to re-check, sorted by field id.
+        instance: Vec<(FieldId, Value)>,
+        /// Static-field bindings to re-check, sorted by field id.
+        statics: Vec<(FieldId, Value)>,
+        /// Index into the compiled method's deopt side table.
+        guard: u32,
+        /// Registers `0..live_prefix` seed the baseline frame on deopt;
+        /// they are reported as uses so optimization passes keep their
+        /// definitions alive and unmoved.
+        live_prefix: u16,
+    },
 }
 
 impl Op {
@@ -305,7 +327,8 @@ impl Op {
             | Op::AStore { .. }
             | Op::NotifyCtorExit { .. }
             | Op::NotifyInstStore { .. }
-            | Op::NotifyStaticStore { .. } => None,
+            | Op::NotifyStaticStore { .. }
+            | Op::GuardState { .. } => None,
         }
     }
 
@@ -365,6 +388,19 @@ impl Op {
             }
             Op::NotifyCtorExit { obj, .. } | Op::NotifyInstStore { obj, .. } => f(*obj),
             Op::NotifyStaticStore { .. } => {}
+            Op::GuardState {
+                obj, live_prefix, ..
+            } => {
+                if let Some(o) = obj {
+                    f(*o);
+                }
+                // The deopt prefix is live here: baseline resumes with
+                // these registers copied verbatim, so their definitions
+                // must survive every pass.
+                for r in 0..*live_prefix {
+                    f(Reg(r));
+                }
+            }
         }
     }
 
@@ -459,6 +495,14 @@ impl Op {
             }
             Op::NotifyCtorExit { obj, .. } | Op::NotifyInstStore { obj, .. } => *obj = f(*obj),
             Op::NotifyStaticStore { .. } => {}
+            // The prefix registers are positional (frame-relative) and must
+            // stay fixed; guards only ever live in an outermost compiled
+            // function, never in inlined callee bodies.
+            Op::GuardState { obj, .. } => {
+                if let Some(o) = obj {
+                    *o = f(*o);
+                }
+            }
         }
     }
 
@@ -519,6 +563,9 @@ impl Op {
             }
             Op::NotifyCtorExit { obj, .. } | Op::NotifyInstStore { obj, .. } => *obj = f(*obj),
             Op::NotifyStaticStore { .. } => {}
+            // Keep the receiver stable too: rewriting it to a copy source
+            // could outlive the copy in ways the deopt remap cannot see.
+            Op::GuardState { .. } => {}
         }
     }
 
@@ -536,7 +583,8 @@ impl Op {
             | Op::AStore { .. }
             | Op::NotifyCtorExit { .. }
             | Op::NotifyInstStore { .. }
-            | Op::NotifyStaticStore { .. } => true,
+            | Op::NotifyStaticStore { .. }
+            | Op::GuardState { .. } => true,
             // Division can trap.
             Op::IBin { op, .. } => matches!(op, IBinOp::Div | IBinOp::Rem),
             // Loads can trap on null / out-of-bounds; allocation can OOM/GC.

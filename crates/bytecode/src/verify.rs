@@ -466,9 +466,10 @@ fn verify_op(
                 }),
             }
         }
-        Op::NotifyCtorExit { .. } | Op::NotifyInstStore { .. } | Op::NotifyStaticStore { .. } => {
-            Err(VerifyError::NotifyInSource { method: name(), at })
-        }
+        Op::NotifyCtorExit { .. }
+        | Op::NotifyInstStore { .. }
+        | Op::NotifyStaticStore { .. }
+        | Op::GuardState { .. } => Err(VerifyError::NotifyInSource { method: name(), at }),
         _ => Ok(()),
     }
 }

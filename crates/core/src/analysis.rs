@@ -44,6 +44,8 @@ pub struct AnalysisConfig {
     pub mutation_level: u8,
     /// `k` of the Section 5 inline-vs-specialize heuristic.
     pub k: i64,
+    /// Plant state guards + deopt side tables in special compiled code.
+    pub emit_guards: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -58,6 +60,7 @@ impl Default for AnalysisConfig {
             min_value_frequency: 0.05,
             mutation_level: 2,
             k: 0,
+            emit_guards: true,
         }
     }
 }
@@ -345,6 +348,7 @@ pub fn build_plan(
         classes,
         mutation_level: cfg.mutation_level,
         k: cfg.k,
+        emit_guards: cfg.emit_guards,
     }
 }
 

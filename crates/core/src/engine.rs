@@ -186,6 +186,7 @@ impl MutationEngine {
         }
         vm.patch_spec = spec;
         vm.hints.k = self.plan.k;
+        vm.hints.emit_guards = self.plan.emit_guards;
         for (f, info) in &self.olc.infos {
             vm.hints.olc.insert(*f, info.clone());
         }
@@ -736,6 +737,7 @@ mod tests {
             }],
             mutation_level: 2,
             k: 0,
+            emit_guards: true,
         };
         let engine = MutationEngine::new(plan, OlcReport::default());
         let mut vm = engine.attach(p, VmConfig::default());

@@ -55,7 +55,7 @@ impl MutableClass {
 }
 
 /// The complete plan.
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MutationPlan {
     /// Mutable classes.
     pub classes: Vec<MutableClass>,
@@ -64,6 +64,56 @@ pub struct MutationPlan {
     pub mutation_level: u8,
     /// `k` of the Section 5 inline-vs-specialize heuristic.
     pub k: i64,
+    /// Plant state guards and deopt side tables in special compiled code so
+    /// live specialized frames can deoptimize when an object leaves its hot
+    /// state mid-method. On by default; plans serialized before this field
+    /// existed deserialize to `true`.
+    pub emit_guards: bool,
+}
+
+// Hand-written (de)serialization: `emit_guards` must default to `true` for
+// plan files written before the field existed, which the derive cannot
+// express.
+impl Serialize for MutationPlan {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("classes".to_string(), self.classes.to_json_value()),
+            (
+                "mutation_level".to_string(),
+                self.mutation_level.to_json_value(),
+            ),
+            ("k".to_string(), self.k.to_json_value()),
+            ("emit_guards".to_string(), self.emit_guards.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for MutationPlan {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(MutationPlan {
+            classes: Deserialize::from_json_value(serde::helpers::field(v, "classes")?)?,
+            mutation_level: Deserialize::from_json_value(serde::helpers::field(
+                v,
+                "mutation_level",
+            )?)?,
+            k: Deserialize::from_json_value(serde::helpers::field(v, "k")?)?,
+            emit_guards: match serde::helpers::field(v, "emit_guards") {
+                Ok(fv) => Deserialize::from_json_value(fv)?,
+                Err(_) => true,
+            },
+        })
+    }
+}
+
+impl Default for MutationPlan {
+    fn default() -> Self {
+        MutationPlan {
+            classes: Vec::new(),
+            mutation_level: 0,
+            k: 0,
+            emit_guards: true,
+        }
+    }
 }
 
 impl MutationPlan {
@@ -116,6 +166,7 @@ mod tests {
             }],
             mutation_level: 2,
             k: 0,
+            emit_guards: true,
         }
     }
 
@@ -126,6 +177,15 @@ mod tests {
         let back = MutationPlan::from_json(&json).unwrap();
         assert_eq!(plan, back);
         assert!(json.contains("mutation_level"));
+    }
+
+    #[test]
+    fn old_plans_without_guard_flag_default_to_guarded() {
+        // A plan serialized before `emit_guards` existed.
+        let json = r#"{ "classes": [], "mutation_level": 2, "k": 0 }"#;
+        let back = MutationPlan::from_json(json).unwrap();
+        assert!(back.emit_guards);
+        assert_eq!(back.mutation_level, 2);
     }
 
     #[test]

@@ -101,6 +101,7 @@ fn static_part_gates_special_code_in_special_tibs() {
         }],
         mutation_level: 2,
         k: 0,
+        emit_guards: true,
     };
     let engine = MutationEngine::new(plan, OlcReport::default());
     let mut vm = engine.attach(p.clone(), fast());

@@ -97,6 +97,7 @@ fn static_state_patches_jtoc_and_restores() {
         }],
         mutation_level: 2,
         k: 0,
+        emit_guards: true,
     };
 
     let mut baseline = Vm::new(p.clone(), fast());
@@ -192,6 +193,7 @@ fn multi_field_joint_states() {
         }],
         mutation_level: 2,
         k: 0,
+        emit_guards: true,
     };
     let engine = MutationEngine::new(plan, OlcReport::default());
     let mut vm = engine.attach(p, fast());
@@ -267,6 +269,7 @@ fn subclass_instances_are_never_mutated() {
         }],
         mutation_level: 2,
         k: 0,
+        emit_guards: true,
     };
     let engine = MutationEngine::new(plan, OlcReport::default());
     let mut vm = engine.attach(p, fast());

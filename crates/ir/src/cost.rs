@@ -45,6 +45,13 @@ pub fn op_cost(op: &Op) -> u64 {
         // Patch-point checks: the run-time price of the mutation technique.
         Op::NotifyCtorExit { .. } | Op::NotifyInstStore { .. } => 3,
         Op::NotifyStaticStore { .. } => 3,
+        // State guards are modeled as free: the entry guard is subsumed by
+        // special-TIB dispatch (reaching specialized code *is* the check)
+        // and post-store guards piggyback on the patch-point check already
+        // billed for the preceding `Notify*`. They exist as explicit ops so
+        // the broken/raced case can recover, not as extra modeled work —
+        // which also keeps a deoptimizing run cycle-comparable to baseline.
+        Op::GuardState { .. } => 0,
     }
 }
 
@@ -56,6 +63,11 @@ pub fn op_size(op: &Op) -> usize {
         | Op::CallSpecial { args, .. }
         | Op::CallStatic { args, .. }
         | Op::CallInterface { args, .. } => 8 + 2 * args.len(),
+        // A guard is a compare-and-branch per binding plus the side-table
+        // entry; its footprint is what the deopt machinery costs in space.
+        Op::GuardState {
+            instance, statics, ..
+        } => 4 + 4 * (instance.len() + statics.len()),
         _ => 4,
     }
 }

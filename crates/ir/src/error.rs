@@ -1,0 +1,56 @@
+//! Typed errors for IR construction and transformation.
+//!
+//! Register and block-id capacity limits used to be enforced with
+//! `expect`s that killed the host process; passes now surface them as
+//! [`IrError`] so a compiler driver can skip the transformation (or fail
+//! the compilation) while the VM stays alive and inspectable.
+
+use std::fmt;
+
+/// An error raised while building or transforming IR.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IrError {
+    /// The function would need more basic blocks than `u32` block ids can
+    /// address.
+    BlockIdOverflow {
+        /// Block count that did not fit.
+        blocks: usize,
+    },
+    /// The function would need more registers than `u16` register ids can
+    /// address.
+    RegisterOverflow {
+        /// Additional registers requested on top of the current count.
+        requested: usize,
+    },
+    /// An inline request did not point at a call op.
+    NotACallSite,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::BlockIdOverflow { blocks } => {
+                write!(f, "block id overflow: {blocks} blocks do not fit in u32")
+            }
+            IrError::RegisterOverflow { requested } => {
+                write!(f, "register overflow: {requested} more register(s) do not fit in u16")
+            }
+            IrError::NotACallSite => write!(f, "inline site is not a call op"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = IrError::BlockIdOverflow { blocks: 5_000_000_000 };
+        assert!(format!("{e}").contains("5000000000"));
+        let e = IrError::RegisterOverflow { requested: 7 };
+        assert!(format!("{e}").contains('7'));
+    }
+}

@@ -1,5 +1,6 @@
 //! IR function, block and terminator types.
 
+use crate::error::IrError;
 use dchm_bytecode::{Op, Reg};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -21,10 +22,26 @@ impl BlockId {
     /// From raw index.
     ///
     /// # Panics
-    /// Panics on `u32` overflow.
+    /// Panics on `u32` overflow; use [`BlockId::try_from_index`] where the
+    /// index is not already known to fit.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        BlockId(u32::try_from(i).expect("block id overflow"))
+        match Self::try_from_index(i) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible version of [`BlockId::from_index`]: reports `u32` overflow
+    /// as a typed error instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`IrError::BlockIdOverflow`] when `i` does not fit in `u32`.
+    #[inline]
+    pub fn try_from_index(i: usize) -> Result<Self, IrError> {
+        u32::try_from(i)
+            .map(BlockId)
+            .map_err(|_| IrError::BlockIdOverflow { blocks: i })
     }
 }
 
@@ -156,10 +173,18 @@ impl Function {
     }
 
     /// Allocates a fresh register.
-    pub fn fresh_reg(&mut self) -> Reg {
+    ///
+    /// # Errors
+    /// Returns [`IrError::RegisterOverflow`] when the `u16` register space
+    /// is exhausted; callers (optimization passes) skip their rewrite
+    /// rather than aborting the host.
+    pub fn fresh_reg(&mut self) -> Result<Reg, IrError> {
         let r = Reg(self.num_regs);
-        self.num_regs = self.num_regs.checked_add(1).expect("register overflow");
-        r
+        self.num_regs = self
+            .num_regs
+            .checked_add(1)
+            .ok_or(IrError::RegisterOverflow { requested: 1 })?;
+        Ok(r)
     }
 
     /// Blocks reachable from entry, in reverse post-order.
@@ -301,7 +326,26 @@ mod tests {
     #[test]
     fn fresh_reg_grows_frame() {
         let mut f = Function::new(3, 1);
-        assert_eq!(f.fresh_reg(), Reg(3));
+        assert_eq!(f.fresh_reg(), Ok(Reg(3)));
         assert_eq!(f.num_regs, 4);
+    }
+
+    #[test]
+    fn fresh_reg_overflow_is_typed() {
+        let mut f = Function::new(u16::MAX, 1);
+        assert_eq!(
+            f.fresh_reg(),
+            Err(crate::IrError::RegisterOverflow { requested: 1 })
+        );
+        assert_eq!(f.num_regs, u16::MAX, "failed allocation must not mutate");
+    }
+
+    #[test]
+    fn block_id_overflow_is_typed() {
+        assert!(BlockId::try_from_index(17).is_ok());
+        assert_eq!(
+            BlockId::try_from_index(usize::MAX),
+            Err(crate::IrError::BlockIdOverflow { blocks: usize::MAX })
+        );
     }
 }

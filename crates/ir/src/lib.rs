@@ -41,12 +41,14 @@
 //! ```
 
 pub mod cost;
+pub mod error;
 pub mod func;
 pub mod lift;
 pub mod passes;
 pub mod pretty;
 
 pub use cost::{op_cost, op_size, CostModel};
+pub use error::IrError;
 pub use func::{Block, BlockId, Function, Term};
 pub use lift::lift;
 pub use passes::OptConfig;

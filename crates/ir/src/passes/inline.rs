@@ -4,6 +4,7 @@
 //! the paper's specialization-inlining trade-off) lives in the VM compiler;
 //! this module only performs the splice.
 
+use crate::error::IrError;
 use crate::func::{Block, BlockId, Function, Term};
 use dchm_bytecode::{Op, Reg};
 
@@ -23,26 +24,47 @@ pub struct CallSite {
 /// return value if any. The call op at the site is removed and replaced by
 /// a jump through a renamed copy of the callee's CFG.
 ///
+/// # Errors
+/// Returns a typed [`IrError`] — leaving `caller` untouched — when the
+/// splice would overflow the `u16` register space or the `u32` block-id
+/// space, or when `site` does not point at a call op. Drivers respond by
+/// simply not inlining this site.
+///
 /// # Panics
-/// Panics if `site` does not point at an op, or register renumbering
-/// overflows `u16`.
+/// Panics when `arg_regs` does not match the callee's arity (caller bug).
 pub fn inline_call(
     caller: &mut Function,
     site: CallSite,
     callee: &Function,
     arg_regs: &[Reg],
     dst: Option<Reg>,
-) {
+) -> Result<(), IrError> {
     assert_eq!(
         arg_regs.len(),
         callee.arg_count as usize,
         "argument count mismatch"
     );
+    // Pre-flight every capacity check before mutating anything, so an
+    // oversized splice is a clean no-op instead of a half-spliced CFG.
     let reg_base = caller.num_regs;
-    caller.num_regs = caller
+    let total_regs = caller
         .num_regs
         .checked_add(callee.num_regs)
-        .expect("register overflow during inlining");
+        .ok_or(IrError::RegisterOverflow {
+            requested: callee.num_regs as usize,
+        })?;
+    let cont_index = caller.blocks.len() + callee.blocks.len();
+    let cont_id = BlockId::try_from_index(cont_index)?;
+    let site_ok = caller
+        .blocks
+        .get(site.block.index())
+        .and_then(|b| b.ops.get(site.op_index))
+        .is_some_and(Op::is_call);
+    if !site_ok {
+        return Err(IrError::NotACallSite);
+    }
+
+    caller.num_regs = total_regs;
     let map_reg = |r: Reg| Reg(r.0 + reg_base);
 
     let block_base = caller.blocks.len() as u32;
@@ -51,7 +73,7 @@ pub fn inline_call(
     // Split the call block: ops after the call move to a continuation block.
     let call_block = &mut caller.blocks[site.block.index()];
     let tail_ops = call_block.ops.split_off(site.op_index + 1);
-    let call_op = call_block.ops.pop().expect("call site out of range");
+    let call_op = call_block.ops.pop().expect("checked above");
     debug_assert!(call_op.is_call(), "inline target is not a call");
     let cont_term = std::mem::replace(
         &mut call_block.term,
@@ -66,11 +88,9 @@ pub fn inline_call(
         });
     }
 
-    // Continuation block: receives the tail ops and the original terminator.
-    let cont_id = BlockId::from_index(caller.blocks.len() + callee.blocks.len());
-
-    // Copy callee blocks with renamed registers; returns become jumps to the
-    // continuation (with a Mov into `dst` when a value is returned).
+    // Copy callee blocks with renamed registers; returns become jumps to
+    // the continuation `cont_id` (with a Mov into `dst` when a value is
+    // returned), which receives the tail ops and original terminator.
     for cb in &callee.blocks {
         let mut ops: Vec<Op> = cb.ops.clone();
         for op in &mut ops {
@@ -102,6 +122,7 @@ pub fn inline_call(
         term: cont_term,
     });
     debug_assert!(caller.validate().is_ok(), "inlining produced invalid IR");
+    Ok(())
 }
 
 /// Finds the first call site matching a predicate, scanning blocks in order.
@@ -170,7 +191,7 @@ mod tests {
         let callee = callee_add1();
         let (site, op) = find_call_site(&caller, |_| true).unwrap();
         let dst = op.def();
-        inline_call(&mut caller, site, &callee, &[Reg(0)], dst);
+        inline_call(&mut caller, site, &callee, &[Reg(0)], dst).unwrap();
         assert!(caller.validate().is_ok());
         // No calls remain.
         assert!(find_call_site(&caller, |_| true).is_none());
@@ -202,7 +223,7 @@ mod tests {
         });
         let callee = callee_add1();
         let (site, op) = find_call_site(&caller, |_| true).unwrap();
-        inline_call(&mut caller, site, &callee, &[Reg(0)], op.def());
+        inline_call(&mut caller, site, &callee, &[Reg(0)], op.def()).unwrap();
         assert!(caller.validate().is_ok());
         // The tail op survives in the continuation block.
         let cont = caller.blocks.last().unwrap();
@@ -224,7 +245,7 @@ mod tests {
         let mut callee = callee_add1();
         callee.blocks[0].term = Term::Ret(None);
         let (site, _) = find_call_site(&caller, |_| true).unwrap();
-        inline_call(&mut caller, site, &callee, &[Reg(0)], None);
+        inline_call(&mut caller, site, &callee, &[Reg(0)], None).unwrap();
         assert!(caller.validate().is_ok());
         // No Mov into r1 anywhere (besides arg marshal into r2).
         for b in &caller.blocks {
@@ -234,6 +255,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn register_overflow_is_typed_and_leaves_caller_intact() {
+        let mut caller = caller_fn();
+        let mut callee = callee_add1();
+        callee.num_regs = u16::MAX;
+        let (site, op) = find_call_site(&caller, |_| true).unwrap();
+        let err = inline_call(&mut caller, site, &callee, &[Reg(0)], op.def());
+        assert_eq!(
+            err,
+            Err(IrError::RegisterOverflow {
+                requested: u16::MAX as usize
+            })
+        );
+        // The failed splice must not have touched the caller.
+        assert_eq!(caller.num_regs, 2);
+        assert_eq!(caller.blocks.len(), 1);
+        assert!(find_call_site(&caller, |_| true).is_some());
+    }
+
+    #[test]
+    fn non_call_site_is_rejected() {
+        let mut caller = caller_fn();
+        let callee = callee_add1();
+        let site = CallSite {
+            block: BlockId(0),
+            op_index: 99,
+        };
+        let err = inline_call(&mut caller, site, &callee, &[Reg(0)], None);
+        assert_eq!(err, Err(IrError::NotACallSite));
     }
 
     #[test]
@@ -256,7 +308,7 @@ mod tests {
         };
         let mut caller = caller_fn();
         let (site, op) = find_call_site(&caller, |_| true).unwrap();
-        inline_call(&mut caller, site, &callee, &[Reg(0)], op.def());
+        inline_call(&mut caller, site, &callee, &[Reg(0)], op.def()).unwrap();
         assert!(caller.validate().is_ok());
         // Both return paths converge on the continuation block.
         let cont_id = BlockId::from_index(caller.blocks.len() - 1);

@@ -7,9 +7,14 @@
 //! `GetStatic` for static state fields — with constants. The scalar pipeline
 //! then folds the state-dependent branches and deletes the arms for every
 //! other state, yielding the "special compiled code" installed into special
-//! TIBs. No value guards are needed: the VM only dispatches into this code
-//! through a special TIB that is kept consistent with the object's actual
-//! state (paper Figure 4/5).
+//! TIBs. In the steady state no value checks run: the VM only dispatches
+//! into this code through a special TIB that is kept consistent with the
+//! object's actual state (paper Figure 4/5). The VM compiler nevertheless
+//! plants explicit [`Op::GuardState`] ops (at entry and after state-field
+//! stores) *before* this pass runs, so a frame whose assumptions break
+//! mid-method — the object leaves its hot state while the specialized
+//! frame is live — deoptimizes onto baseline code instead of running
+//! stale specialized code.
 
 use crate::func::Function;
 use dchm_bytecode::{FieldId, Op, Reg, Value};

@@ -73,7 +73,10 @@ fn rewrite(
             } else if c > 0 && (c as u64).is_power_of_two() {
                 let k = c.trailing_zeros() as i64;
                 let kreg = Reg(*next_reg);
-                *next_reg = next_reg.checked_add(1).expect("register overflow");
+                // The shift-count register is new; if the register space is
+                // exhausted the rewrite is skipped — the multiply is
+                // correct, just not strength-reduced.
+                *next_reg = next_reg.checked_add(1)?;
                 out.push(Op::ConstI { dst: kreg, val: k });
                 Some(Op::IBin {
                     op: IBinOp::Shl,
@@ -108,6 +111,31 @@ mod tests {
         };
         let n = strength_reduce(&mut f);
         (f, n)
+    }
+
+    #[test]
+    fn mul_by_pow2_skipped_when_registers_exhausted() {
+        // Same shape as `mul_by_pow2_becomes_shift`, but with no register
+        // left for the shift count: the pass must leave the multiply alone
+        // instead of panicking.
+        let (f, n) = run(
+            vec![
+                Op::ConstI { dst: Reg(1), val: 8 },
+                Op::IBin {
+                    op: IBinOp::Mul,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+            ],
+            u16::MAX,
+        );
+        assert_eq!(n, 0);
+        assert_eq!(f.num_regs, u16::MAX);
+        assert!(f.blocks[0]
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::IBin { op: IBinOp::Mul, .. })));
     }
 
     #[test]

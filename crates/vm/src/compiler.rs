@@ -5,12 +5,35 @@
 
 use crate::hooks::{CompilerHints, PatchSpec};
 use crate::state::VmState;
-use dchm_bytecode::{ClassId, FieldId, MethodId, MethodKind, Op, Program, Reg, Value};
+use dchm_bytecode::{ClassId, FieldId, Instr, MethodId, MethodKind, Op, Program, Reg, Value};
 use dchm_ir::cost::{op_size, CostModel};
 use dchm_ir::passes::inline::{inline_call, CallSite};
 use dchm_ir::passes::{run_pipeline, specialize, Bindings, OptConfig};
 use dchm_ir::{lift, BlockId, Function, Term};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// One resume point in a method's *baseline* code version (the pure
+/// lift + instrument translation, before inlining, specialization and the
+/// scalar pipeline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeoptPoint {
+    /// Baseline block index.
+    pub block: u32,
+    /// Baseline op index within that block where execution resumes.
+    pub op: u32,
+}
+
+/// Per-method deopt side table carried by a guarded specialized compiled
+/// method: maps each planted guard id to the baseline coordinate where the
+/// frame resumes after deoptimization. Guard coordinates are recorded at
+/// insertion time — before any transformation — so they are valid in the
+/// baseline version no matter how far the optimizer reshapes the
+/// specialized one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeoptInfo {
+    /// Resume points indexed by guard id.
+    pub points: Vec<DeoptPoint>,
+}
 
 /// Result of one compilation.
 #[derive(Debug)]
@@ -21,6 +44,8 @@ pub struct CompileOutcome {
     pub size_bytes: usize,
     /// Cycles the compilation cost.
     pub compile_cycles: u64,
+    /// Deopt side table (guarded specialized compiles only).
+    pub deopt: Option<DeoptInfo>,
 }
 
 /// Modeled size of a function in bytes.
@@ -50,6 +75,24 @@ pub fn compile(
     let mut f = lift(&md.code, md.num_regs, arg_count);
     instrument(&mut f, program, &state.patch_spec, mid);
 
+    // Guards must go in *now*, while the function is still coordinate-
+    // identical to the baseline version a deoptimizing frame resumes in.
+    let mut deopt = None;
+    let mut guarded_fields: Option<HashSet<FieldId>> = None;
+    if let Some(b) = bindings {
+        if state.hints.emit_guards && !b.is_empty() {
+            let has_receiver = md.kind != MethodKind::Static;
+            deopt = Some(insert_guards(&mut f, b, has_receiver, arg_count));
+            guarded_fields = Some(
+                b.instance
+                    .keys()
+                    .chain(b.statics.keys())
+                    .copied()
+                    .collect(),
+            );
+        }
+    }
+
     if level >= 1 && state.config.enable_inlining {
         inline_pass(
             &mut f,
@@ -60,6 +103,7 @@ pub fn compile(
             mid,
             state.config.max_inline_size,
             state.config.max_inline_depth,
+            guarded_fields.as_ref(),
         );
     }
 
@@ -85,7 +129,97 @@ pub fn compile(
         func: f,
         size_bytes,
         compile_cycles,
+        deopt,
     }
+}
+
+/// Plants state guards into a freshly lifted + instrumented function and
+/// builds its deopt side table.
+///
+/// One guard goes at method entry (resuming at baseline `(0, 0)` with only
+/// the arguments live) and one after every store to a bound state field —
+/// after the store's `Notify*` patch op when present, so the mutation
+/// engine has already reacted (restoring the object's class TIB) by the
+/// time the guard re-checks the bindings and deoptimizes.
+fn insert_guards(f: &mut Function, b: &Bindings, has_receiver: bool, arg_count: u16) -> DeoptInfo {
+    // Bindings are HashMaps; sort so the emitted guard ops (and therefore
+    // compiled code and its modeled size) are deterministic.
+    let obj = if has_receiver && !b.instance.is_empty() {
+        Some(Reg(0))
+    } else {
+        None
+    };
+    let mut instance: Vec<(FieldId, Value)> = if obj.is_some() {
+        b.instance.iter().map(|(k, v)| (*k, *v)).collect()
+    } else {
+        Vec::new()
+    };
+    instance.sort_by_key(|(k, _)| *k);
+    let mut statics: Vec<(FieldId, Value)> = b.statics.iter().map(|(k, v)| (*k, *v)).collect();
+    statics.sort_by_key(|(k, _)| *k);
+    let bound: HashSet<FieldId> = b.instance.keys().chain(b.statics.keys()).copied().collect();
+    // Every baseline register is live at a post-store guard (conservative:
+    // the deopt remap copies the whole baseline window verbatim).
+    let live_prefix = f.num_regs;
+
+    let mut table = DeoptInfo::default();
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let old_ops = std::mem::take(&mut block.ops);
+        let mut new_ops = Vec::with_capacity(old_ops.len() + 1);
+        // Position in the *baseline* block: counts every op except the
+        // guards themselves (which do not exist in baseline code).
+        let mut baseline_idx: u32 = 0;
+        let mut iter = old_ops.into_iter().peekable();
+        while let Some(op) = iter.next() {
+            let bound_store = matches!(
+                &op,
+                Op::PutField { field, .. } | Op::PutStatic { field, .. }
+                    if bound.contains(field)
+            );
+            new_ops.push(op);
+            baseline_idx += 1;
+            if bound_store {
+                // Keep the Notify (inserted by `instrument`) ahead of the
+                // guard: the handler flips TIBs first, then we re-check.
+                if matches!(
+                    iter.peek(),
+                    Some(Op::NotifyInstStore { .. } | Op::NotifyStaticStore { .. })
+                ) {
+                    new_ops.push(iter.next().expect("peeked"));
+                    baseline_idx += 1;
+                }
+                let guard = table.points.len() as u32;
+                table.points.push(DeoptPoint {
+                    block: bi as u32,
+                    op: baseline_idx,
+                });
+                new_ops.push(Op::GuardState {
+                    obj,
+                    instance: instance.clone(),
+                    statics: statics.clone(),
+                    guard,
+                    live_prefix,
+                });
+            }
+        }
+        block.ops = new_ops;
+    }
+
+    // Entry guard: resume at the very top of baseline code, where only the
+    // argument registers hold meaningful values.
+    let guard = table.points.len() as u32;
+    table.points.push(DeoptPoint { block: 0, op: 0 });
+    f.blocks[0].ops.insert(
+        0,
+        Op::GuardState {
+            obj,
+            instance,
+            statics,
+            guard,
+            live_prefix: arg_count,
+        },
+    );
+    table
 }
 
 /// Inserts `Notify*` patch ops after state-field stores and before
@@ -151,13 +285,16 @@ fn inline_pass(
     mid: MethodId,
     max_size: usize,
     max_depth: usize,
+    guarded_fields: Option<&HashSet<FieldId>>,
 ) {
     let mut budget = 12usize;
     for _round in 0..max_depth {
         let mut progressed = false;
         // Re-scan after every splice: indices shift.
         while budget > 0 {
-            let Some(c) = find_candidate(f, program, hints, unique_impl, mid, max_size) else {
+            let Some(c) =
+                find_candidate(f, program, hints, unique_impl, mid, max_size, guarded_fields)
+            else {
                 break;
             };
             let callee_md = program.method(c.target);
@@ -175,7 +312,11 @@ fn inline_pass(
                 arg_regs.push(r);
             }
             arg_regs.extend(&c.args);
-            inline_call(f, c.site, &callee, &arg_regs, c.dst);
+            if inline_call(f, c.site, &callee, &arg_regs, c.dst).is_err() {
+                // Register/block capacity exhausted: stop inlining; the
+                // function is already correct without the splice.
+                break;
+            }
             budget -= 1;
             progressed = true;
         }
@@ -185,7 +326,12 @@ fn inline_pass(
     }
 }
 
-/// Scans for the first inlinable call site.
+/// Scans for the first inlinable call site. With `guarded_fields` set (a
+/// guarded specialized compile), callees that store any of those state
+/// fields are never inlined: such a store inside a spliced body would have
+/// no post-store guard, letting the frame keep running stale specialized
+/// code undetected.
+#[allow(clippy::too_many_arguments)]
 fn find_candidate(
     f: &Function,
     program: &Program,
@@ -193,6 +339,7 @@ fn find_candidate(
     unique_impl: &HashMap<dchm_bytecode::SelectorId, MethodId>,
     mid: MethodId,
     max_size: usize,
+    guarded_fields: Option<&HashSet<FieldId>>,
 ) -> Option<Candidate> {
     for (bi, block) in f.blocks.iter().enumerate() {
         for (oi, op) in block.ops.iter().enumerate() {
@@ -265,6 +412,18 @@ fn find_candidate(
             }
             if callee.code.len() > max_size {
                 continue;
+            }
+            if let Some(bound) = guarded_fields {
+                let stores_bound = callee.code.iter().any(|ins| {
+                    matches!(
+                        ins,
+                        Instr::Op(Op::PutField { field, .. } | Op::PutStatic { field, .. })
+                            if bound.contains(field)
+                    )
+                });
+                if stores_bound {
+                    continue;
+                }
             }
             // Section 5 trade-off: for a mutable method with M specializable
             // state fields and no OLC constants, inline only if the call
@@ -497,6 +656,122 @@ mod tests {
             .filter(|o| matches!(o, Op::CallVirtual { .. }))
             .count();
         assert_eq!(set_calls_b, 0);
+    }
+
+    /// class G { int s; int bump(int v){ s = v; return s; }
+    ///           void set2(int v){ s = v; } void work(int v){ set2(v); } }
+    /// with `s` registered as a patch-point field.
+    fn build_guard_state() -> (VmState, MethodId, MethodId, FieldId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("G").build();
+        let s = pb.instance_field(c, "s", Ty::Int);
+        pb.trivial_ctor(c);
+
+        let mut m = pb.method(c, "bump", MethodSig::new(vec![Ty::Int], Some(Ty::Int)));
+        let this = m.this();
+        let v = m.param(0);
+        m.put_field(this, s, v);
+        let r = m.reg();
+        m.get_field(r, this, s);
+        m.ret(Some(r));
+        let bump = m.build();
+
+        let mut m = pb.method(c, "set2", MethodSig::new(vec![Ty::Int], None));
+        let this = m.this();
+        let v = m.param(0);
+        m.put_field(this, s, v);
+        m.ret(None);
+        m.build();
+
+        let mut m = pb.method(c, "work", MethodSig::new(vec![Ty::Int], None));
+        let this = m.this();
+        let v = m.param(0);
+        m.call_virtual(None, this, "set2", vec![v]);
+        m.ret(None);
+        let work = m.build();
+
+        let mut m = pb.static_method(c, "main", MethodSig::new(vec![], None));
+        m.ret(None);
+        let main = m.build();
+        pb.set_entry(main);
+        let p = pb.finish().unwrap();
+        let mut st = VmState::new(p, VmConfig::default());
+        st.patch_spec.instance_fields.insert(s);
+        (st, bump, work, s)
+    }
+
+    #[test]
+    fn guards_planted_with_baseline_side_table() {
+        let (st, bump, _, s) = build_guard_state();
+        let b = bindings_from(&[(s, Value::Int(7))], &[]);
+        let out = compile(&st, bump, 2, Some(&b));
+        let table = out.deopt.expect("guarded compile must carry a side table");
+        // Entry guard is the first op and resumes at baseline (0, 0) with
+        // only the arguments (receiver + v) live.
+        let entry = &out.func.blocks[0].ops[0];
+        let Op::GuardState {
+            guard, live_prefix, ..
+        } = entry
+        else {
+            panic!("entry op is not a guard: {entry:?}");
+        };
+        assert_eq!(table.points[*guard as usize], DeoptPoint { block: 0, op: 0 });
+        assert_eq!(*live_prefix, 2, "entry guard keeps only this + v live");
+        // The post-store guard resumes in *baseline* code right after the
+        // PutField + Notify pair: at the GetField that re-reads the field.
+        let baseline = compile(&st, bump, 0, None).func;
+        let post = table
+            .points
+            .iter()
+            .find(|p| **p != DeoptPoint { block: 0, op: 0 })
+            .expect("post-store guard");
+        let ops = &baseline.blocks[post.block as usize].ops;
+        assert!(
+            matches!(ops[post.op as usize], Op::GetField { .. }),
+            "resume op: {:?}",
+            ops[post.op as usize]
+        );
+        assert!(
+            matches!(ops[post.op as usize - 1], Op::NotifyInstStore { .. }),
+            "guard must sit after the store's notify"
+        );
+    }
+
+    #[test]
+    fn guard_insertion_can_be_disabled() {
+        let (mut st, bump, _, s) = build_guard_state();
+        st.hints.emit_guards = false;
+        let b = bindings_from(&[(s, Value::Int(7))], &[]);
+        let out = compile(&st, bump, 2, Some(&b));
+        assert!(out.deopt.is_none());
+        for block in &out.func.blocks {
+            for op in &block.ops {
+                assert!(!matches!(op, Op::GuardState { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_compiles_refuse_to_inline_bound_store_callees() {
+        let (st, _, work, s) = build_guard_state();
+        let b = bindings_from(&[(s, Value::Int(7))], &[]);
+        let calls = |f: &Function| {
+            f.blocks
+                .iter()
+                .flat_map(|bl| bl.ops.iter())
+                .filter(|o| o.is_call())
+                .count()
+        };
+        // set2 stores the bound field: a spliced copy would carry no
+        // post-store guard, so the guarded compile must keep the call.
+        let guarded = compile(&st, work, 2, Some(&b));
+        assert!(guarded.deopt.is_some());
+        assert!(calls(&guarded.func) >= 1, "{}", guarded.func);
+        // With guards off the usual inliner behaviour returns.
+        let mut st = st;
+        st.hints.emit_guards = false;
+        let unguarded = compile(&st, work, 2, Some(&b));
+        assert_eq!(calls(&unguarded.func), 0, "{}", unguarded.func);
     }
 
     #[test]

@@ -47,6 +47,21 @@ pub enum RunError {
     /// bug. Surfaced as a trap (rather than a host panic) so the VM state
     /// stays inspectable post-mortem.
     UnreachableExecuted,
+    /// A value had the wrong runtime shape for the operation (a non-object
+    /// where an object was required, a primitive where a reference was
+    /// required, …). Only a verifier or optimizer bug can produce this;
+    /// it traps instead of killing the host so the heap stays inspectable.
+    TypeConfusion {
+        /// Human-readable description of the confusion.
+        what: String,
+    },
+    /// An internal VM invariant broke (missing frame, malformed deopt
+    /// metadata, …). As with [`RunError::TypeConfusion`], this is
+    /// surfaced as a trap so the run can be examined post-mortem.
+    VmInvariant {
+        /// Human-readable description of the broken invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -71,6 +86,8 @@ impl fmt::Display for RunError {
             RunError::UnreachableExecuted => {
                 write!(f, "unreachable terminator executed (optimizer bug)")
             }
+            RunError::TypeConfusion { what } => write!(f, "type confusion: {what}"),
+            RunError::VmInvariant { what } => write!(f, "vm invariant violated: {what}"),
         }
     }
 }

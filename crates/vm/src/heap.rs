@@ -185,16 +185,74 @@ impl Heap {
         ))
     }
 
-    /// The object behind `r`.
+    fn confusion(r: ObjRef, cell: &Cell, wanted: &str) -> RunError {
+        let found = match cell {
+            Cell::Free => "a freed cell",
+            Cell::Obj(_) => "an object",
+            Cell::Arr(_) => "an array",
+        };
+        RunError::TypeConfusion {
+            what: format!("{r} is not {wanted} but {found}"),
+        }
+    }
+
+    /// The object behind `r`, as a typed error on mismatch — the
+    /// interpreter's trap path for reference-typed ops applied to the wrong
+    /// cell kind.
+    ///
+    /// # Errors
+    /// Returns [`RunError::TypeConfusion`] if `r` is not a live object.
+    #[inline]
+    pub fn try_object(&self, r: ObjRef) -> Result<&Object, RunError> {
+        match &self.cells[r.0 as usize] {
+            Cell::Obj(o) => Ok(o),
+            other => Err(Self::confusion(r, other, "an object")),
+        }
+    }
+
+    /// Mutable [`Self::try_object`].
+    ///
+    /// # Errors
+    /// Returns [`RunError::TypeConfusion`] if `r` is not a live object.
+    #[inline]
+    pub fn try_object_mut(&mut self, r: ObjRef) -> Result<&mut Object, RunError> {
+        match &mut self.cells[r.0 as usize] {
+            Cell::Obj(o) => Ok(o),
+            other => Err(Self::confusion(r, other, "an object")),
+        }
+    }
+
+    /// The array behind `r`, as a typed error on mismatch.
+    ///
+    /// # Errors
+    /// Returns [`RunError::TypeConfusion`] if `r` is not a live array.
+    #[inline]
+    pub fn try_array(&self, r: ObjRef) -> Result<&ArrayObj, RunError> {
+        match &self.cells[r.0 as usize] {
+            Cell::Arr(a) => Ok(a),
+            other => Err(Self::confusion(r, other, "an array")),
+        }
+    }
+
+    /// Mutable [`Self::try_array`].
+    ///
+    /// # Errors
+    /// Returns [`RunError::TypeConfusion`] if `r` is not a live array.
+    #[inline]
+    pub fn try_array_mut(&mut self, r: ObjRef) -> Result<&mut ArrayObj, RunError> {
+        match &mut self.cells[r.0 as usize] {
+            Cell::Arr(a) => Ok(a),
+            other => Err(Self::confusion(r, other, "an array")),
+        }
+    }
+
+    /// The object behind `r` (host-side convenience).
     ///
     /// # Panics
     /// Panics if `r` is not a live object handle (VM bug, not program bug).
     #[inline]
     pub fn object(&self, r: ObjRef) -> &Object {
-        match &self.cells[r.0 as usize] {
-            Cell::Obj(o) => o,
-            other => panic!("{r} is not an object: {other:?}"),
-        }
+        self.try_object(r).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Mutable access to the object behind `r`.
@@ -203,22 +261,16 @@ impl Heap {
     /// Panics if `r` is not a live object handle.
     #[inline]
     pub fn object_mut(&mut self, r: ObjRef) -> &mut Object {
-        match &mut self.cells[r.0 as usize] {
-            Cell::Obj(o) => o,
-            other => panic!("{r} is not an object: {other:?}"),
-        }
+        self.try_object_mut(r).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The array behind `r`.
+    /// The array behind `r` (host-side convenience).
     ///
     /// # Panics
     /// Panics if `r` is not a live array handle.
     #[inline]
     pub fn array(&self, r: ObjRef) -> &ArrayObj {
-        match &self.cells[r.0 as usize] {
-            Cell::Arr(a) => a,
-            other => panic!("{r} is not an array: {other:?}"),
-        }
+        self.try_array(r).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Mutable access to the array behind `r`.
@@ -227,10 +279,7 @@ impl Heap {
     /// Panics if `r` is not a live array handle.
     #[inline]
     pub fn array_mut(&mut self, r: ObjRef) -> &mut ArrayObj {
-        match &mut self.cells[r.0 as usize] {
-            Cell::Arr(a) => a,
-            other => panic!("{r} is not an array: {other:?}"),
-        }
+        self.try_array_mut(r).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Iterates all live objects (not arrays) with their exact classes.
@@ -410,6 +459,20 @@ mod tests {
         // cell count must not grow.
         assert_eq!(h.cells.len(), 1);
         assert!(h.is_live(b));
+    }
+
+    #[test]
+    fn mismatched_handles_are_typed_errors() {
+        let mut h = small_heap();
+        let o = h.alloc_object(ClassId(0), TibId(0), vec![]).unwrap();
+        let a = h.alloc_array(ElemKind::Int, 1).unwrap();
+        assert!(matches!(h.try_array(o), Err(RunError::TypeConfusion { .. })));
+        assert!(matches!(h.try_object(a), Err(RunError::TypeConfusion { .. })));
+        assert!(h.try_object(o).is_ok() && h.try_array_mut(a).is_ok());
+        h.gc(std::iter::empty());
+        // Freed cells are type confusion too, not index panics.
+        assert!(matches!(h.try_object(o), Err(RunError::TypeConfusion { .. })));
+        assert!(matches!(h.try_array(a), Err(RunError::TypeConfusion { .. })));
     }
 
     #[test]

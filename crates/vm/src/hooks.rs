@@ -46,7 +46,7 @@ pub struct OlcInfo {
 }
 
 /// Compile-time facts handed to the VM compiler by the mutation engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CompilerHints {
     /// Object-lifetime constants keyed by the private reference field.
     pub olc: HashMap<FieldId, OlcInfo>,
@@ -57,6 +57,21 @@ pub struct CompilerHints {
     /// `k` of the Section 5 heuristic: inline iff `N > M + k`, where `N` is
     /// the number of constant arguments at the call site.
     pub k: i64,
+    /// Plant state guards (and a deopt side table) in specialized method
+    /// bodies so frames can deoptimize when their state assumptions break.
+    /// On by default; switched off only for guard-overhead A/B measurement.
+    pub emit_guards: bool,
+}
+
+impl Default for CompilerHints {
+    fn default() -> Self {
+        CompilerHints {
+            olc: HashMap::new(),
+            spec_field_count: HashMap::new(),
+            k: 0,
+            emit_guards: true,
+        }
+    }
 }
 
 /// The runtime half of the mutation engine: invoked from patch points and
@@ -88,6 +103,155 @@ impl MutationHandler for NoopHandler {
     fn on_static_store(&mut self, _: &mut VmState, _: FieldId) {}
     fn on_ctor_exit(&mut self, _: &mut VmState, _: ObjRef, _: ClassId) {}
     fn on_recompiled(&mut self, _: &mut VmState, _: MethodId, _: u8) {}
+}
+
+/// Configuration of the deterministic fault injector: which fault kinds may
+/// fire and how often, all derived from a fixed `seed` so a run is exactly
+/// reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// PRNG seed; two runs with the same seed inject identically.
+    pub seed: u64,
+    /// Inject full (mark-sweep) garbage collections at allocation points.
+    pub gc_at_alloc: bool,
+    /// Inject global inline-cache version bumps at allocation points.
+    pub ic_bumps: bool,
+    /// Inject silent same-level recompilation of the running method at
+    /// allocation points.
+    pub recompiles: bool,
+    /// Force state guards in specialized code to fail (deoptimize) even
+    /// though the object is still in its hot state.
+    pub force_guard_fail: bool,
+    /// Mean events between injections: each eligible event injects with
+    /// probability `1/period`. `0` disables the injector entirely.
+    pub period: u64,
+}
+
+impl FaultConfig {
+    /// Everything except forced guard failures, at the given seed — the
+    /// cycle-transparent faults a differential run can assert against.
+    pub fn transparent(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            gc_at_alloc: true,
+            ic_bumps: true,
+            recompiles: true,
+            force_guard_fail: false,
+            period: 24,
+        }
+    }
+
+    /// Only forced guard failures, at the given seed.
+    pub fn guard_failures(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            gc_at_alloc: false,
+            ic_bumps: false,
+            recompiles: false,
+            force_guard_fail: true,
+            period: 4,
+        }
+    }
+}
+
+/// The fault kind the injector chose for one allocation point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Run a garbage collection now.
+    Gc,
+    /// Bump the global inline-cache version.
+    IcBump,
+    /// Recompile the currently-running method at its current level.
+    Recompile,
+}
+
+/// Deterministic, seed-driven fault injector (splitmix64 PRNG). The VM
+/// consults it at every allocation point and at every executed state guard;
+/// the draw sequence depends only on the seed and the event sequence, never
+/// on what was previously injected, so runs stay reproducible.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: u64,
+    /// Number of GCs injected.
+    pub gcs: u64,
+    /// Number of IC-version bumps injected.
+    pub ic_bumps: u64,
+    /// Number of silent recompilations injected.
+    pub recompiles: u64,
+    /// Number of guards forced to fail.
+    pub forced_guard_fails: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector {
+            cfg,
+            rng: cfg.seed,
+            gcs: 0,
+            ic_bumps: 0,
+            recompiles: 0,
+            forced_guard_fails: 0,
+        }
+    }
+
+    /// The configuration this injector runs with.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws at an allocation point; returns the fault to inject, if any.
+    pub fn at_alloc(&mut self) -> Option<Fault> {
+        let mut kinds = [Fault::Gc; 3];
+        let mut n = 0usize;
+        if self.cfg.gc_at_alloc {
+            kinds[n] = Fault::Gc;
+            n += 1;
+        }
+        if self.cfg.ic_bumps {
+            kinds[n] = Fault::IcBump;
+            n += 1;
+        }
+        if self.cfg.recompiles {
+            kinds[n] = Fault::Recompile;
+            n += 1;
+        }
+        if n == 0 || self.cfg.period == 0 {
+            return None;
+        }
+        let x = self.next_u64();
+        if !x.is_multiple_of(self.cfg.period) {
+            return None;
+        }
+        let fault = kinds[(x / self.cfg.period) as usize % n];
+        match fault {
+            Fault::Gc => self.gcs += 1,
+            Fault::IcBump => self.ic_bumps += 1,
+            Fault::Recompile => self.recompiles += 1,
+        }
+        Some(fault)
+    }
+
+    /// Draws at an executed state guard; true forces the guard to fail.
+    pub fn at_guard(&mut self) -> bool {
+        if !self.cfg.force_guard_fail || self.cfg.period == 0 {
+            return false;
+        }
+        let forced = self.next_u64().is_multiple_of(self.cfg.period);
+        if forced {
+            self.forced_guard_fails += 1;
+        }
+        forced
+    }
 }
 
 /// Passive observation hooks used by the offline profiler (`dchm-profile`).
@@ -125,5 +289,29 @@ mod tests {
     fn noop_handler_is_constructible() {
         // Compile-time check that the trait is object safe.
         let _h: Box<dyn MutationHandler> = Box::new(NoopHandler);
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let cfg = FaultConfig::transparent(42);
+        let mut a = FaultInjector::new(cfg);
+        let mut b = FaultInjector::new(cfg);
+        let da: Vec<_> = (0..500).map(|_| a.at_alloc()).collect();
+        let db: Vec<_> = (0..500).map(|_| b.at_alloc()).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(Option::is_some), "period 24 over 500 draws");
+        // A different seed gives a different schedule.
+        let mut c = FaultInjector::new(FaultConfig::transparent(43));
+        let dc: Vec<_> = (0..500).map(|_| c.at_alloc()).collect();
+        assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn guard_failure_mode_only_fires_at_guards() {
+        let mut inj = FaultInjector::new(FaultConfig::guard_failures(7));
+        assert!((0..100).all(|_| inj.at_alloc().is_none()));
+        assert!((0..100).any(|_| inj.at_guard()));
+        assert!(inj.forced_guard_fails > 0);
+        assert_eq!(inj.gcs + inj.ic_bumps + inj.recompiles, 0);
     }
 }

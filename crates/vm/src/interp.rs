@@ -275,7 +275,9 @@ impl Vm {
                                 (Value::Null, Value::Ref(_)) | (Value::Ref(_), Value::Null) => {
                                     false
                                 }
-                                (x, y) => panic!("RefEq on non-references {x:?}, {y:?}"),
+                                (x, y) => trap!(RunError::TypeConfusion {
+                                    what: format!("RefEq on non-references {x:?}, {y:?}"),
+                                }),
                             };
                             reg!(dst) = Value::Int(r as i64);
                         }
@@ -289,13 +291,20 @@ impl Vm {
                         Op::GetField { dst, obj, field } => {
                             let o = non_null!(obj);
                             let slot = self.state.field_slot(*field);
-                            reg!(dst) = self.state.heap.object(o).fields[slot];
+                            let v = match self.state.heap.try_object(o) {
+                                Ok(od) => od.fields[slot],
+                                Err(e) => trap!(e),
+                            };
+                            reg!(dst) = v;
                         }
                         Op::PutField { obj, field, src } => {
                             let o = non_null!(obj);
                             let v = reg!(src);
                             let slot = self.state.field_slot(*field);
-                            self.state.heap.object_mut(o).fields[slot] = v;
+                            match self.state.heap.try_object_mut(o) {
+                                Ok(od) => od.fields[slot] = v,
+                                Err(e) => trap!(e),
+                            }
                             if !self.watched.is_empty() && self.watched[field.index()] {
                                 let class = self.state.heap.object(o).class;
                                 if let Some(obs) = &mut self.observer {
@@ -323,7 +332,10 @@ impl Vm {
                         } => {
                             flush!();
                             let recv = non_null!(obj);
-                            let tib = self.state.heap.object(recv).tib;
+                            let tib = match self.state.heap.try_object(recv) {
+                                Ok(od) => od.tib,
+                                Err(e) => trap!(e),
+                            };
                             let site = meta.site(bi, oi - 1);
                             let (target, tcid) = match self.state.ic_lookup(cid, site, tib) {
                                 Some((m, c, _)) => (m, c),
@@ -348,7 +360,10 @@ impl Vm {
                         } => {
                             flush!();
                             let recv = non_null!(obj);
-                            let tib = self.state.heap.object(recv).tib;
+                            let tib = match self.state.heap.try_object(recv) {
+                                Ok(od) => od.tib,
+                                Err(e) => trap!(e),
+                            };
                             let site = meta.site(bi, oi - 1);
                             let (target, tcid) = match self.state.ic_lookup(cid, site, tib) {
                                 Some((m, c, extra)) => {
@@ -434,7 +449,9 @@ impl Vm {
                                     let oc = self.state.tibs[tib.index()].class;
                                     self.state.program.instance_of(oc, *class)
                                 }
-                                v => panic!("instanceof on non-reference {v:?}"),
+                                v => trap!(RunError::TypeConfusion {
+                                    what: format!("instanceof on non-reference {v:?}"),
+                                }),
                             };
                             reg!(dst) = Value::Int(r as i64);
                         }
@@ -447,7 +464,9 @@ impl Vm {
                                     trap!(RunError::ClassCast);
                                 }
                             }
-                            v => panic!("checkcast on non-reference {v:?}"),
+                            v => trap!(RunError::TypeConfusion {
+                                what: format!("checkcast on non-reference {v:?}"),
+                            }),
                         },
                         Op::NewArr { dst, kind, len } => {
                             let n = reg!(len).as_int();
@@ -460,7 +479,10 @@ impl Vm {
                         Op::ALoad { dst, arr, idx } => {
                             let a = non_null!(arr);
                             let i = reg!(idx).as_int();
-                            let arr = self.state.heap.array(a);
+                            let arr = match self.state.heap.try_array(a) {
+                                Ok(ad) => ad,
+                                Err(e) => trap!(e),
+                            };
                             let v = usize::try_from(i)
                                 .ok()
                                 .and_then(|ix| arr.elems.get(ix).copied());
@@ -476,7 +498,10 @@ impl Vm {
                             let a = non_null!(arr);
                             let i = reg!(idx).as_int();
                             let v = reg!(src);
-                            let arr = self.state.heap.array_mut(a);
+                            let arr = match self.state.heap.try_array_mut(a) {
+                                Ok(ad) => ad,
+                                Err(e) => trap!(e),
+                            };
                             let slot = usize::try_from(i)
                                 .ok()
                                 .and_then(|ix| arr.elems.get_mut(ix));
@@ -490,7 +515,10 @@ impl Vm {
                         }
                         Op::ALen { dst, arr } => {
                             let a = non_null!(arr);
-                            let n = self.state.heap.array(a).elems.len() as i64;
+                            let n = match self.state.heap.try_array(a) {
+                                Ok(ad) => ad.elems.len() as i64,
+                                Err(e) => trap!(e),
+                            };
                             reg!(dst) = Value::Int(n);
                         }
                         Op::Intrinsic { dst, kind, args } => {
@@ -509,6 +537,57 @@ impl Vm {
                         }
                         Op::NotifyStaticStore { field } => {
                             self.handler.on_static_store(&mut self.state, *field);
+                        }
+                        Op::GuardState {
+                            obj,
+                            instance,
+                            statics,
+                            guard,
+                            live_prefix,
+                        } => {
+                            self.state.stats.guards_executed += 1;
+                            let forced = match self.state.injector.as_mut() {
+                                Some(inj) => inj.at_guard(),
+                                None => false,
+                            };
+                            let recv = match obj {
+                                Some(r) => match reg!(r).as_ref_opt() {
+                                    Some(o) => Some(o),
+                                    None => trap!(RunError::NullPointer),
+                                },
+                                None => None,
+                            };
+                            let mut holds = !forced;
+                            if holds {
+                                if let Some(o) = recv {
+                                    let od = match self.state.heap.try_object(o) {
+                                        Ok(od) => od,
+                                        Err(e) => trap!(e),
+                                    };
+                                    for (field, want) in instance {
+                                        let slot = self.state.field_slot(*field);
+                                        if !od.fields[slot].key_eq(*want) {
+                                            holds = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            if holds {
+                                for (field, want) in statics {
+                                    if !self.state.get_static(*field).key_eq(*want) {
+                                        holds = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if !holds {
+                                self.state.stats.guard_failures += 1;
+                                flush!();
+                                self.write_back(bi, oi);
+                                self.deoptimize(*guard, *live_prefix, recv)?;
+                                continue 'frames;
+                            }
                         }
                     }
                 }
@@ -533,15 +612,25 @@ impl Vm {
                     }
                     Term::Ret(v) => {
                         self.charge(method, tail + CostModel::FRAME_COST);
-                        let popped = self.state.frames.pop().expect("frame");
+                        let Some(popped) = self.state.frames.pop() else {
+                            return Err(RunError::VmInvariant {
+                                what: "return executed with no live frame".to_string(),
+                            });
+                        };
                         let val = v.map(|r| self.state.reg_stack[popped.base + r.index()]);
                         self.state.reg_stack.truncate(popped.base);
                         let caller_base = self.state.frames.last().map(|c| c.base);
                         match caller_base {
                             Some(cb) => {
                                 if let Some(dst) = popped.ret_dst {
-                                    self.state.reg_stack[cb + dst.index()] =
-                                        val.expect("non-void return expected");
+                                    let Some(val) = val else {
+                                        return Err(RunError::VmInvariant {
+                                            what: "void return reached a call site \
+                                                   expecting a value"
+                                                .to_string(),
+                                        });
+                                    };
+                                    self.state.reg_stack[cb + dst.index()] = val;
                                 }
                             }
                             None => final_ret = val,
@@ -562,12 +651,83 @@ impl Vm {
     }
 
     /// Writes the local cursor back to the top frame (call boundaries,
-    /// traps, fuel stop).
+    /// traps, fuel stop). Tolerates an empty frame stack: trap paths may
+    /// run after the stack already unwound, and a missing frame must not
+    /// turn a typed trap into a panic.
     #[inline]
     fn write_back(&mut self, bi: usize, oi: usize) {
-        let fr = self.state.frames.last_mut().expect("frame");
-        fr.block = bi as u32;
-        fr.op = oi as u32;
+        if let Some(fr) = self.state.frames.last_mut() {
+            fr.block = bi as u32;
+            fr.op = oi as u32;
+        }
+    }
+
+    /// Deoptimizes the top frame after guard `guard` failed: remaps its
+    /// register window and cursor onto the method's baseline code version
+    /// via the deopt side table, and restores the receiver's class TIB so
+    /// dispatch stops treating an object that left its hot state as
+    /// specialized. The caller has already flushed charges and written the
+    /// cursor back; on return it re-enters the frame loop, which picks up
+    /// execution in baseline code at the recorded resume point.
+    ///
+    /// The transition itself is free on the modeled clock (the paper's
+    /// deopt cost is the lost specialization, not the remap); only the
+    /// one-time baseline compile — if the method's general code is not
+    /// already level 0 — bills compile cycles.
+    fn deoptimize(
+        &mut self,
+        guard: u32,
+        live_prefix: u16,
+        recv: Option<ObjRef>,
+    ) -> Result<(), RunError> {
+        let fr = *self
+            .state
+            .frames
+            .last()
+            .ok_or_else(|| RunError::VmInvariant {
+                what: "guard failure with no live frame".to_string(),
+            })?;
+        let cm = &self.state.code[fr.cid.index()];
+        let mid = cm.method;
+        let point = cm
+            .deopt
+            .as_ref()
+            .and_then(|d| d.points.get(guard as usize))
+            .copied()
+            .ok_or_else(|| RunError::VmInvariant {
+                what: format!("guard #{guard} has no deopt side-table entry"),
+            })?;
+        let bcid = self.state.ensure_baseline(mid);
+        let bregs = self.state.code[bcid.index()].func.num_regs as usize;
+        // The live prefix carries over positionally (guards pin those
+        // registers: every pass keeps the prefix stable); everything past
+        // it is a baseline local that is dead at the resume point, so it is
+        // zero-filled exactly as a fresh activation would be.
+        let live = (live_prefix as usize).min(bregs);
+        self.state.reg_stack.truncate(fr.base + live);
+        self.state.reg_stack.resize(fr.base + bregs, Value::Int(0));
+        if let Some(o) = recv {
+            let (tib, class) = {
+                let od = self.state.heap.try_object(o)?;
+                (od.tib, od.class)
+            };
+            let class_tib = self.state.class_tib(class);
+            if tib != class_tib {
+                self.state.set_object_tib(o, class_tib);
+            }
+        }
+        let fr = self
+            .state
+            .frames
+            .last_mut()
+            .ok_or_else(|| RunError::VmInvariant {
+                what: "frame vanished during deoptimization".to_string(),
+            })?;
+        fr.cid = bcid;
+        fr.block = point.block;
+        fr.op = point.op;
+        self.state.stats.deopts += 1;
+        Ok(())
     }
 
     #[inline(always)]
@@ -700,7 +860,7 @@ impl Vm {
         sel: SelectorId,
     ) -> Result<(MethodId, CompiledId), RunError> {
         let (tib, class) = {
-            let o = self.state.heap.object(recv);
+            let o = self.state.heap.try_object(recv)?;
             (o.tib, o.class)
         };
         let vslot = self
@@ -726,7 +886,7 @@ impl Vm {
         caller: MethodId,
     ) -> Result<(MethodId, CompiledId, u64), RunError> {
         let (tib, class) = {
-            let o = self.state.heap.object(recv);
+            let o = self.state.heap.try_object(recv)?;
             (o.tib, o.class)
         };
         let imt_idx = self.state.tibs[tib.index()].imt as usize;

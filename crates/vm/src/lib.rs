@@ -56,10 +56,12 @@ pub mod state;
 pub mod stats;
 pub mod tib;
 
+pub use compiler::{DeoptInfo, DeoptPoint};
 pub use error::RunError;
 pub use heap::{Heap, HeapStats};
 pub use hooks::{
-    CompilerHints, MutationHandler, NoopHandler, OlcInfo, PatchSpec, VmObserver,
+    CompilerHints, Fault, FaultConfig, FaultInjector, MutationHandler, NoopHandler, OlcInfo,
+    PatchSpec, VmObserver,
 };
 pub use interp::Vm;
 pub use state::{CodeMeta, CodeSlot, CompiledId, CompiledMethod, VmConfig, VmState};

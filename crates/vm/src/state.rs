@@ -5,7 +5,7 @@
 use crate::compiler;
 use crate::error::RunError;
 use crate::heap::Heap;
-use crate::hooks::{CompilerHints, PatchSpec};
+use crate::hooks::{CompilerHints, Fault, FaultInjector, PatchSpec};
 use crate::stats::VmStats;
 use crate::tib::{Imt, Tib, TibId, TibKind};
 use dchm_bytecode::value::ObjRef;
@@ -173,6 +173,9 @@ pub struct CompiledMethod {
     pub meta: Rc<CodeMeta>,
     /// Modeled machine-code size in bytes.
     pub size_bytes: usize,
+    /// Deopt side table: present only on guarded specialized versions,
+    /// mapping each planted guard id to the baseline resume point.
+    pub deopt: Option<Rc<compiler::DeoptInfo>>,
 }
 
 /// VM configuration.
@@ -353,6 +356,13 @@ pub struct VmState {
     pub(crate) unique_impl: HashMap<SelectorId, MethodId>,
     /// Per-class field-initialization templates.
     field_templates: Vec<Vec<Value>>,
+    /// Deterministic fault injector (robustness testing); `None` in normal
+    /// runs.
+    pub injector: Option<FaultInjector>,
+    /// Per-method cache of the baseline (level-0, unspecialized) code a
+    /// deoptimizing frame resumes in. Compiled on the first deopt of each
+    /// method, reused afterwards.
+    deopt_baseline: Vec<Option<CompiledId>>,
 }
 
 impl VmState {
@@ -476,6 +486,8 @@ impl VmState {
             special_resolution: HashMap::new(),
             unique_impl,
             field_templates,
+            injector: None,
+            deopt_baseline: vec![None; nmethods],
         }
     }
 
@@ -571,7 +583,31 @@ impl VmState {
             func,
             meta,
             size_bytes: size,
+            deopt: outcome.deopt.map(Rc::new),
         });
+        cid
+    }
+
+    /// The baseline (level-0, unspecialized) code a deoptimizing frame of
+    /// `mid` resumes in. Level-0 compilation is a pure lift + instrument —
+    /// the scalar pipeline runs zero iterations — so its blocks and ops are
+    /// coordinate-identical to the function guards recorded their resume
+    /// points in. Reuses the current general code when it is already level
+    /// 0; otherwise compiles (and caches) a dedicated baseline version.
+    /// Either way no recompilation event is queued: deopt must not perturb
+    /// the mutation engine's view of the adaptive system.
+    pub fn ensure_baseline(&mut self, mid: MethodId) -> CompiledId {
+        if let Some(cid) = self.deopt_baseline[mid.index()] {
+            return cid;
+        }
+        let cid = match self.general_code[mid.index()] {
+            Some(g) if self.compiled(g).level == 0 => g,
+            _ => {
+                self.stats.deopt_baseline_compiles += 1;
+                self.compile_internal(mid, 0, None)
+            }
+        };
+        self.deopt_baseline[mid.index()] = Some(cid);
         cid
     }
 
@@ -783,6 +819,7 @@ impl VmState {
     pub fn alloc_object(&mut self, class: ClassId) -> Result<ObjRef, RunError> {
         let fields = self.field_templates[class.index()].clone();
         let bytes = 16 + 8 * fields.len();
+        self.maybe_inject_at_alloc();
         self.maybe_gc(bytes);
         self.charge_alloc(bytes);
         let tib = self.class_tibs[class.index()];
@@ -799,6 +836,7 @@ impl VmState {
         len: i64,
     ) -> Result<ObjRef, RunError> {
         let bytes = 16 + 8 * len.max(0) as usize;
+        self.maybe_inject_at_alloc();
         self.maybe_gc(bytes);
         self.charge_alloc(bytes);
         self.heap.alloc_array(kind, len)
@@ -820,6 +858,15 @@ impl VmState {
     /// Every live frame's registers are a window of `reg_stack`, so one
     /// linear scan of the pool covers all frames.
     pub fn gc_now(&mut self) {
+        let roots = self.collect_roots();
+        let cycles = self.heap.gc(roots.into_iter());
+        self.clock += cycles;
+        self.stats.gc_cycles += cycles;
+    }
+
+    /// Live GC roots: frame registers (one linear scan of the pooled
+    /// register stack), statics, host handles.
+    fn collect_roots(&self) -> Vec<ObjRef> {
         let mut roots: Vec<ObjRef> = Vec::new();
         for v in &self.reg_stack {
             if let Value::Ref(r) = v {
@@ -832,9 +879,67 @@ impl VmState {
             }
         }
         roots.extend(self.handles.iter().copied());
-        let cycles = self.heap.gc(roots.into_iter());
-        self.clock += cycles;
-        self.stats.gc_cycles += cycles;
+        roots
+    }
+
+    /// Consults the fault injector (if any) at an allocation point and
+    /// applies the drawn fault. Every injected fault is *cycle-transparent*:
+    ///
+    /// * an injected GC is a real mark-sweep over the real root set but
+    ///   leaves the clock and GC stats untouched;
+    /// * an IC bump empties the inline caches, which are a host-side fast
+    ///   path with no modeled cost;
+    /// * an injected recompile regenerates and reinstalls the running
+    ///   method's general code without billing compile cycles, touching the
+    ///   profile or queueing a recompilation event — the compiler is
+    ///   deterministic, so the new code is identical to the old.
+    ///
+    /// This is what lets the differential harness assert bit-identical
+    /// output *and* modeled cycles with injection on vs. off.
+    fn maybe_inject_at_alloc(&mut self) {
+        let fault = match self.injector.as_mut() {
+            Some(inj) => inj.at_alloc(),
+            None => return,
+        };
+        match fault {
+            None => {}
+            Some(Fault::Gc) => {
+                let roots = self.collect_roots();
+                let _ = self.heap.gc(roots.into_iter());
+            }
+            Some(Fault::IcBump) => self.invalidate_inline_caches(),
+            Some(Fault::Recompile) => {
+                let Some(fr) = self.frames.last() else { return };
+                let mid = fr.method;
+                let Some(g) = self.general_code[mid.index()] else {
+                    return;
+                };
+                let level = self.compiled(g).level;
+                let cid = self.compile_silent(mid, level);
+                self.install_general(mid, cid);
+            }
+        }
+    }
+
+    /// Compiles general code for `mid` at `level` without billing cycles or
+    /// updating any statistic — the injected-recompile path. The code store
+    /// grows (code is immortal) but nothing observable changes.
+    fn compile_silent(&mut self, mid: MethodId, level: u8) -> CompiledId {
+        let outcome = compiler::compile(self, mid, level, None);
+        let cid = CompiledId(self.code.len() as u32);
+        let func = Rc::new(outcome.func);
+        let meta = Rc::new(CodeMeta::build(&func));
+        self.icaches.push(vec![IcEntry::EMPTY; meta.num_sites as usize]);
+        self.code.push(CompiledMethod {
+            method: mid,
+            level,
+            special: false,
+            func,
+            meta,
+            size_bytes: outcome.size_bytes,
+            deopt: None,
+        });
+        cid
     }
 
     /// Registers a host-held GC root.

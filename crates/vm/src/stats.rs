@@ -63,6 +63,15 @@ pub struct VmStats {
     /// Global inline-cache invalidations (generation bumps) caused by
     /// code installs, TIB/JTOC patches and mutable-class marking.
     pub ic_invalidations: u64,
+    /// State guards executed in specialized code (passing or failing).
+    pub guards_executed: u64,
+    /// Guard failures observed (state mismatch or forced by the injector).
+    pub guard_failures: u64,
+    /// Frames deoptimized onto baseline code after a guard failure.
+    pub deopts: u64,
+    /// Baseline (deopt-target) code versions compiled on first deopt of a
+    /// method.
+    pub deopt_baseline_compiles: u64,
     /// Per-method profiles, indexed by [`MethodId`].
     pub per_method: Vec<MethodProfile>,
 }

@@ -1,0 +1,203 @@
+//! The ISSUE-3 acceptance scenario: a method stores to its own state field
+//! while a *specialized frame for that object is live on the stack*. The
+//! post-store guard must fail, the frame must deoptimize to baseline code
+//! mid-method, the object's TIB must end up restored to the class TIB, and
+//! the run's observable output and modeled execution cycles must be
+//! bit-identical to a mutation-off run of the same instrumented program.
+//!
+//! The mutation-off comparator uses the same engine with an identical plan
+//! whose `hot_states` list is empty: patch points (and their 3-cycle
+//! `Notify*` ops) are instrumented identically, but no special TIB is ever
+//! created and no code is specialized. Compile-cycle billing legitimately
+//! differs (the technique pays for its special compiles); the *execution*
+//! clock and the GC clock must not move by a single tick, because state
+//! guards are free (0-cycle) and the deopt transition itself is unbilled.
+
+use dchm_bytecode::{ClassId, FieldId, MethodId, MethodSig, Program, ProgramBuilder, Ty, Value};
+use dchm_core::{HotState, MutableClass, MutationEngine, MutationPlan, OlcReport};
+use dchm_vm::{Vm, VmConfig};
+
+/// class Acct { int s; static Acct KEEP;
+///   Acct(int k){ s = k; }
+///   void go(int v){ int t = v*3; s = v; sink(s + t); } }
+/// main: o = new Acct(7); KEEP = o; o.go(5); o.go(9);
+fn build() -> (Program, ClassId, FieldId, FieldId, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let acct = pb.class("Acct").build();
+    let s = pb.instance_field(acct, "s", Ty::Int);
+    let keep = pb.static_field(acct, "KEEP", Ty::Ref(acct), Value::Null);
+
+    let mut m = pb.ctor(acct, vec![Ty::Int]);
+    let this = m.this();
+    let k = m.param(0);
+    m.put_field(this, s, k);
+    m.ret(None);
+    m.build();
+
+    let mut m = pb.method(acct, "go", MethodSig::new(vec![Ty::Int], None));
+    let this = m.this();
+    let v = m.param(0);
+    let three = m.imm(3);
+    let t = m.reg();
+    m.imul(t, v, three);
+    m.put_field(this, s, v);
+    let r = m.reg();
+    m.get_field(r, this, s);
+    let u = m.reg();
+    m.iadd(u, r, t);
+    m.sink_int(u);
+    m.ret(None);
+    let go = m.build();
+
+    let mut m = pb.static_method(acct, "main", MethodSig::void());
+    let o = m.reg();
+    let seven = m.imm(7);
+    m.new_init(o, acct, vec![seven]);
+    m.put_static(keep, o);
+    let five = m.imm(5);
+    m.call_virtual(None, o, "go", vec![five]);
+    let nine = m.imm(9);
+    m.call_virtual(None, o, "go", vec![nine]);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+    (pb.finish().unwrap(), acct, s, keep, go)
+}
+
+/// A plan binding `s == 7` as the single hot state of `Acct`. With
+/// `hot_states: false` the same classes/fields are declared (identical
+/// instrumentation) but nothing is ever specialized.
+fn plan(acct: ClassId, s: FieldId, go: MethodId, hot_states: bool, emit_guards: bool) -> MutationPlan {
+    MutationPlan {
+        classes: vec![MutableClass {
+            class: acct,
+            instance_state_fields: vec![s],
+            static_state_fields: vec![],
+            hot_states: if hot_states {
+                vec![HotState {
+                    instance_values: vec![(s, Value::Int(7))],
+                    static_values: vec![],
+                    frequency: 1.0,
+                }]
+            } else {
+                vec![]
+            },
+            mutable_methods: vec![go],
+            field_scores: vec![],
+        }],
+        // Specialize at opt0 so the special body is op-for-op the baseline
+        // plus guards plus state-field folds — the exec clocks then compare
+        // exactly (no inlining reshapes the prefix).
+        mutation_level: 0,
+        k: 0,
+        emit_guards,
+    }
+}
+
+fn run(p: &Program, plan: MutationPlan) -> Vm {
+    let engine = MutationEngine::new(plan, OlcReport::default());
+    let mut vm = engine.attach(p.clone(), VmConfig::default());
+    vm.run_entry().expect("run must not trap");
+    vm
+}
+
+#[test]
+fn state_store_in_live_specialized_frame_deoptimizes_to_baseline() {
+    let (p, acct, s, keep, go) = build();
+
+    let mutated = run(&p, plan(acct, s, go, true, true));
+    let off = run(&p, plan(acct, s, go, false, true));
+
+    // The specialized frame hit its post-store guard and deoptimized.
+    let st = mutated.stats();
+    assert!(st.guards_executed >= 2, "entry + post-store guard");
+    assert_eq!(st.guard_failures, 1, "exactly the s=5 store fails");
+    assert_eq!(st.deopts, 1);
+    assert!(st.special_tibs >= 1, "ctor exit flipped into the hot state");
+
+    // Observable output is bit-identical to the mutation-off run: the
+    // deoptimized baseline re-reads s and sinks 5+15, not the stale 7+15.
+    assert_eq!(mutated.state.output.text, off.state.output.text);
+    assert_eq!(mutated.state.output.checksum, off.state.output.checksum);
+
+    // Modeled execution and GC cycles are identical; only compile billing
+    // (special compile + baseline compile for the deopt target) differs.
+    assert_eq!(st.exec_cycles, off.stats().exec_cycles);
+    assert_eq!(st.gc_cycles, off.stats().gc_cycles);
+
+    // The object's TIB was restored to the class TIB.
+    let Value::Ref(obj) = mutated.state.get_static(keep) else {
+        panic!("KEEP must hold the object");
+    };
+    assert_eq!(
+        mutated.state.heap.object(obj).tib,
+        mutated.state.class_tib(acct),
+        "object must leave the special TIB when it leaves the hot state"
+    );
+}
+
+#[test]
+fn without_guards_the_stale_specialized_frame_misbehaves() {
+    let (p, acct, s, _, go) = build();
+
+    let unguarded = run(&p, plan(acct, s, go, true, false));
+    let off = run(&p, plan(acct, s, go, false, true));
+
+    // No guards were planted, so nothing deoptimized …
+    assert_eq!(unguarded.stats().guards_executed, 0);
+    assert_eq!(unguarded.stats().deopts, 0);
+    // … and the live specialized frame kept running with the stale s==7
+    // fold after the store: observable output diverges. This is exactly
+    // the wrong-code hazard the guard subsystem exists to close.
+    assert_ne!(unguarded.state.output.checksum, off.state.output.checksum);
+}
+
+#[test]
+fn deopt_is_idempotent_across_repeated_mutations() {
+    // Re-enter the hot state and leave it again: every entry re-flips the
+    // TIB and every in-frame exit deoptimizes afresh.
+    let mut pb = ProgramBuilder::new();
+    let acct = pb.class("Acct").build();
+    let s = pb.instance_field(acct, "s", Ty::Int);
+
+    let mut m = pb.ctor(acct, vec![Ty::Int]);
+    let this = m.this();
+    let k = m.param(0);
+    m.put_field(this, s, k);
+    m.ret(None);
+    m.build();
+
+    // flip(v): s = v; sink(s)  — called alternating v=7 (enter hot) and
+    // v=1 (leave hot, from inside specialized code once flipped).
+    let mut m = pb.method(acct, "flip", MethodSig::new(vec![Ty::Int], None));
+    let this = m.this();
+    let v = m.param(0);
+    m.put_field(this, s, v);
+    let r = m.reg();
+    m.get_field(r, this, s);
+    m.sink_int(r);
+    m.ret(None);
+    let flip = m.build();
+
+    let mut m = pb.static_method(acct, "main", MethodSig::void());
+    let o = m.reg();
+    let seven = m.imm(7);
+    m.new_init(o, acct, vec![seven]);
+    let one = m.imm(1);
+    for _ in 0..3 {
+        m.call_virtual(None, o, "flip", vec![one]);
+        m.call_virtual(None, o, "flip", vec![seven]);
+    }
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+    let p = pb.finish().unwrap();
+
+    let mutated = run(&p, plan(acct, s, flip, true, true));
+    let off = run(&p, plan(acct, s, flip, false, true));
+    // Each of the three `flip(1)` calls runs in specialized code (the
+    // preceding flip(7) re-entered the hot state) and deoptimizes.
+    assert_eq!(mutated.stats().deopts, 3);
+    assert_eq!(mutated.state.output.checksum, off.state.output.checksum);
+    assert_eq!(mutated.stats().exec_cycles, off.stats().exec_cycles);
+}

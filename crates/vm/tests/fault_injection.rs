@@ -1,0 +1,448 @@
+//! Fault-injection differential runner (ISSUE 3 tentpole).
+//!
+//! The injector perturbs the *host-side machinery* — forced GCs at
+//! allocation points, global IC-version bumps, silent same-level
+//! recompilation — none of which may move observable output or the modeled
+//! clock by a single tick. Every workload of the paper's Table 1 is run
+//! with injection off (reference) and on at three seeds; the observable
+//! fingerprint must be bit-identical.
+//!
+//! Forced guard failures are different: they legitimately change which code
+//! version executes (specialized frames deoptimize to baseline, which is
+//! billed differently), so those runs assert *output* identity only —
+//! the correctness property guards exist to protect.
+//!
+//! Heaps are enlarged so no organic collection fires: an injected (free)
+//! GC must then be the only collector activity, keeping billing untouched.
+//!
+//! Extra seed: set `DCHM_FAULT_SEED=<n>` to add a fourth seed to every
+//! sweep (the CI fault-injection job pins one).
+
+use dchm_core::pipeline::{prepare, PipelineConfig};
+use dchm_vm::{FaultConfig, FaultInjector, RunError, Vm, VmConfig};
+use dchm_workloads::{catalog, Scale, Workload};
+
+/// Observable fingerprint of one finished run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Obs {
+    text: String,
+    checksum: u64,
+    clock: u64,
+    ops: u64,
+}
+
+fn observe(vm: &Vm) -> Obs {
+    Obs {
+        text: vm.state.output.text.clone(),
+        checksum: vm.state.output.checksum,
+        clock: vm.cycles(),
+        ops: vm.stats().ops_executed,
+    }
+}
+
+fn seeds() -> Vec<u64> {
+    let mut s = vec![1, 2, 3];
+    if let Ok(v) = std::env::var("DCHM_FAULT_SEED") {
+        if let Ok(n) = v.parse::<u64>() {
+            if !s.contains(&n) {
+                s.push(n);
+            }
+        }
+    }
+    s
+}
+
+/// The determinism-harness VM cadence, with the heap enlarged so organic
+/// GC never runs (injected GCs must be the only collector activity).
+fn big_heap_config(w: &Workload) -> VmConfig {
+    let mut c = w.vm_config();
+    c.heap_bytes = 512 << 20;
+    c.sample_period = 15_000;
+    c.opt1_samples = 3;
+    c.opt2_samples = 8;
+    c
+}
+
+fn run_mutated(w: &Workload, injector: Option<FaultInjector>) -> Vm {
+    let cfg = PipelineConfig {
+        profile_vm: big_heap_config(w),
+        ..Default::default()
+    };
+    let wl = w.clone();
+    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
+        wl.run(vm).expect("profiling run must not trap");
+    });
+    let mut vm = prepared.make_vm(big_heap_config(w));
+    vm.state.injector = injector;
+    w.run(&mut vm).expect("mutated run must not trap");
+    vm
+}
+
+fn check_workload(name: &str) {
+    let w = catalog(Scale::Small)
+        .into_iter()
+        .find(|w| w.name == name)
+        .expect("workload in catalog");
+    let reference = observe(&run_mutated(&w, None));
+    assert!(reference.clock > 0);
+
+    for seed in seeds() {
+        // Transparent faults: GC at allocations, IC bumps, silent
+        // recompiles — at *every* allocation point (period 1), the most
+        // hostile schedule. Fingerprint must not move at all.
+        let cfg = FaultConfig {
+            period: 1,
+            ..FaultConfig::transparent(seed)
+        };
+        let vm = run_mutated(&w, Some(FaultInjector::new(cfg)));
+        let inj = vm.state.injector.as_ref().expect("injector survives");
+        assert!(
+            inj.gcs + inj.ic_bumps + inj.recompiles > 0,
+            "{name}: seed {seed} injected nothing — the sweep proves nothing"
+        );
+        assert_eq!(
+            observe(&vm),
+            reference,
+            "{name}: transparent fault injection (seed {seed}) perturbed the run \
+             ({} gcs, {} ic bumps, {} recompiles injected)",
+            inj.gcs,
+            inj.ic_bumps,
+            inj.recompiles
+        );
+
+        // Forced guard failures: output identity only — deoptimized frames
+        // legitimately execute (and bill) baseline instead of specialized
+        // code.
+        let vm = run_mutated(
+            &w,
+            Some(FaultInjector::new(FaultConfig::guard_failures(seed))),
+        );
+        let got = observe(&vm);
+        assert_eq!(got.text, reference.text, "{name}: guard-failure seed {seed}");
+        assert_eq!(
+            got.checksum, reference.checksum,
+            "{name}: guard-failure seed {seed}"
+        );
+        let inj = vm.state.injector.as_ref().expect("injector survives");
+        if inj.forced_guard_fails > 0 {
+            assert!(
+                vm.stats().deopts >= 1,
+                "{name}: forced guard failures must deoptimize"
+            );
+        }
+    }
+}
+
+#[test]
+fn salarydb_bit_identical_under_injection() {
+    check_workload("SalaryDB");
+}
+
+#[test]
+fn simlogic_bit_identical_under_injection() {
+    check_workload("SimLogic");
+}
+
+#[test]
+fn csv2xml_bit_identical_under_injection() {
+    check_workload("CSVToXML");
+}
+
+#[test]
+fn java2xhtml_bit_identical_under_injection() {
+    check_workload("Java2XHTML");
+}
+
+#[test]
+fn weka_bit_identical_under_injection() {
+    check_workload("Weka");
+}
+
+#[test]
+fn jbb2000_bit_identical_under_injection() {
+    check_workload("SPECjbb2000");
+}
+
+#[test]
+fn jbb2005_bit_identical_under_injection() {
+    check_workload("SPECjbb2005");
+}
+
+mod fuzz {
+    //! Proptest differential fuzzing: random verified programs whose hot
+    //! method reads and writes the state fields its specialized version is
+    //! bound to, run mutation-off, mutation-on, and mutation-on under fault
+    //! injection. Observable results must be identical everywhere, and the
+    //! transparent-fault run must match the uninjected mutated run on the
+    //! modeled clock too.
+
+    use dchm_bytecode::{
+        ClassId, CmpOp, FieldId, IBinOp, MethodId, MethodSig, Program, ProgramBuilder, Ty, Value,
+    };
+    use dchm_core::{HotState, MutableClass, MutationEngine, MutationPlan, OlcReport};
+    use dchm_vm::{FaultConfig, FaultInjector, RunError, VmConfig};
+    use proptest::prelude::*;
+
+    const POOL: usize = 4;
+
+    #[derive(Clone, Debug)]
+    enum Stmt {
+        Const(usize, i64),
+        Bin(IBinOp, usize, usize, usize),
+        StoreField(usize, usize),
+        LoadField(usize, usize),
+        Sink(usize),
+        /// Allocate a garbage object: an injection site for the fault
+        /// injector (and a ctor-exit patch point).
+        Alloc,
+        If(CmpOp, usize, usize, Vec<Stmt>, Vec<Stmt>),
+        Loop(u8, Vec<Stmt>),
+    }
+
+    fn leaf() -> impl Strategy<Value = Stmt> {
+        prop_oneof![
+            (0..POOL, -8i64..9).prop_map(|(r, v)| Stmt::Const(r, v)),
+            (
+                prop_oneof![
+                    Just(IBinOp::Add),
+                    Just(IBinOp::Sub),
+                    Just(IBinOp::Mul),
+                    Just(IBinOp::Div),
+                    Just(IBinOp::Rem),
+                    Just(IBinOp::Xor),
+                ],
+                0..POOL,
+                0..POOL,
+                0..POOL
+            )
+                .prop_map(|(op, d, a, b)| Stmt::Bin(op, d, a, b)),
+            (0..2usize, 0..POOL).prop_map(|(f, r)| Stmt::StoreField(f, r)),
+            (0..POOL, 0..2usize).prop_map(|(r, f)| Stmt::LoadField(r, f)),
+            (0..POOL).prop_map(Stmt::Sink),
+            Just(Stmt::Alloc),
+        ]
+    }
+
+    fn stmt() -> impl Strategy<Value = Stmt> {
+        leaf().prop_recursive(3, 24, 6, |inner| {
+            prop_oneof![
+                (
+                    prop_oneof![
+                        Just(CmpOp::Eq),
+                        Just(CmpOp::Ne),
+                        Just(CmpOp::Lt),
+                        Just(CmpOp::Ge)
+                    ],
+                    0..POOL,
+                    0..POOL,
+                    prop::collection::vec(inner.clone(), 0..4),
+                    prop::collection::vec(inner.clone(), 0..4)
+                )
+                    .prop_map(|(c, a, b, t, e)| Stmt::If(c, a, b, t, e)),
+                (1u8..4, prop::collection::vec(inner, 1..4))
+                    .prop_map(|(n, body)| Stmt::Loop(n, body)),
+            ]
+        })
+    }
+
+    fn emit(
+        m: &mut dchm_bytecode::MethodBuilder<'_>,
+        pool: &[dchm_bytecode::Reg],
+        this: dchm_bytecode::Reg,
+        cls: ClassId,
+        fields: &[FieldId],
+        stmts: &[Stmt],
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Const(r, v) => m.const_i(pool[*r], *v),
+                Stmt::Bin(op, d, a, b) => m.ibin(*op, pool[*d], pool[*a], pool[*b]),
+                Stmt::StoreField(f, r) => m.put_field(this, fields[*f], pool[*r]),
+                Stmt::LoadField(r, f) => m.get_field(pool[*r], this, fields[*f]),
+                Stmt::Sink(r) => m.sink_int(pool[*r]),
+                Stmt::Alloc => {
+                    let g = m.reg();
+                    m.new_init(g, cls, vec![]);
+                }
+                Stmt::If(op, a, b, then_s, else_s) => {
+                    let l_else = m.label();
+                    let l_end = m.label();
+                    let neg = op.negated();
+                    m.br_icmp(neg, pool[*a], pool[*b], l_else);
+                    emit(m, pool, this, cls, fields, then_s);
+                    m.jmp(l_end);
+                    m.bind(l_else);
+                    emit(m, pool, this, cls, fields, else_s);
+                    m.bind(l_end);
+                }
+                Stmt::Loop(n, body) => {
+                    let cnt = m.reg();
+                    m.const_i(cnt, *n as i64);
+                    let head = m.label();
+                    let done = m.label();
+                    m.bind(head);
+                    let zero = m.imm(0);
+                    m.br_icmp(CmpOp::Le, cnt, zero, done);
+                    emit(m, pool, this, cls, fields, body);
+                    let one = m.imm(1);
+                    m.isub(cnt, cnt, one);
+                    m.jmp(head);
+                    m.bind(done);
+                }
+            }
+        }
+    }
+
+    /// class P { int f0 = 1, f1 = 2; void work(){ <random body> } }
+    /// main: o = new P(); o.work(); o.work();
+    /// The ctor leaves every P in the hot state {f0:1, f1:2}; random
+    /// stores inside work() knock `o` out of it mid-frame.
+    fn build(stmts: &[Stmt]) -> (Program, ClassId, FieldId, FieldId, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("P").build();
+        let f0 = pb.instance_field(c, "f0", Ty::Int);
+        let f1 = pb.instance_field(c, "f1", Ty::Int);
+        let mut m = pb.ctor(c, vec![]);
+        let this = m.this();
+        let one = m.imm(1);
+        m.put_field(this, f0, one);
+        let two = m.imm(2);
+        m.put_field(this, f1, two);
+        m.ret(None);
+        m.build();
+
+        let mut m = pb.method(c, "work", MethodSig::void());
+        let this = m.this();
+        let pool: Vec<_> = (0..POOL).map(|_| m.reg()).collect();
+        for (i, &r) in pool.iter().enumerate() {
+            m.const_i(r, i as i64 + 1);
+        }
+        emit(&mut m, &pool, this, c, &[f0, f1], stmts);
+        for &r in &pool {
+            m.sink_int(r);
+        }
+        m.ret(None);
+        let work = m.build();
+
+        let mut m = pb.static_method(c, "main", MethodSig::void());
+        let o = m.reg();
+        m.new_init(o, c, vec![]);
+        m.call_virtual(None, o, "work", vec![]);
+        m.call_virtual(None, o, "work", vec![]);
+        m.ret(None);
+        let main = m.build();
+        pb.set_entry(main);
+        (pb.finish().expect("generated program verifies"), c, f0, f1, work)
+    }
+
+    fn plan(c: ClassId, f0: FieldId, f1: FieldId, work: MethodId, hot: bool) -> MutationPlan {
+        MutationPlan {
+            classes: vec![MutableClass {
+                class: c,
+                instance_state_fields: vec![f0, f1],
+                static_state_fields: vec![],
+                hot_states: if hot {
+                    vec![HotState {
+                        instance_values: vec![(f0, Value::Int(1)), (f1, Value::Int(2))],
+                        static_values: vec![],
+                        frequency: 1.0,
+                    }]
+                } else {
+                    vec![]
+                },
+                mutable_methods: vec![work],
+                field_scores: vec![],
+            }],
+            mutation_level: 2,
+            k: 0,
+            emit_guards: true,
+        }
+    }
+
+    fn run(
+        p: &Program,
+        plan: MutationPlan,
+        injector: Option<FaultInjector>,
+    ) -> (Result<Option<Value>, RunError>, u64, u64, u64) {
+        let engine = MutationEngine::new(plan, OlcReport::default());
+        let cfg = VmConfig {
+            heap_bytes: 64 << 20,
+            fuel: Some(2_000_000),
+            ..Default::default()
+        };
+        let mut vm = engine.attach(p.clone(), cfg);
+        vm.state.injector = injector;
+        let r = vm.run_entry();
+        (
+            r,
+            vm.state.output.checksum,
+            vm.cycles(),
+            vm.stats().ops_executed,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn mutation_and_injection_never_change_results(
+            stmts in prop::collection::vec(stmt(), 1..12),
+            seed in 1u64..1_000,
+        ) {
+            let (p, c, f0, f1, work) = build(&stmts);
+            let (r_off, sum_off, _, _) = run(&p, plan(c, f0, f1, work, false), None);
+            let (r_on, sum_on, clock_on, ops_on) = run(&p, plan(c, f0, f1, work, true), None);
+            prop_assert_eq!(&r_off, &r_on, "mutation changed the result");
+            prop_assert_eq!(sum_off, sum_on, "mutation changed the output");
+
+            let inj = FaultInjector::new(FaultConfig {
+                period: 1,
+                ..FaultConfig::transparent(seed)
+            });
+            let (r_t, sum_t, clock_t, ops_t) = run(&p, plan(c, f0, f1, work, true), Some(inj));
+            prop_assert_eq!(&r_on, &r_t, "transparent faults changed the result");
+            prop_assert_eq!(sum_on, sum_t, "transparent faults changed the output");
+            prop_assert_eq!(clock_on, clock_t, "transparent faults moved the clock");
+            prop_assert_eq!(ops_on, ops_t, "transparent faults changed op count");
+
+            let inj = FaultInjector::new(FaultConfig::guard_failures(seed));
+            let (r_g, sum_g, _, _) = run(&p, plan(c, f0, f1, work, true), Some(inj));
+            prop_assert_eq!(&r_on, &r_g, "forced guard failures changed the result");
+            prop_assert_eq!(sum_on, sum_g, "forced guard failures changed the output");
+        }
+    }
+}
+
+#[test]
+fn fuel_exhaustion_is_a_clean_typed_trap_under_injection() {
+    // An unbounded loop with a fuel limit must surface RunError::OutOfFuel
+    // — not a panic, not a wedged VM — whether or not faults are flying.
+    use dchm_bytecode::{MethodSig, ProgramBuilder};
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("Spin").build();
+    let mut m = pb.static_method(c, "main", MethodSig::void());
+    let o = m.reg();
+    let head = m.label();
+    m.bind(head);
+    m.new_obj(o, c); // allocation site: gives at_alloc faults a home
+    m.jmp(head);
+    let main = m.build();
+    pb.set_entry(main);
+    let p = pb.finish().unwrap();
+
+    for injector in [
+        None,
+        Some(FaultInjector::new(FaultConfig::transparent(7))),
+        Some(FaultInjector::new(FaultConfig::guard_failures(7))),
+    ] {
+        let cfg = VmConfig {
+            fuel: Some(200_000),
+            heap_bytes: 64 << 20,
+            ..Default::default()
+        };
+        let mut vm = Vm::new(p.clone(), cfg);
+        vm.state.injector = injector;
+        let err = vm.run_entry().expect_err("loop must exhaust fuel");
+        assert!(matches!(err, RunError::OutOfFuel), "got {err}");
+    }
+}

@@ -22,8 +22,8 @@ const GOLDEN: &[(&str, Fingerprint)] = &[
     (
         "SalaryDB/mutated",
         Fingerprint {
-            clock: 311611,
-            ops_executed: 47381,
+            clock: 314683,
+            ops_executed: 48201,
             per_method_hash: 0xa1816d8eee908511,
         },
     ),
@@ -86,8 +86,8 @@ const GOLDEN: &[(&str, Fingerprint)] = &[
     (
         "Weka/mutated",
         Fingerprint {
-            clock: 272605,
-            ops_executed: 60795,
+            clock: 273757,
+            ops_executed: 60912,
             per_method_hash: 0x5bb7cc194542be59,
         },
     ),
