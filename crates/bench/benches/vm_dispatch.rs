@@ -23,6 +23,21 @@ fn run(p: &Program, entry: MethodId, expect: i64) {
     std::hint::black_box(vm.stats().ic_hits);
 }
 
+/// Same loop with the event tracer attached: what a fully-instrumented run
+/// pays on the dispatch path (IC events are sampled at the default period,
+/// so the common case is a counter bump, not a ring write).
+fn run_traced(p: &Program, entry: MethodId, expect: i64) {
+    let cfg = VmConfig {
+        enable_inlining: false,
+        ..Default::default()
+    };
+    let mut vm = Vm::new(p.clone(), cfg);
+    vm.enable_tracing(64 * 1024);
+    let r = vm.call_static(entry, &[Value::Int(CALLS)]).unwrap();
+    assert_eq!(r, Some(Value::Int(expect)));
+    std::hint::black_box(vm.trace_events().len());
+}
+
 /// One receiver, one site: every call after the first is an IC hit.
 fn mono_program() -> (Program, MethodId) {
     let mut pb = ProgramBuilder::new();
@@ -182,9 +197,15 @@ fn bench_dispatch(c: &mut Criterion) {
 
     let (p, e) = mono_program();
     g.bench_function("virtual_mono_ic_hit_10k", |b| b.iter(|| run(&p, e, CALLS)));
+    g.bench_function("virtual_mono_ic_hit_10k_traced", |b| {
+        b.iter(|| run_traced(&p, e, CALLS))
+    });
 
     let (p, e) = poly_program();
     g.bench_function("virtual_poly_ic_miss_10k", |b| b.iter(|| run(&p, e, CALLS)));
+    g.bench_function("virtual_poly_ic_miss_10k_traced", |b| {
+        b.iter(|| run_traced(&p, e, CALLS))
+    });
 
     let (p, e) = iface_program();
     g.bench_function("interface_ic_hit_10k", |b| b.iter(|| run(&p, e, CALLS)));

@@ -15,10 +15,17 @@
 //!   baseline code. This bounds the recovery cost of a worst-case
 //!   mutation storm.
 //!
-//! Usage: `cargo run --release -p dchm-bench --bin bench_deopt [--small]`
+//! Usage:
+//! `cargo run --release -p dchm-bench --bin bench_deopt [--small] [--trace <dir>]`
+//!
+//! `--trace <dir>` re-runs each workload's forced-failure configuration
+//! with the event tracer on and writes `<dir>/<name>.deopt.trace.json` +
+//! metrics — the `GuardFail`/`Deopt`/`BaselineResume` stream behind the
+//! numbers in `BENCH_deopt.json`.
 
 use std::fmt::Write as _;
 
+use dchm_bench::artifacts::{trace_dir_flag, write_trace_artifacts};
 use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
 use dchm_core::MutationEngine;
 use dchm_vm::{FaultConfig, FaultInjector, Vm, VmConfig};
@@ -48,6 +55,25 @@ fn mutated_vm(prepared: &Prepared, w: &Workload, emit_guards: bool) -> Vm {
     plan.emit_guards = emit_guards;
     let engine = MutationEngine::new(plan, prepared.olc.clone());
     engine.attach(prepared.program.clone(), config(w))
+}
+
+/// The forced-failure run again, flight recorder on, artifacts written.
+fn trace_forced(w: &Workload, dir: &std::path::Path) {
+    let cfg = PipelineConfig {
+        profile_vm: config(w),
+        ..Default::default()
+    };
+    let wl = w.clone();
+    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
+        wl.run(vm).expect("profiling run must not trap");
+    });
+    let mut vm = mutated_vm(&prepared, w, true);
+    vm.enable_tracing(64 * 1024);
+    vm.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(1)));
+    w.run(&mut vm).expect("forced-failure run must not trap");
+    let name = format!("{}.deopt", w.name);
+    let (t, m) = write_trace_artifacts(dir, &name, &vm).expect("write artifacts");
+    eprintln!("traced {}: {} + {}", w.name, t.display(), m.display());
 }
 
 fn measure(w: &Workload) -> Row {
@@ -82,7 +108,9 @@ fn measure(w: &Workload) -> Row {
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let trace_dir = trace_dir_flag(&args);
     let scale = if small { Scale::Small } else { Scale::Full };
     let rows: Vec<Row> = catalog(scale).iter().map(measure).collect();
 
@@ -120,4 +148,10 @@ fn main() {
     print!("{out}");
     std::fs::write("BENCH_deopt.json", out).expect("write BENCH_deopt.json");
     eprintln!("wrote BENCH_deopt.json");
+
+    if let Some(dir) = trace_dir {
+        for w in catalog(scale) {
+            trace_forced(&w, &dir);
+        }
+    }
 }

@@ -7,11 +7,17 @@
 //! pre-optimization (seed) throughput so the interpreter fast-path work is
 //! tracked release over release.
 //!
-//! Usage: `cargo run --release -p dchm-bench --bin bench_interp [--small]`
+//! Usage:
+//! `cargo run --release -p dchm-bench --bin bench_interp [--small] [--trace <dir>]`
+//!
+//! `--trace <dir>` adds one extra traced run per workload *after* the timed
+//! repeats (so the timing itself stays tracing-off) and writes
+//! `<dir>/<name>.trace.json` + `<dir>/<name>.metrics.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dchm_bench::artifacts::{trace_dir_flag, write_trace_artifacts};
 use dchm_bench::measured_config;
 use dchm_vm::Vm;
 use dchm_workloads::{catalog, Scale, Workload};
@@ -65,6 +71,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
     let print_baseline = args.iter().any(|a| a == "--print-baseline");
+    let trace_dir = trace_dir_flag(&args);
     let scale = if small { Scale::Small } else { Scale::Full };
 
     // Best-of-5: wall-clock rates on shared machines are noisy and only the
@@ -107,5 +114,17 @@ fn main() {
     print!("{json}");
     for r in &rows {
         println!("{:<12} {:>12.0} ops/sec ({:.1} ms)", r.name, r.ops_per_sec, r.wall_ms);
+    }
+
+    if let Some(dir) = trace_dir {
+        // Untimed traced pass: same config as the measured runs, with the
+        // flight recorder on.
+        for w in catalog(scale) {
+            let mut vm = Vm::new(w.program.clone(), measured_config(&w));
+            vm.enable_tracing(64 * 1024);
+            w.run(&mut vm).expect("workload must not trap");
+            let (t, m) = write_trace_artifacts(&dir, w.name, &vm).expect("write artifacts");
+            eprintln!("traced {}: {} + {}", w.name, t.display(), m.display());
+        }
     }
 }

@@ -1,0 +1,141 @@
+//! `bench_trace` — traced workload runs and artifact emitter.
+//!
+//! Runs the mutated pipeline with event tracing on and writes, per
+//! workload, a Chrome trace-event/Perfetto JSON (`<name>.trace.json`) and a
+//! metrics document (`<name>.metrics.json`: VM counters + event-derived
+//! histograms). Also the home of the tracing transparency check CI runs:
+//! `--overhead-check <pct>` asserts that tracing on vs. off leaves the
+//! modeled clock, op count and output bit-identical (hard, deterministic)
+//! and that the wall-clock cost of a fully-traced run stays under the given
+//! budget (best-of-3, the flaky part kept deliberately generous).
+//!
+//! Usage:
+//! ```text
+//! bench_trace [--small] [--workload <name>|all] [--out <dir>] [--overhead-check <pct>]
+//! ```
+
+use std::time::Instant;
+
+use dchm_bench::artifacts::write_trace_artifacts;
+use dchm_bench::{measured_config, prepare_workload};
+use dchm_vm::Vm;
+use dchm_workloads::{catalog, Scale, Workload};
+
+const RING_CAPACITY: usize = 64 * 1024;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// One mutated run of `w`, traced or not. The offline pipeline (profile →
+/// plan) runs once per call so repeated timings stay independent.
+fn run_mutated(w: &Workload, trace: bool) -> (Vm, f64) {
+    let prepared = prepare_workload(w);
+    let mut vm = prepared.make_vm(measured_config(w));
+    if trace {
+        vm.enable_tracing(RING_CAPACITY);
+    }
+    let start = Instant::now();
+    w.run(&mut vm).expect("workload must not trap");
+    (vm, start.elapsed().as_secs_f64())
+}
+
+fn emit(w: &Workload, out: &std::path::Path) {
+    let (vm, _) = run_mutated(w, true);
+    let (trace_path, metrics_path) =
+        write_trace_artifacts(out, w.name, &vm).expect("write artifacts");
+    let events = vm.trace_events();
+    println!("== {} ==", w.name);
+    println!("{}", vm.stats());
+    println!(
+        "trace     events {} (dropped {})  ring {}",
+        events.len(),
+        vm.state.tracer.dropped(),
+        RING_CAPACITY
+    );
+    let mut by_cat: Vec<(&str, usize)> = Vec::new();
+    for e in &events {
+        let cat = e.event.category();
+        match by_cat.iter_mut().find(|(c, _)| *c == cat) {
+            Some((_, n)) => *n += 1,
+            None => by_cat.push((cat, 1)),
+        }
+    }
+    for (cat, n) in &by_cat {
+        println!("          {cat:<10} {n}");
+    }
+    println!("wrote {} and {}", trace_path.display(), metrics_path.display());
+}
+
+/// Tracing on vs. off: the modeled run must be bit-identical and the wall
+/// cost of tracing bounded. Returns false if the wall budget is blown.
+fn overhead_check(w: &Workload, budget_pct: f64) -> bool {
+    let mut best_off = f64::MAX;
+    let mut best_on = f64::MAX;
+    let mut obs_off = None;
+    let mut obs_on = None;
+    for _ in 0..3 {
+        let (vm, secs) = run_mutated(w, false);
+        best_off = best_off.min(secs);
+        obs_off = Some((vm.cycles(), vm.stats().ops_executed, vm.state.output.checksum));
+        let (vm, secs) = run_mutated(w, true);
+        best_on = best_on.min(secs);
+        obs_on = Some((vm.cycles(), vm.stats().ops_executed, vm.state.output.checksum));
+    }
+    // The hard, deterministic property: events stamp the modeled clock but
+    // never charge it.
+    assert_eq!(
+        obs_on, obs_off,
+        "{}: tracing moved the modeled clock or the output",
+        w.name
+    );
+    let overhead = best_on / best_off - 1.0;
+    let ok = overhead * 100.0 <= budget_pct;
+    println!(
+        "{:<12} traced-run wall overhead {:+.2}% (budget {:.1}%, off {:.1} ms, on {:.1} ms) {}",
+        w.name,
+        overhead * 100.0,
+        budget_pct,
+        best_off * 1e3,
+        best_on * 1e3,
+        if ok { "ok" } else { "OVER BUDGET" }
+    );
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+    let out = std::path::PathBuf::from(
+        flag_value(&args, "--out").unwrap_or_else(|| "traces".to_string()),
+    );
+    let which = flag_value(&args, "--workload").unwrap_or_else(|| "SalaryDB".to_string());
+    let workloads: Vec<Workload> = catalog(scale)
+        .into_iter()
+        .filter(|w| which == "all" || w.name == which)
+        .collect();
+    if workloads.is_empty() {
+        eprintln!("unknown workload {which}");
+        std::process::exit(2);
+    }
+
+    if let Some(pct) = flag_value(&args, "--overhead-check") {
+        let budget: f64 = pct.parse().expect("--overhead-check takes a percentage");
+        let mut ok = true;
+        for w in &workloads {
+            ok &= overhead_check(w, budget);
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    for w in &workloads {
+        emit(w, &out);
+    }
+}

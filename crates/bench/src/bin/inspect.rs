@@ -54,33 +54,14 @@ fn main() {
         w.run(&mut vm).unwrap();
         let s = vm.stats();
         println!("\n== {label} run ==");
-        println!(
-            "cycles: exec {} / compile {} / gc {}  (compile {:.1}%)",
-            s.exec_cycles,
-            s.compile_cycles,
-            s.gc_cycles,
-            100.0 * s.compile_cycles as f64 / s.total_cycles() as f64
-        );
-        println!(
-            "compiles by level: {:?}; specials: {} ({} bytes); code bytes {:?}",
-            s.compiles_by_level,
-            s.special_compiles,
-            s.special_code_bytes,
-            s.code_bytes_by_level
-        );
-        println!(
-            "special tibs: {} ({} bytes), tib flips: {}, patches: {}",
-            s.special_tibs, s.special_tib_bytes, s.tib_flips, s.code_patches
-        );
+        // The VmStats Display table is the standard dump (stable layout,
+        // shared with the bench bins).
+        println!("{s}");
         println!("hot methods:");
         for (mid, prof) in s.hot_methods().into_iter().take(10) {
             let md = w.program.method(mid);
             println!(
-                "  {:>12} cyc  inv {:>9}  samp {:>5}  lvl {:?}  {}::{}",
-                prof.cycles,
-                prof.invocations,
-                prof.samples,
-                prof.level,
+                "  {prof}  {}::{}",
                 w.program.class(md.owner).name,
                 md.name
             );

@@ -223,6 +223,55 @@ pub fn measure_suite(scale: Scale) -> Vec<Measurement> {
     catalog(scale).iter().map(|w| measure(w, false)).collect()
 }
 
+/// Tracing artifacts shared by the bench bins' `--trace <dir>` flags: the
+/// Chrome trace-event/Perfetto JSON for a finished traced run, plus a
+/// metrics document combining the VM's raw counters with the event-derived
+/// histograms.
+pub mod artifacts {
+    use dchm_vm::trace::export::chrome_trace_json;
+    use dchm_vm::trace::metrics::MetricsSnapshot;
+    use dchm_vm::Vm;
+    use serde::{Serialize, Value};
+    use std::path::{Path, PathBuf};
+
+    /// Writes `<dir>/<name>.trace.json` (load it in Perfetto or
+    /// `chrome://tracing`) and `<dir>/<name>.metrics.json`
+    /// (`{"workload", "vm_stats", "trace_metrics"}`) from a finished
+    /// traced run. Returns the two paths.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors creating `dir` or writing the files.
+    pub fn write_trace_artifacts(
+        dir: &Path,
+        name: &str,
+        vm: &Vm,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let events = vm.trace_events();
+        let trace_path = dir.join(format!("{name}.trace.json"));
+        std::fs::write(&trace_path, chrome_trace_json(&events))?;
+
+        let snapshot = MetricsSnapshot::build(&events, vm.cycles(), vm.state.tracer.dropped());
+        let doc = Value::Object(vec![
+            ("workload".to_string(), Value::Str(name.to_string())),
+            ("vm_stats".to_string(), vm.stats().to_json_value()),
+            ("trace_metrics".to_string(), snapshot.to_json_value()),
+        ]);
+        let metrics_path = dir.join(format!("{name}.metrics.json"));
+        let json = serde_json::to_string_pretty(&doc).expect("Value serialization is infallible");
+        std::fs::write(&metrics_path, json)?;
+        Ok((trace_path, metrics_path))
+    }
+
+    /// Parses a `--trace <dir>` flag pair out of a raw argument list.
+    pub fn trace_dir_flag(args: &[String]) -> Option<PathBuf> {
+        args.iter()
+            .position(|a| a == "--trace")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    }
+}
+
 /// Table 1 rows: name, classes, methods.
 pub fn table1(scale: Scale) -> Vec<(&'static str, usize, usize)> {
     catalog(scale)

@@ -22,6 +22,7 @@ use crate::plan::{HotState, MutationPlan};
 use dchm_bytecode::value::ObjRef;
 use dchm_bytecode::{ClassId, FieldId, MethodId, MethodKind, Value};
 use dchm_ir::passes::Bindings;
+use dchm_vm::trace::{TraceEvent, NO_ID};
 use dchm_vm::{CodeSlot, CompiledId, MutationHandler, PatchSpec, TibId, Vm, VmConfig, VmState};
 use std::collections::HashMap;
 
@@ -51,6 +52,10 @@ struct ClassRt {
     /// One special TIB per instance part (empty for static-only classes).
     special_tibs: Vec<TibId>,
     methods: Vec<MethodRt>,
+    /// Static-part satisfaction per hot state as of the last refresh —
+    /// only used to emit class-wide `StateTransition` trace events on
+    /// toggles (tracing is host-side; this never affects installs).
+    prev_statics_ok: Vec<bool>,
 }
 
 /// The mutation engine. Create with [`MutationEngine::new`], then either
@@ -182,7 +187,12 @@ impl MutationEngine {
                 state_part,
                 special_tibs,
                 methods,
+                prev_statics_ok: Vec::new(),
             });
+            // Seed from the statics as they stand at install so trace
+            // events report genuine toggles, not the initial condition.
+            let ok = self.statics_ok(vm, ci);
+            self.rt[ci].prev_statics_ok = ok;
         }
         vm.patch_spec = spec;
         vm.hints.k = self.plan.k;
@@ -313,8 +323,30 @@ impl MutationEngine {
 
     /// Reinstalls mutable-method code pointers for one class according to
     /// the current static state (Fig. 4 bottom / Fig. 5 install step).
-    fn refresh_class(&self, vm: &mut VmState, ci: usize) {
+    fn refresh_class(&mut self, vm: &mut VmState, ci: usize) {
         let statics_ok = self.statics_ok(vm, ci);
+        if vm.tracer.on() {
+            // Class-wide transitions: a hot state's *static* part became
+            // (un)satisfied. `obj` is NO_ID — the flip applies to every
+            // instance at once via code-pointer patching.
+            let class = self.rt[ci].class.0;
+            for (s, (&now, &was)) in
+                statics_ok.iter().zip(&self.rt[ci].prev_statics_ok).enumerate()
+            {
+                if now != was {
+                    vm.tracer.emit(
+                        vm.clock,
+                        TraceEvent::StateTransition {
+                            obj: NO_ID,
+                            class,
+                            entered: now,
+                            state: s as u32,
+                        },
+                    );
+                }
+            }
+        }
+        self.rt[ci].prev_statics_ok.clone_from(&statics_ok);
         let rt = &self.rt[ci];
         let class_tib = vm.class_tib(rt.class);
 

@@ -78,6 +78,19 @@ impl OnlineSession {
         self.phase
     }
 
+    /// Turns on event tracing for the whole session (ring buffer of
+    /// `capacity` events). Call before driving the workload to capture the
+    /// mid-run mutation install — every `SpecialCompile`, adoption
+    /// `TibFlip` and class-wide `StateTransition` lands in one stream.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.vm.enable_tracing(capacity);
+    }
+
+    /// The traced events so far, oldest first (empty if tracing is off).
+    pub fn trace_events(&self) -> Vec<dchm_vm::trace::Stamped> {
+        self.vm.trace_events()
+    }
+
     /// The installed plan (after [`Self::install_mutation`]).
     pub fn plan(&self) -> Option<&MutationPlan> {
         self.plan.as_ref()

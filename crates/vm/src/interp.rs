@@ -31,6 +31,7 @@ use dchm_bytecode::{
     ClassId, IntrinsicKind, MethodId, MethodKind, Op, Program, Reg, SelectorId, Value,
 };
 use dchm_ir::cost::CostModel;
+use dchm_trace::{FaultKind, Stamped, TraceEvent, NO_ID};
 use dchm_ir::Term;
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -99,6 +100,18 @@ impl Vm {
     /// Statistics snapshot.
     pub fn stats(&self) -> &VmStats {
         &self.state.stats
+    }
+
+    /// Enables structured event tracing into a fresh fixed-capacity ring
+    /// buffer (see [`dchm_trace`]). Tracing is host-side only: modeled
+    /// cycles and program output are bit-identical with it on or off.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.state.tracer.enable_ring(capacity);
+    }
+
+    /// Buffered trace events oldest-first (empty when tracing is off).
+    pub fn trace_events(&self) -> Vec<Stamped> {
+        self.state.tracer.events()
     }
 
     /// Runs the program entry point.
@@ -585,6 +598,26 @@ impl Vm {
                                 self.state.stats.guard_failures += 1;
                                 flush!();
                                 self.write_back(bi, oi);
+                                if self.state.tracer.on() {
+                                    if forced {
+                                        self.state.tracer.emit(
+                                            self.state.clock,
+                                            TraceEvent::FaultInjected {
+                                                kind: FaultKind::ForcedGuardFail,
+                                                method: method.0,
+                                            },
+                                        );
+                                    }
+                                    self.state.tracer.emit(
+                                        self.state.clock,
+                                        TraceEvent::GuardFail {
+                                            method: method.0,
+                                            guard: *guard,
+                                            obj: recv.map_or(NO_ID, |o| o.0),
+                                            forced,
+                                        },
+                                    );
+                                }
                                 self.deoptimize(*guard, *live_prefix, recv)?;
                                 continue 'frames;
                             }
@@ -716,6 +749,7 @@ impl Vm {
                 self.state.set_object_tib(o, class_tib);
             }
         }
+        let from_code = fr.cid;
         let fr = self
             .state
             .frames
@@ -727,6 +761,29 @@ impl Vm {
         fr.block = point.block;
         fr.op = point.op;
         self.state.stats.deopts += 1;
+        if self.state.tracer.on() {
+            // Stamped *after* any baseline compile stall, so the
+            // GuardFail -> BaselineResume cycle distance is the deopt
+            // latency.
+            self.state.tracer.emit(
+                self.state.clock,
+                TraceEvent::Deopt {
+                    method: mid.0,
+                    from_code: from_code.0,
+                    to_code: bcid.0,
+                    obj: recv.map_or(NO_ID, |o| o.0),
+                },
+            );
+            self.state.tracer.emit(
+                self.state.clock,
+                TraceEvent::BaselineResume {
+                    method: mid.0,
+                    code: bcid.0,
+                    block: point.block,
+                    op: point.op,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -776,6 +833,10 @@ impl Vm {
         st.next_sample_at = st.clock + st.config.sample_period * 3 / 4 + jitter % spread;
         st.stats.samples_taken += 1;
         st.stats.per_method[method.index()].samples += 1;
+        if st.tracer.on() {
+            let count = st.stats.per_method[method.index()].samples;
+            st.tracer.emit(st.clock, TraceEvent::Sample { method: method.0, count });
+        }
         if let Some(obs) = &mut self.observer {
             obs.on_sample(method);
         }

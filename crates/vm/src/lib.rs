@@ -21,6 +21,11 @@
 //!   code at state-field assignments and constructor exits, delivered to a
 //!   [`hooks::MutationHandler`] — the seam where `dchm-core` plugs in the
 //!   paper's distributed dynamic class mutation algorithm.
+//! * **Event tracing**: every mutation-lifecycle transition (TIB flips,
+//!   special compiles, guard failures/deopts, GC, samples, injected
+//!   faults) can be recorded into a bounded ring buffer ([`trace`],
+//!   enabled via [`interp::Vm::enable_tracing`]) without perturbing the
+//!   modeled clock.
 //!
 //! Time is deterministic: every executed op is billed cycles from
 //! [`dchm_ir::cost`], as are compilation, allocation and GC. All speedup and
@@ -67,3 +72,7 @@ pub use interp::Vm;
 pub use state::{CodeMeta, CodeSlot, CompiledId, CompiledMethod, VmConfig, VmState};
 pub use stats::{MethodProfile, VmStats};
 pub use tib::{Imt, ImtEntry, Tib, TibId, TibKind, IMT_SLOTS};
+
+/// Re-export of the event-tracing crate so VM users reach the event types
+/// and exporters without a separate dependency.
+pub use dchm_trace as trace;

@@ -10,6 +10,7 @@ use crate::stats::VmStats;
 use crate::tib::{Imt, Tib, TibId, TibKind};
 use dchm_bytecode::value::ObjRef;
 use dchm_bytecode::{ClassId, FieldId, MethodId, Op, Program, Reg, SelectorId, Value};
+use dchm_trace::{FaultKind, TraceEvent, Tracer, NO_ID};
 use dchm_ir::cost::{op_cost, CostModel};
 use dchm_ir::passes::Bindings;
 use dchm_ir::Function;
@@ -359,6 +360,10 @@ pub struct VmState {
     /// Deterministic fault injector (robustness testing); `None` in normal
     /// runs.
     pub injector: Option<FaultInjector>,
+    /// Structured event tracing (off by default). Emission sites stamp
+    /// events with the modeled clock but never charge it, so tracing on vs.
+    /// off leaves modeled cycles and output bit-identical.
+    pub tracer: Tracer,
     /// Per-method cache of the baseline (level-0, unspecialized) code a
     /// deoptimizing frame resumes in. Compiled on the first deopt of each
     /// method, reused afterwards.
@@ -487,6 +492,7 @@ impl VmState {
             unique_impl,
             field_templates,
             injector: None,
+            tracer: Tracer::default(),
             deopt_baseline: vec![None; nmethods],
         }
     }
@@ -536,6 +542,18 @@ impl VmState {
         }
         p.level = Some(level);
         self.recompile_events.push((mid, level));
+        if self.tracer.on() {
+            let size = self.compiled(cid).size_bytes as u32;
+            self.tracer.emit(
+                self.clock,
+                TraceEvent::Recompile {
+                    method: mid.0,
+                    code: cid.0,
+                    level: level as u32,
+                    size_bytes: size,
+                },
+            );
+        }
         cid
     }
 
@@ -585,6 +603,17 @@ impl VmState {
             size_bytes: size,
             deopt: outcome.deopt.map(Rc::new),
         });
+        if special && self.tracer.on() {
+            self.tracer.emit(
+                self.clock,
+                TraceEvent::SpecialCompile {
+                    method: mid.0,
+                    code: cid.0,
+                    level: level as u32,
+                    size_bytes: size as u32,
+                },
+            );
+        }
         cid
     }
 
@@ -705,8 +734,46 @@ impl VmState {
             self.tibs[tib.index()].class,
             "TIB flip must preserve the type-information entry"
         );
+        let from = self.heap.object(obj).tib;
         self.heap.object_mut(obj).tib = tib;
         self.stats.tib_flips += 1;
+        if self.tracer.on() {
+            self.trace_tib_flip(obj, from, tib);
+        }
+    }
+
+    /// Emits the `TibFlip` event for a flip plus its semantic reading as
+    /// hot-state transitions (out of line: flips are rare next to the
+    /// dispatch fast path).
+    #[cold]
+    fn trace_tib_flip(&mut self, obj: ObjRef, from: TibId, to: TibId) {
+        self.tracer.emit(
+            self.clock,
+            TraceEvent::TibFlip { obj: obj.0, from_tib: from.0, to_tib: to.0 },
+        );
+        let class = self.tibs[to.index()].class.0;
+        if let TibKind::Special { state_index } = self.tibs[from.index()].kind {
+            self.tracer.emit(
+                self.clock,
+                TraceEvent::StateTransition {
+                    obj: obj.0,
+                    class,
+                    entered: false,
+                    state: state_index as u32,
+                },
+            );
+        }
+        if let TibKind::Special { state_index } = self.tibs[to.index()].kind {
+            self.tracer.emit(
+                self.clock,
+                TraceEvent::StateTransition {
+                    obj: obj.0,
+                    class,
+                    entered: true,
+                    state: state_index as u32,
+                },
+            );
+        }
     }
 
     /// The class TIB id of `class`.
@@ -753,13 +820,31 @@ impl VmState {
         site: u32,
         tib: TibId,
     ) -> Option<(MethodId, CompiledId, u64)> {
-        let e = &self.icaches[cid.index()][site as usize];
+        let e = self.icaches[cid.index()][site as usize];
         if e.version == self.ic_version && e.tib == tib.0 {
             self.stats.ic_hits += 1;
+            if self.tracer.on() {
+                self.trace_ic(cid, site, true);
+            }
             Some((e.method, e.cid, e.extra))
         } else {
             self.stats.ic_misses += 1;
+            if self.tracer.on() {
+                self.trace_ic(cid, site, false);
+            }
             None
+        }
+    }
+
+    /// IC event emission, out of line: `ic_lookup` is the dispatch fast
+    /// path and must carry only the `on()` test when tracing is off.
+    #[cold]
+    fn trace_ic(&mut self, cid: CompiledId, site: u32, hit: bool) {
+        let caller = self.code[cid.index()].method.0;
+        if hit {
+            self.tracer.ic_hit(self.clock, caller, site);
+        } else {
+            self.tracer.ic_miss(self.clock, caller, site);
         }
     }
 
@@ -858,10 +943,21 @@ impl VmState {
     /// Every live frame's registers are a window of `reg_stack`, so one
     /// linear scan of the pool covers all frames.
     pub fn gc_now(&mut self) {
+        if self.tracer.on() {
+            let used = self.heap.used_bytes() as u64;
+            self.tracer.emit(self.clock, TraceEvent::GcStart { used_bytes: used });
+        }
         let roots = self.collect_roots();
         let cycles = self.heap.gc(roots.into_iter());
         self.clock += cycles;
         self.stats.gc_cycles += cycles;
+        if self.tracer.on() {
+            let used = self.heap.used_bytes() as u64;
+            self.tracer.emit(
+                self.clock,
+                TraceEvent::GcEnd { used_bytes: used, gc_cycles: cycles },
+            );
+        }
     }
 
     /// Live GC roots: frame registers (one linear scan of the pooled
@@ -901,14 +997,23 @@ impl VmState {
             Some(inj) => inj.at_alloc(),
             None => return,
         };
+        let Some(fault) = fault else { return };
+        if self.tracer.on() {
+            let kind = match fault {
+                Fault::Gc => FaultKind::Gc,
+                Fault::IcBump => FaultKind::IcBump,
+                Fault::Recompile => FaultKind::Recompile,
+            };
+            let method = self.frames.last().map_or(NO_ID, |f| f.method.0);
+            self.tracer.emit(self.clock, TraceEvent::FaultInjected { kind, method });
+        }
         match fault {
-            None => {}
-            Some(Fault::Gc) => {
+            Fault::Gc => {
                 let roots = self.collect_roots();
                 let _ = self.heap.gc(roots.into_iter());
             }
-            Some(Fault::IcBump) => self.invalidate_inline_caches(),
-            Some(Fault::Recompile) => {
+            Fault::IcBump => self.invalidate_inline_caches(),
+            Fault::Recompile => {
                 let Some(fr) = self.frames.last() else { return };
                 let mid = fr.method;
                 let Some(g) = self.general_code[mid.index()] else {

@@ -2,11 +2,13 @@
 //! figure in the paper's evaluation.
 
 use dchm_bytecode::MethodId;
+use serde::Serialize;
+use std::fmt;
 
 /// Per-method profile counters. Sampling information is keyed by *method*,
 /// not compiled method, so general and special compiled code share hotness
 /// (paper Sec. 3.2.3, last paragraph).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct MethodProfile {
     /// Invocation count.
     pub invocations: u64,
@@ -21,8 +23,27 @@ pub struct MethodProfile {
     pub recompiles: u32,
 }
 
+impl fmt::Display for MethodProfile {
+    /// One stable line: `inv N  samples N  cycles N  level L  recompiles N`
+    /// (`level -` until first compiled).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inv {:<10} samples {:<6} cycles {:<12} level {:<5} recompiles {}",
+            self.invocations,
+            self.samples,
+            self.cycles,
+            match self.level {
+                Some(l) => format!("opt{l}"),
+                None => "-".to_string(),
+            },
+            self.recompiles
+        )
+    }
+}
+
 /// Whole-VM statistics.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct VmStats {
     /// Cycles spent executing application code.
     pub exec_cycles: u64,
@@ -118,6 +139,73 @@ impl VmStats {
     }
 }
 
+impl fmt::Display for VmStats {
+    /// A stable six-row summary table (the bench bins' standard dump):
+    /// cycles, ops, compiles, TIB/mutation work, inline caches, guards.
+    /// Layout and field order are part of the output contract — scripts
+    /// may grep it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_cycles();
+        let pct = |part: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                part as f64 / total as f64 * 100.0
+            }
+        };
+        writeln!(
+            f,
+            "cycles    total {}  exec {} ({:.1}%)  compile {} ({:.1}%)  gc {} ({:.1}%)",
+            total,
+            self.exec_cycles,
+            pct(self.exec_cycles),
+            self.compile_cycles,
+            pct(self.compile_cycles),
+            self.gc_cycles,
+            pct(self.gc_cycles)
+        )?;
+        writeln!(
+            f,
+            "ops       executed {}  samples {}",
+            self.ops_executed, self.samples_taken
+        )?;
+        writeln!(
+            f,
+            "compiles  opt0 {} ({} B)  opt1 {} ({} B)  opt2 {} ({} B)  special {} ({} B)",
+            self.compiles_by_level[0],
+            self.code_bytes_by_level[0],
+            self.compiles_by_level[1],
+            self.code_bytes_by_level[1],
+            self.compiles_by_level[2],
+            self.code_bytes_by_level[2],
+            self.special_compiles,
+            self.special_code_bytes
+        )?;
+        writeln!(
+            f,
+            "tibs      class {} B  special {} ({} B)  flips {}  code patches {}",
+            self.class_tib_bytes,
+            self.special_tibs,
+            self.special_tib_bytes,
+            self.tib_flips,
+            self.code_patches
+        )?;
+        writeln!(
+            f,
+            "icache    hits {}  misses {}  invalidations {}",
+            self.ic_hits, self.ic_misses, self.ic_invalidations
+        )?;
+        write!(
+            f,
+            "guards    executed {}  failed {}  deopts {}  baseline compiles {}",
+            self.guards_executed,
+            self.guard_failures,
+            self.deopts,
+            self.deopt_baseline_compiles
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +231,45 @@ mod tests {
         assert_eq!(hot[0].0, MethodId(1));
         assert_eq!(hot[1].0, MethodId(2));
         assert_eq!(hot[2].0, MethodId(0));
+    }
+
+    #[test]
+    fn display_is_a_stable_table() {
+        let mut s = VmStats::new(1);
+        s.exec_cycles = 75;
+        s.compile_cycles = 25;
+        s.ops_executed = 10;
+        s.compiles_by_level = [2, 1, 0];
+        s.code_bytes_by_level = [64, 32, 0];
+        s.tib_flips = 3;
+        let text = s.to_string();
+        assert!(text.contains("cycles    total 100  exec 75 (75.0%)  compile 25 (25.0%)"));
+        assert!(text.contains("ops       executed 10  samples 0"));
+        assert!(text.contains("compiles  opt0 2 (64 B)  opt1 1 (32 B)"));
+        assert!(text.contains("flips 3"));
+        assert!(text.contains("guards    executed 0"));
+        assert_eq!(text.lines().count(), 6);
+
+        let p = MethodProfile { invocations: 4, level: Some(2), ..Default::default() };
+        let line = p.to_string();
+        assert!(line.contains("inv 4"));
+        assert!(line.contains("level opt2"));
+        assert!(MethodProfile::default().to_string().contains("level -"));
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let mut s = VmStats::new(2);
+        s.exec_cycles = 5;
+        s.compiles_by_level = [1, 2, 3];
+        s.per_method[1].invocations = 9;
+        s.per_method[1].level = Some(1);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"exec_cycles\":5"));
+        assert!(json.contains("\"compiles_by_level\":[1,2,3]"));
+        assert!(json.contains("\"invocations\":9"));
+        // `Option<u8>` levels render as null / the number.
+        assert!(json.contains("\"level\":null"));
+        assert!(json.contains("\"level\":1"));
     }
 }

@@ -63,7 +63,7 @@ fn big_heap_config(w: &Workload) -> VmConfig {
     c
 }
 
-fn run_mutated(w: &Workload, injector: Option<FaultInjector>) -> Vm {
+fn run_mutated(w: &Workload, injector: Option<FaultInjector>, trace: bool) -> Vm {
     let cfg = PipelineConfig {
         profile_vm: big_heap_config(w),
         ..Default::default()
@@ -73,9 +73,30 @@ fn run_mutated(w: &Workload, injector: Option<FaultInjector>) -> Vm {
         wl.run(vm).expect("profiling run must not trap");
     });
     let mut vm = prepared.make_vm(big_heap_config(w));
+    if trace {
+        // Injected runs fly the flight recorder: every injected fault lands
+        // in the ring as a `FaultInjected` event, so a divergence below can
+        // name the faults that preceded it. Tracing itself is covered by
+        // the same fingerprint comparison — the reference run is untraced.
+        vm.enable_tracing(16 * 1024);
+    }
     vm.state.injector = injector;
     w.run(&mut vm).expect("mutated run must not trap");
     vm
+}
+
+/// Dumps the tail of the traced event stream — the post-mortem for a
+/// differential mismatch — then panics with `msg`.
+fn fail_with_trace(vm: &Vm, msg: String) -> ! {
+    let tail = vm.state.tracer.last(50);
+    eprintln!("--- last {} trace events before divergence ---", tail.len());
+    for ev in &tail {
+        eprintln!("  seq {:>6}  cycle {:>10}  {:?}", ev.seq, ev.cycle, ev.event);
+    }
+    if vm.state.tracer.dropped() > 0 {
+        eprintln!("  ({} older events overwritten)", vm.state.tracer.dropped());
+    }
+    panic!("{msg}");
 }
 
 fn check_workload(name: &str) {
@@ -83,7 +104,7 @@ fn check_workload(name: &str) {
         .into_iter()
         .find(|w| w.name == name)
         .expect("workload in catalog");
-    let reference = observe(&run_mutated(&w, None));
+    let reference = observe(&run_mutated(&w, None, false));
     assert!(reference.clock > 0);
 
     for seed in seeds() {
@@ -94,21 +115,23 @@ fn check_workload(name: &str) {
             period: 1,
             ..FaultConfig::transparent(seed)
         };
-        let vm = run_mutated(&w, Some(FaultInjector::new(cfg)));
+        let vm = run_mutated(&w, Some(FaultInjector::new(cfg)), true);
         let inj = vm.state.injector.as_ref().expect("injector survives");
         assert!(
             inj.gcs + inj.ic_bumps + inj.recompiles > 0,
             "{name}: seed {seed} injected nothing — the sweep proves nothing"
         );
-        assert_eq!(
-            observe(&vm),
-            reference,
-            "{name}: transparent fault injection (seed {seed}) perturbed the run \
-             ({} gcs, {} ic bumps, {} recompiles injected)",
-            inj.gcs,
-            inj.ic_bumps,
-            inj.recompiles
-        );
+        let got = observe(&vm);
+        if got != reference {
+            fail_with_trace(
+                &vm,
+                format!(
+                    "{name}: transparent fault injection (seed {seed}) perturbed the run \
+                     ({} gcs, {} ic bumps, {} recompiles injected)\n got: {got:?}\n ref: {reference:?}",
+                    inj.gcs, inj.ic_bumps, inj.recompiles
+                ),
+            );
+        }
 
         // Forced guard failures: output identity only — deoptimized frames
         // legitimately execute (and bill) baseline instead of specialized
@@ -116,18 +139,39 @@ fn check_workload(name: &str) {
         let vm = run_mutated(
             &w,
             Some(FaultInjector::new(FaultConfig::guard_failures(seed))),
+            true,
         );
         let got = observe(&vm);
-        assert_eq!(got.text, reference.text, "{name}: guard-failure seed {seed}");
-        assert_eq!(
-            got.checksum, reference.checksum,
-            "{name}: guard-failure seed {seed}"
-        );
+        if got.text != reference.text || got.checksum != reference.checksum {
+            fail_with_trace(
+                &vm,
+                format!(
+                    "{name}: forced guard failures (seed {seed}) changed observable output\n \
+                     got: {got:?}\n ref: {reference:?}"
+                ),
+            );
+        }
         let inj = vm.state.injector.as_ref().expect("injector survives");
         if inj.forced_guard_fails > 0 {
             assert!(
                 vm.stats().deopts >= 1,
                 "{name}: forced guard failures must deoptimize"
+            );
+            // Every injector-forced failure is mirrored in the event
+            // stream (ring capacity permitting, which 16k covers here).
+            let forced_events = vm
+                .trace_events()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.event,
+                        dchm_vm::trace::TraceEvent::GuardFail { forced: true, .. }
+                    )
+                })
+                .count() as u64;
+            assert_eq!(
+                forced_events, inj.forced_guard_fails,
+                "{name}: forced guard failures must all be traced"
             );
         }
     }
