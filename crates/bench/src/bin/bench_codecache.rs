@@ -1,0 +1,134 @@
+//! Compiled-code cache effectiveness: `BENCH_codecache.json` emitter.
+//!
+//! Drives a *plan-reload churn* scenario — the flip-flop-heavy case the
+//! state-keyed code cache exists for. Each round re-installs a freshly
+//! built mutation engine (same plan) into the running VM via
+//! `install_online` and runs the workload again: every reinstall recompiles
+//! all instrumented methods at their current level and regenerates every
+//! state specialization with the same bindings, so from round two on the
+//! cache answers the whole fan-out.
+//!
+//! Each workload runs the identical scenario twice — cache on (default
+//! capacity) and cache off (`code_cache_capacity: 0`) — and the harness
+//! *asserts* that output checksum, modeled clock and op count are
+//! bit-identical between the two, which is the cache's determinism
+//! contract. The reported number is the host-side compilation wall time
+//! (`VmState::compile_wall_nanos`) saved by the cache, plus the hit/miss/
+//! eviction counters and the lift-cache (hash-consed baseline IR) counters.
+//!
+//! Usage:
+//! `cargo run --release -p dchm-bench --bin bench_codecache [--small] [--rounds N]`
+
+use std::fmt::Write as _;
+
+use dchm_bench::measured_config;
+use dchm_bench::runner::{flag_value, scale_from_args, BenchJson};
+use dchm_core::MutationEngine;
+use dchm_vm::Vm;
+use dchm_workloads::{catalog, Workload};
+
+struct ChurnRun {
+    clock: u64,
+    ops: u64,
+    checksum: u64,
+    compile_wall_nanos: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    lift_hits: u64,
+    lift_misses: u64,
+    lift_consed: u64,
+}
+
+/// `rounds` rounds of (reinstall plan → run workload) on one VM.
+fn churn(w: &Workload, capacity: usize, rounds: u32) -> ChurnRun {
+    let prepared = dchm_bench::prepare_workload(w);
+    let mut cfg = measured_config(w);
+    cfg.code_cache_capacity = capacity;
+    let mut vm = Vm::new(prepared.program.clone(), cfg);
+    for _ in 0..rounds {
+        let engine = MutationEngine::new(prepared.plan.clone(), prepared.olc.clone());
+        engine.install_online(&mut vm);
+        w.run(&mut vm).expect("churn round must not trap");
+    }
+    let s = vm.stats();
+    ChurnRun {
+        clock: vm.cycles(),
+        ops: s.ops_executed,
+        checksum: vm.state.output.checksum,
+        compile_wall_nanos: vm.state.compile_wall_nanos,
+        cache_hits: s.code_cache_hits,
+        cache_misses: s.code_cache_misses,
+        cache_evictions: s.code_cache_evictions,
+        lift_hits: vm.state.lift_cache.hits,
+        lift_misses: vm.state.lift_cache.misses,
+        lift_consed: vm.state.lift_cache.consed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let rounds: u32 = flag_value(&args, "--rounds")
+        .map(|v| v.parse().expect("--rounds takes a count"))
+        .unwrap_or(4);
+
+    let mut doc = BenchJson::new("codecache_effectiveness", scale, "compile_wall_nanos");
+    doc.meta("churn_rounds", &rounds.to_string());
+
+    for w in catalog(scale) {
+        let on = churn(&w, dchm_vm::VmConfig::default().code_cache_capacity, rounds);
+        let off = churn(&w, 0, rounds);
+
+        // The determinism contract: the cache may only elide host work.
+        assert_eq!(
+            (on.checksum, on.clock, on.ops),
+            (off.checksum, off.clock, off.ops),
+            "{}: code cache changed a modeled observable",
+            w.name
+        );
+        assert_eq!(off.cache_hits, 0, "{}: disabled cache counted hits", w.name);
+
+        let wall_on_ms = on.compile_wall_nanos as f64 / 1e6;
+        let wall_off_ms = off.compile_wall_nanos as f64 / 1e6;
+        let reduction = (1.0 - wall_on_ms / wall_off_ms.max(1e-9)) * 100.0;
+        let hit_rate = on.cache_hits as f64 / (on.cache_hits + on.cache_misses).max(1) as f64;
+
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"name\": \"{}\", \"compile_wall_ms_cache_off\": {:.3}, \
+             \"compile_wall_ms_cache_on\": {:.3}, \"wall_reduction_pct\": {:.2}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \
+             \"hit_rate\": {:.4}, \"lift_hits\": {}, \"lift_misses\": {}, \
+             \"lift_consed\": {}, \"clock\": {}, \"checksum_match\": true}}",
+            w.name,
+            wall_off_ms,
+            wall_on_ms,
+            reduction,
+            on.cache_hits,
+            on.cache_misses,
+            on.cache_evictions,
+            hit_rate,
+            on.lift_hits,
+            on.lift_misses,
+            on.lift_consed,
+            on.clock,
+        );
+        doc.row(row);
+        println!(
+            "{:<12} compile wall {:.1} ms -> {:.1} ms ({:+.1}%)  hits {}  misses {}  hit rate {:.1}%",
+            w.name,
+            wall_off_ms,
+            wall_on_ms,
+            -reduction,
+            on.cache_hits,
+            on.cache_misses,
+            hit_rate * 100.0
+        );
+    }
+
+    let json = doc.write("BENCH_codecache.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_codecache.json");
+}

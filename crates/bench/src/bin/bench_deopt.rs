@@ -26,10 +26,10 @@
 use std::fmt::Write as _;
 
 use dchm_bench::artifacts::{trace_dir_flag, write_trace_artifacts};
-use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
-use dchm_core::MutationEngine;
-use dchm_vm::{FaultConfig, FaultInjector, Vm, VmConfig};
-use dchm_workloads::{catalog, Scale, Workload};
+use dchm_bench::prepare_workload;
+use dchm_bench::runner::{mutated_vm, scale_from_args, BenchJson};
+use dchm_vm::{FaultConfig, FaultInjector};
+use dchm_workloads::{catalog, Workload};
 
 struct Row {
     name: &'static str,
@@ -41,32 +41,9 @@ struct Row {
     baseline_compiles_forced: u64,
 }
 
-/// The determinism-harness cadence (same as `tests/determinism.rs`).
-fn config(w: &Workload) -> VmConfig {
-    let mut c = w.vm_config();
-    c.sample_period = 15_000;
-    c.opt1_samples = 3;
-    c.opt2_samples = 8;
-    c
-}
-
-fn mutated_vm(prepared: &Prepared, w: &Workload, emit_guards: bool) -> Vm {
-    let mut plan = prepared.plan.clone();
-    plan.emit_guards = emit_guards;
-    let engine = MutationEngine::new(plan, prepared.olc.clone());
-    engine.attach(prepared.program.clone(), config(w))
-}
-
 /// The forced-failure run again, flight recorder on, artifacts written.
 fn trace_forced(w: &Workload, dir: &std::path::Path) {
-    let cfg = PipelineConfig {
-        profile_vm: config(w),
-        ..Default::default()
-    };
-    let wl = w.clone();
-    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
-        wl.run(vm).expect("profiling run must not trap");
-    });
+    let prepared = prepare_workload(w);
     let mut vm = mutated_vm(&prepared, w, true);
     vm.enable_tracing(64 * 1024);
     vm.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(1)));
@@ -77,14 +54,7 @@ fn trace_forced(w: &Workload, dir: &std::path::Path) {
 }
 
 fn measure(w: &Workload) -> Row {
-    let cfg = PipelineConfig {
-        profile_vm: config(w),
-        ..Default::default()
-    };
-    let wl = w.clone();
-    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
-        wl.run(vm).expect("profiling run must not trap");
-    });
+    let prepared = prepare_workload(w);
 
     let mut on = mutated_vm(&prepared, w, true);
     w.run(&mut on).expect("guarded run must not trap");
@@ -109,28 +79,22 @@ fn measure(w: &Workload) -> Row {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let small = args.iter().any(|a| a == "--small");
     let trace_dir = trace_dir_flag(&args);
-    let scale = if small { Scale::Small } else { Scale::Full };
+    let scale = scale_from_args(&args);
     let rows: Vec<Row> = catalog(scale).iter().map(measure).collect();
 
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"benchmark\": \"guard_deopt_overhead\",");
-    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
-    let _ = writeln!(out, "  \"unit\": \"modeled_cycles\",");
-    let _ = writeln!(out, "  \"forced_failure_seed\": 1,");
-    let _ = writeln!(out, "  \"workloads\": [");
-    for (i, r) in rows.iter().enumerate() {
+    let mut doc = BenchJson::new("guard_deopt_overhead", scale, "modeled_cycles");
+    doc.meta("forced_failure_seed", "1");
+    for r in &rows {
         let overhead = r.clock_on as f64 / r.clock_off as f64 - 1.0;
         let forced = r.clock_forced as f64 / r.clock_on as f64 - 1.0;
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"clock_guards_off\": {}, \"clock_guards_on\": {}, \
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"name\": \"{}\", \"clock_guards_off\": {}, \"clock_guards_on\": {}, \
              \"guard_overhead_pct\": {:.3}, \"clock_forced_failures\": {}, \
              \"forced_failure_overhead_pct\": {:.3}, \"guards_executed\": {}, \
-             \"deopts_forced\": {}, \"baseline_compiles_forced\": {}}}{}",
+             \"deopts_forced\": {}, \"baseline_compiles_forced\": {}}}",
             r.name,
             r.clock_off,
             r.clock_on,
@@ -140,13 +104,11 @@ fn main() {
             r.guards_executed,
             r.deopts_forced,
             r.baseline_compiles_forced,
-            comma
         );
+        doc.row(row);
     }
-    let _ = writeln!(out, "  ]");
-    let _ = writeln!(out, "}}");
-    print!("{out}");
-    std::fs::write("BENCH_deopt.json", out).expect("write BENCH_deopt.json");
+    let json = doc.write("BENCH_deopt.json");
+    print!("{json}");
     eprintln!("wrote BENCH_deopt.json");
 
     if let Some(dir) = trace_dir {

@@ -19,8 +19,9 @@ use std::time::Instant;
 
 use dchm_bench::artifacts::{trace_dir_flag, write_trace_artifacts};
 use dchm_bench::measured_config;
+use dchm_bench::runner::{best_of, has_flag, scale_from_args, BenchJson};
 use dchm_vm::Vm;
-use dchm_workloads::{catalog, Scale, Workload};
+use dchm_workloads::{catalog, Workload};
 
 /// Seed throughput (ops/sec, best of 3) recorded on this repo's reference
 /// machine immediately before the interpreter fast-path rewrite, at
@@ -44,35 +45,26 @@ struct Row {
 }
 
 fn measure_throughput(w: &Workload, repeats: u32) -> Row {
-    let mut best_ops_per_sec = 0.0f64;
-    let mut ops_executed = 0u64;
-    let mut best_ms = f64::MAX;
-    for _ in 0..repeats {
+    // The op count is deterministic, so the fastest run is the best rate.
+    let (ops_executed, secs) = best_of(repeats, || {
         let mut vm = Vm::new(w.program.clone(), measured_config(w));
         let start = Instant::now();
         w.run(&mut vm).expect("workload must not trap");
-        let secs = start.elapsed().as_secs_f64();
-        ops_executed = vm.stats().ops_executed;
-        let rate = ops_executed as f64 / secs.max(1e-12);
-        if rate > best_ops_per_sec {
-            best_ops_per_sec = rate;
-            best_ms = secs * 1e3;
-        }
-    }
+        (vm.stats().ops_executed, start.elapsed().as_secs_f64())
+    });
     Row {
         name: w.name,
-        ops_per_sec: best_ops_per_sec,
+        ops_per_sec: ops_executed as f64 / secs.max(1e-12),
         ops_executed,
-        wall_ms: best_ms,
+        wall_ms: secs * 1e3,
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let small = args.iter().any(|a| a == "--small");
-    let print_baseline = args.iter().any(|a| a == "--print-baseline");
+    let print_baseline = has_flag(&args, "--print-baseline");
     let trace_dir = trace_dir_flag(&args);
-    let scale = if small { Scale::Small } else { Scale::Full };
+    let scale = scale_from_args(&args);
 
     // Best-of-5: wall-clock rates on shared machines are noisy and only the
     // fastest run approximates the interpreter's actual cost.
@@ -90,27 +82,23 @@ fn main() {
         return;
     }
 
-    let mut json = String::from("{\n  \"benchmark\": \"interpreter_throughput\",\n");
-    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
-    let _ = writeln!(json, "  \"unit\": \"ops_per_sec_wall_clock\",");
-    json.push_str("  \"workloads\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    let mut doc = BenchJson::new("interpreter_throughput", scale, "ops_per_sec_wall_clock");
+    for r in &rows {
         let seed = SEED_OPS_PER_SEC
             .iter()
             .find(|(n, _)| *n == r.name)
             .map(|(_, v)| *v)
             .unwrap_or(0.0);
         let speedup = if seed > 0.0 { r.ops_per_sec / seed } else { 0.0 };
+        let mut row = String::new();
         let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.0}, \"ops_executed\": {}, \"wall_ms\": {:.3}, \"seed_ops_per_sec\": {:.0}, \"speedup_vs_seed\": {:.3}}}",
+            row,
+            "{{\"name\": \"{}\", \"ops_per_sec\": {:.0}, \"ops_executed\": {}, \"wall_ms\": {:.3}, \"seed_ops_per_sec\": {:.0}, \"speedup_vs_seed\": {:.3}}}",
             r.name, r.ops_per_sec, r.ops_executed, r.wall_ms, seed, speedup
         );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        doc.row(row);
     }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+    let json = doc.write("BENCH_interp.json");
     print!("{json}");
     for r in &rows {
         println!("{:<12} {:>12.0} ops/sec ({:.1} ms)", r.name, r.ops_per_sec, r.wall_ms);

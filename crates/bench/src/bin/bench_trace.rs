@@ -17,15 +17,12 @@
 use std::time::Instant;
 
 use dchm_bench::artifacts::write_trace_artifacts;
+use dchm_bench::runner::{flag_value, scale_from_args};
 use dchm_bench::{measured_config, prepare_workload};
 use dchm_vm::Vm;
-use dchm_workloads::{catalog, Scale, Workload};
+use dchm_workloads::{catalog, Workload};
 
 const RING_CAPACITY: usize = 64 * 1024;
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
-}
 
 /// One mutated run of `w`, traced or not. The offline pipeline (profile →
 /// plan) runs once per call so repeated timings stay independent.
@@ -105,11 +102,7 @@ fn overhead_check(w: &Workload, budget_pct: f64) -> bool {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--small") {
-        Scale::Small
-    } else {
-        Scale::Full
-    };
+    let scale = scale_from_args(&args);
     let out = std::path::PathBuf::from(
         flag_value(&args, "--out").unwrap_or_else(|| "traces".to_string()),
     );

@@ -14,6 +14,8 @@ use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
 use dchm_vm::{Vm, VmConfig};
 use dchm_workloads::{catalog, Scale, Workload};
 
+pub mod runner;
+
 /// Cycle/space accounting extracted from one run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RunStats {

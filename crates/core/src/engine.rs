@@ -234,6 +234,7 @@ impl MutationEngine {
         let spec = vm.state.patch_spec.clone();
         let mutable: std::collections::HashSet<MethodId> =
             self.method_index.keys().copied().collect();
+        let mut to_recompile: Vec<(MethodId, u8)> = Vec::new();
         for (mi, md) in program.methods.iter().enumerate() {
             let mid = MethodId::from_index(mi);
             let Some(level) = vm.state.level_of(mid) else {
@@ -253,9 +254,13 @@ impl MutationEngine {
                     )
                 });
             if needs {
-                vm.state.recompile(mid, level);
+                to_recompile.push((mid, level));
             }
         }
+        // One batch: the compiler pipelines run on worker threads while
+        // billing/installation stay serial in method order, so the result
+        // is bit-identical to recompiling one method at a time.
+        vm.state.recompile_batch(&to_recompile);
         // Deliver the recompilation events to ourselves (we are not the
         // handler yet), generating specials for hot methods.
         for (mid, level) in vm.state.take_recompile_events() {
@@ -425,6 +430,11 @@ impl MutationEngine {
                 rt.states.clone(),
             )
         };
+        // Batch the per-state fan-out: all specializations of this method
+        // compile in one parallel session (mirroring the paper's "generated
+        // at the same time"), with billing kept serial in state order.
+        let mut reqs = Vec::new();
+        let mut targets = Vec::new();
         for (s, st) in states.iter().enumerate() {
             let mut b = Bindings::default();
             if !is_static {
@@ -434,7 +444,15 @@ impl MutationEngine {
             if b.is_empty() {
                 continue;
             }
-            let cid = vm.compile_special(method, level, &b);
+            reqs.push(dchm_vm::CompileRequest {
+                method,
+                level,
+                bindings: Some(b),
+            });
+            targets.push(s);
+        }
+        let cids = vm.compile_batch(reqs);
+        for (s, cid) in targets.into_iter().zip(cids) {
             self.rt[ci].methods[mi].special[s] = Some(cid);
         }
     }

@@ -224,6 +224,26 @@ impl Function {
         preds
     }
 
+    /// Order-sensitive FNV-1a fingerprint of the whole function (blocks,
+    /// ops with payloads, terminators, register/argument counts).
+    ///
+    /// Hashes the `Debug` rendering: every op payload is an ordered struct
+    /// or `Vec` (no hash maps), and `Debug` of `f64` is total and
+    /// deterministic (including NaN), so equal functions always fingerprint
+    /// equal and the value is stable across runs on the same build. Used by
+    /// the lift cache for hash-consing and by the VM's compiled-code cache
+    /// for key derivation; structural equality is still confirmed with
+    /// `PartialEq` before two functions are actually shared.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let text = format!("{self:?}");
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Checks structural sanity (all block refs and registers in range).
     /// Used by tests and debug assertions, not on hot paths.
     pub fn validate(&self) -> Result<(), String> {
@@ -338,6 +358,19 @@ mod tests {
             Err(crate::IrError::RegisterOverflow { requested: 1 })
         );
         assert_eq!(f.num_regs, u16::MAX, "failed allocation must not mutate");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let a = diamond();
+        let b = diamond();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal funcs, equal fp");
+        let mut c = diamond();
+        c.blocks[3].term = Term::Ret(Some(Reg(0)));
+        assert_ne!(a.fingerprint(), c.fingerprint(), "terminator change");
+        let mut d = diamond();
+        d.num_regs += 1;
+        assert_ne!(a.fingerprint(), d.fingerprint(), "frame-size change");
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub mod pretty;
 pub use cost::{op_cost, op_size, CostModel};
 pub use error::IrError;
 pub use func::{Block, BlockId, Function, Term};
-pub use lift::lift;
+pub use lift::{lift, LiftCache};
 pub use passes::OptConfig;

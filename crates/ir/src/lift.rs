@@ -1,8 +1,12 @@
-//! Lifting linear bytecode into the CFG IR.
+//! Lifting linear bytecode into the CFG IR, and the [`LiftCache`] that
+//! memoizes the lifted (instrumented) baseline form per method so every
+//! specialization of a method starts from one shared lift instead of
+//! re-running the frontend.
 
 use crate::func::{Block, BlockId, Function, Term};
 use dchm_bytecode::{Instr, Reg};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Lifts a bytecode body into a [`Function`].
 ///
@@ -95,6 +99,101 @@ pub fn lift(code: &[Instr], num_regs: u16, arg_count: u16) -> Function {
     };
     debug_assert!(f.validate().is_ok(), "lift produced invalid IR");
     f
+}
+
+/// Memoizes lifted baseline IR per method, hash-consing structurally equal
+/// functions so all users share one allocation.
+///
+/// The cache is keyed by raw method index and scoped to one *patch
+/// configuration*: the caller passes a fingerprint of whatever
+/// instrumentation it applies after lifting (patch spec, hints), and any
+/// change to that fingerprint flushes the cache — the memoized functions
+/// would no longer match what a fresh lift-plus-instrument would produce.
+///
+/// Entries are `Arc<Function>` so compilation pipelines (possibly running
+/// on worker threads) can clone a handle and optimize a private copy while
+/// the shared baseline stays immutable.
+#[derive(Debug, Default)]
+pub struct LiftCache {
+    by_method: HashMap<u32, Arc<Function>>,
+    by_fingerprint: HashMap<u64, Vec<Arc<Function>>>,
+    env_fp: Option<u64>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the build closure.
+    pub misses: u64,
+    /// Freshly built functions replaced by an existing structurally equal
+    /// one (hash-consing successes across methods).
+    pub consed: u64,
+    /// Full flushes caused by an environment-fingerprint change.
+    pub flushes: u64,
+}
+
+impl LiftCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized methods.
+    pub fn len(&self) -> usize {
+        self.by_method.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.by_method.is_empty()
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn flush(&mut self) {
+        self.by_method.clear();
+        self.by_fingerprint.clear();
+    }
+
+    /// Returns the memoized baseline for `method`, building it with `build`
+    /// on a miss. `env_fp` fingerprints the instrumentation environment the
+    /// build closure bakes in; when it differs from the previous call's the
+    /// whole cache is flushed first.
+    ///
+    /// A freshly built function is hash-consed: if a structurally equal
+    /// function is already cached (for any method), that allocation is
+    /// reused and the new one dropped.
+    pub fn get_or_lift(
+        &mut self,
+        method: u32,
+        env_fp: u64,
+        build: impl FnOnce() -> Function,
+    ) -> Arc<Function> {
+        if self.env_fp != Some(env_fp) {
+            if self.env_fp.is_some() && !self.by_method.is_empty() {
+                self.flushes += 1;
+            }
+            self.flush();
+            self.env_fp = Some(env_fp);
+        }
+        if let Some(f) = self.by_method.get(&method) {
+            self.hits += 1;
+            return Arc::clone(f);
+        }
+        self.misses += 1;
+        let built = build();
+        let fp = built.fingerprint();
+        let bucket = self.by_fingerprint.entry(fp).or_default();
+        let shared = match bucket.iter().find(|c| ***c == built) {
+            Some(existing) => {
+                self.consed += 1;
+                Arc::clone(existing)
+            }
+            None => {
+                let a = Arc::new(built);
+                bucket.push(Arc::clone(&a));
+                a
+            }
+        };
+        self.by_method.insert(method, Arc::clone(&shared));
+        shared
+    }
 }
 
 /// Convenience for tests: lifts and returns together with the registers
@@ -195,5 +294,61 @@ mod tests {
     #[should_panic(expected = "empty code")]
     fn empty_code_panics() {
         lift(&[], 0, 0);
+    }
+
+    #[test]
+    fn lift_cache_memoizes_per_method() {
+        let (code, nregs) = body(|m| {
+            let r = m.reg();
+            m.const_i(r, 1);
+            m.ret(Some(r));
+        });
+        let mut cache = LiftCache::new();
+        let mut builds = 0;
+        let a = cache.get_or_lift(0, 7, || {
+            builds += 1;
+            lift(&code, nregs, 1)
+        });
+        let b = cache.get_or_lift(0, 7, || {
+            builds += 1;
+            lift(&code, nregs, 1)
+        });
+        assert_eq!(builds, 1, "second lookup must be a hit");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+
+    #[test]
+    fn lift_cache_hash_conses_across_methods() {
+        let (code, nregs) = body(|m| {
+            let r = m.reg();
+            m.const_i(r, 1);
+            m.ret(Some(r));
+        });
+        let mut cache = LiftCache::new();
+        let a = cache.get_or_lift(0, 7, || lift(&code, nregs, 1));
+        // A different method with a structurally identical body shares the
+        // same allocation.
+        let b = cache.get_or_lift(1, 7, || lift(&code, nregs, 1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.consed, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lift_cache_flushes_on_env_change() {
+        let (code, nregs) = body(|m| {
+            let r = m.reg();
+            m.const_i(r, 1);
+            m.ret(Some(r));
+        });
+        let mut cache = LiftCache::new();
+        let a = cache.get_or_lift(0, 7, || lift(&code, nregs, 1));
+        // New environment fingerprint: previous entries are invalid.
+        let b = cache.get_or_lift(0, 8, || lift(&code, nregs, 1));
+        assert!(!Arc::ptr_eq(&a, &b), "env change must rebuild");
+        assert_eq!(cache.flushes, 1);
+        assert_eq!(cache.misses, 2);
+        assert_eq!(cache.len(), 1);
     }
 }

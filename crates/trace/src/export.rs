@@ -92,6 +92,17 @@ fn args(ev: &TraceEvent) -> Value {
             ("kind", Value::Str(format!("{kind:?}"))),
             ("method", id(method)),
         ]),
+        TraceEvent::CodeCacheHit { method, code, level, special } => obj(vec![
+            ("method", id(method)),
+            ("code", int(code as u64)),
+            ("level", int(level as u64)),
+            ("special", Value::Bool(special)),
+        ]),
+        TraceEvent::CodeCacheEvict { method, code, level } => obj(vec![
+            ("method", id(method)),
+            ("code", int(code as u64)),
+            ("level", int(level as u64)),
+        ]),
     }
 }
 

@@ -189,6 +189,30 @@ pub enum TraceEvent {
         /// Method on top of the stack when it fired, or [`NO_ID`].
         method: u32,
     },
+    /// The compiled-code cache answered a compilation request: a
+    /// previously produced version was reinstalled without rerunning the
+    /// optimizer pipeline (billing is unchanged; only host work is elided).
+    CodeCacheHit {
+        /// Method whose compilation was requested.
+        method: u32,
+        /// The cached code that was reused.
+        code: u32,
+        /// Optimization level of the request.
+        level: u32,
+        /// True when the request was for a state-specialized version.
+        special: bool,
+    },
+    /// The compiled-code cache evicted an entry to stay within its LRU
+    /// capacity bound (the code itself is immortal; only the mapping is
+    /// dropped, so a later identical request recompiles).
+    CodeCacheEvict {
+        /// Method of the evicted version.
+        method: u32,
+        /// The evicted code id.
+        code: u32,
+        /// Optimization level of the evicted version.
+        level: u32,
+    },
 }
 
 impl TraceEvent {
@@ -208,6 +232,8 @@ impl TraceEvent {
             TraceEvent::GcEnd { .. } => "GcEnd",
             TraceEvent::Sample { .. } => "Sample",
             TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::CodeCacheHit { .. } => "CodeCacheHit",
+            TraceEvent::CodeCacheEvict { .. } => "CodeCacheEvict",
         }
     }
 
@@ -215,7 +241,10 @@ impl TraceEvent {
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::TibFlip { .. } | TraceEvent::StateTransition { .. } => "mutation",
-            TraceEvent::SpecialCompile { .. } | TraceEvent::Recompile { .. } => "compile",
+            TraceEvent::SpecialCompile { .. }
+            | TraceEvent::Recompile { .. }
+            | TraceEvent::CodeCacheHit { .. }
+            | TraceEvent::CodeCacheEvict { .. } => "compile",
             TraceEvent::GuardFail { .. }
             | TraceEvent::Deopt { .. }
             | TraceEvent::BaselineResume { .. } => "deopt",
@@ -237,7 +266,9 @@ impl TraceEvent {
             | TraceEvent::IcHit { method, .. }
             | TraceEvent::IcMiss { method, .. }
             | TraceEvent::Sample { method, .. }
-            | TraceEvent::FaultInjected { method, .. } => {
+            | TraceEvent::FaultInjected { method, .. }
+            | TraceEvent::CodeCacheHit { method, .. }
+            | TraceEvent::CodeCacheEvict { method, .. } => {
                 (method != NO_ID).then_some(method)
             }
             _ => None,

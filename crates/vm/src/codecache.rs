@@ -1,0 +1,310 @@
+//! The state-keyed compiled-code cache.
+//!
+//! Compilation is deterministic: the same `(method, level, canonicalized
+//! state-binding)` request against the same compiler environment (patch
+//! spec, hints, inlining configuration) always produces the same code and
+//! the same modeled compile cost. The cache exploits that to elide the
+//! *host-side* pipeline work of redundant requests — flip-flopping hot
+//! states, fault-injected silent recompiles, plan-reload churn — while
+//! leaving every modeled observable untouched: a hit re-bills the stored
+//! compile cycles (identical to what recompilation would bill) and reuses
+//! the already-stored [`CompiledId`], so clock, output and per-method
+//! profiles are bit-identical with the cache on or off.
+//!
+//! Invalidation is explicit and coarse: every probe carries a fingerprint
+//! of the compiler environment ([`crate::compiler::CompileEnv::fingerprint`]);
+//! when it changes — a mutation plan was (re)installed, guard emission was
+//! toggled, inlining parameters moved — the whole cache is flushed, because
+//! any entry might have been produced under assumptions that no longer
+//! hold. Capacity is bounded with LRU eviction on a deterministic access
+//! tick (never wall time), so cache behaviour is reproducible run to run.
+
+use crate::compiler::Fnv;
+use crate::state::CompiledId;
+use dchm_ir::passes::Bindings;
+use std::collections::HashMap;
+
+/// Canonicalized fingerprint of a specialization request's state bindings.
+///
+/// Instance and static bindings are folded in sorted field order, values
+/// with the same equivalence as `Value::key_eq` (doubles by bit pattern).
+/// `None` (general code) and `Some` of empty bindings hash differently,
+/// mirroring the compiler's distinction between the two.
+pub fn binding_fingerprint(bindings: Option<&Bindings>) -> u64 {
+    let mut h = Fnv::new();
+    match bindings {
+        None => h.mix_u64(0),
+        Some(b) => {
+            h.mix_u64(1);
+            let mut inst: Vec<_> = b.instance.iter().map(|(f, v)| (*f, *v)).collect();
+            inst.sort_by_key(|(f, _)| *f);
+            for (f, v) in inst {
+                h.mix_u64(2);
+                h.mix_u64(f.index() as u64);
+                h.mix_value(&v);
+            }
+            let mut stat: Vec<_> = b.statics.iter().map(|(f, v)| (*f, *v)).collect();
+            stat.sort_by_key(|(f, _)| *f);
+            for (f, v) in stat {
+                h.mix_u64(3);
+                h.mix_u64(f.index() as u64);
+                h.mix_value(&v);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    cid: CompiledId,
+    compile_cycles: u64,
+    last_used: u64,
+}
+
+/// Result of a cache probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// The cache is disabled (capacity 0); compile without touching it.
+    Disabled,
+    /// A previously produced version can be reinstalled.
+    Hit {
+        /// The cached code.
+        cid: CompiledId,
+        /// The modeled cost the original compilation billed; a hit bills
+        /// exactly this again (determinism: identical to recomputation).
+        compile_cycles: u64,
+    },
+    /// Nothing cached for this key; compile and [`CodeCache::insert`].
+    Miss {
+        /// True when this probe flushed the cache because the compiler
+        /// environment fingerprint changed.
+        invalidated: bool,
+    },
+}
+
+/// What [`CodeCache::insert`] evicted to stay within capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Method of the evicted version.
+    pub method: u32,
+    /// Level of the evicted version.
+    pub level: u8,
+    /// The evicted code id (the code itself is immortal; only the cache
+    /// mapping is dropped).
+    pub cid: CompiledId,
+}
+
+/// LRU cache of compilation results keyed by
+/// `(method, level, binding fingerprint)` and scoped to one compiler
+/// environment. See the module docs for the determinism contract.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    map: HashMap<(u32, u8, u64), Entry>,
+    capacity: usize,
+    /// Deterministic access counter standing in for time in the LRU order.
+    tick: u64,
+    env_fp: Option<u64>,
+}
+
+impl CodeCache {
+    /// A cache holding at most `capacity` entries; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        CodeCache {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// True when caching is active.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn flush(&mut self) {
+        self.map.clear();
+    }
+
+    /// Flushes when `env_fp` differs from the environment the entries were
+    /// produced under; returns true if a non-empty cache was dropped.
+    fn sync_env(&mut self, env_fp: u64) -> bool {
+        if self.env_fp == Some(env_fp) {
+            return false;
+        }
+        let dropped = !self.map.is_empty();
+        self.flush();
+        self.env_fp = Some(env_fp);
+        dropped
+    }
+
+    /// Looks up `(method, level, binding_fp)` under environment `env_fp`.
+    /// A hit refreshes the entry's LRU position.
+    pub fn probe(&mut self, method: u32, level: u8, binding_fp: u64, env_fp: u64) -> Probe {
+        if !self.enabled() {
+            return Probe::Disabled;
+        }
+        let invalidated = self.sync_env(env_fp);
+        match self.map.get_mut(&(method, level, binding_fp)) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.tick += 1;
+                Probe::Hit {
+                    cid: e.cid,
+                    compile_cycles: e.compile_cycles,
+                }
+            }
+            None => Probe::Miss { invalidated },
+        }
+    }
+
+    /// Records a freshly compiled version. Evicts the least-recently-used
+    /// entry when full (ties broken by smallest key, so eviction is fully
+    /// deterministic). No-op when disabled.
+    pub fn insert(
+        &mut self,
+        method: u32,
+        level: u8,
+        binding_fp: u64,
+        env_fp: u64,
+        cid: CompiledId,
+        compile_cycles: u64,
+    ) -> Option<Evicted> {
+        if !self.enabled() {
+            return None;
+        }
+        self.sync_env(env_fp);
+        let mut evicted = None;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&(method, level, binding_fp))
+        {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used, **k))
+                .map(|(k, e)| (*k, e.cid));
+            if let Some((key, vcid)) = victim {
+                self.map.remove(&key);
+                evicted = Some(Evicted {
+                    method: key.0,
+                    level: key.1,
+                    cid: vcid,
+                });
+            }
+        }
+        let e = Entry {
+            cid,
+            compile_cycles,
+            last_used: self.tick,
+        };
+        self.tick += 1;
+        self.map.insert((method, level, binding_fp), e);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchm_bytecode::{FieldId, Value};
+
+    #[test]
+    fn binding_fp_is_order_insensitive_and_nan_stable() {
+        let a = Bindings {
+            instance: [(FieldId(1), Value::Int(3)), (FieldId(2), Value::Double(f64::NAN))]
+                .into_iter()
+                .collect(),
+            statics: [(FieldId(9), Value::Null)].into_iter().collect(),
+        };
+        let b = Bindings {
+            instance: [(FieldId(2), Value::Double(f64::NAN)), (FieldId(1), Value::Int(3))]
+                .into_iter()
+                .collect(),
+            statics: [(FieldId(9), Value::Null)].into_iter().collect(),
+        };
+        assert_eq!(
+            binding_fingerprint(Some(&a)),
+            binding_fingerprint(Some(&b))
+        );
+        assert_ne!(binding_fingerprint(Some(&a)), binding_fingerprint(None));
+        assert_ne!(
+            binding_fingerprint(Some(&Bindings::default())),
+            binding_fingerprint(None),
+            "empty bindings are not general code"
+        );
+    }
+
+    #[test]
+    fn probe_insert_roundtrip() {
+        let mut c = CodeCache::new(4);
+        assert_eq!(
+            c.probe(1, 2, 77, 5),
+            Probe::Miss { invalidated: false }
+        );
+        assert!(c.insert(1, 2, 77, 5, CompiledId(10), 1234).is_none());
+        assert_eq!(
+            c.probe(1, 2, 77, 5),
+            Probe::Hit { cid: CompiledId(10), compile_cycles: 1234 }
+        );
+        // Different binding fingerprint: distinct key.
+        assert_eq!(
+            c.probe(1, 2, 78, 5),
+            Probe::Miss { invalidated: false }
+        );
+    }
+
+    #[test]
+    fn env_change_flushes() {
+        let mut c = CodeCache::new(4);
+        c.insert(1, 2, 77, 5, CompiledId(10), 100);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.probe(1, 2, 77, 6),
+            Probe::Miss { invalidated: true },
+            "new env fingerprint must flush"
+        );
+        assert!(c.is_empty());
+        // Returning to the previous fingerprint does NOT resurrect entries.
+        assert_eq!(c.probe(1, 2, 77, 5), Probe::Miss { invalidated: false });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_deterministically() {
+        let mut c = CodeCache::new(2);
+        c.insert(1, 0, 0, 9, CompiledId(1), 10);
+        c.insert(2, 0, 0, 9, CompiledId(2), 20);
+        // Touch entry 1 so entry 2 is the LRU victim.
+        assert!(matches!(c.probe(1, 0, 0, 9), Probe::Hit { .. }));
+        let ev = c.insert(3, 0, 0, 9, CompiledId(3), 30).expect("evicts");
+        assert_eq!(ev, Evicted { method: 2, level: 0, cid: CompiledId(2) });
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c.probe(1, 0, 0, 9), Probe::Hit { .. }));
+        assert!(matches!(c.probe(3, 0, 0, 9), Probe::Hit { .. }));
+        assert!(matches!(c.probe(2, 0, 0, 9), Probe::Miss { .. }));
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let mut c = CodeCache::new(1);
+        c.insert(1, 0, 0, 9, CompiledId(1), 10);
+        assert!(c.insert(1, 0, 0, 9, CompiledId(1), 10).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut c = CodeCache::new(0);
+        assert_eq!(c.probe(1, 0, 0, 9), Probe::Disabled);
+        assert!(c.insert(1, 0, 0, 9, CompiledId(1), 10).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -5,7 +5,9 @@
 
 use crate::hooks::{CompilerHints, PatchSpec};
 use crate::state::VmState;
-use dchm_bytecode::{ClassId, FieldId, Instr, MethodId, MethodKind, Op, Program, Reg, Value};
+use dchm_bytecode::{
+    ClassId, FieldId, Instr, MethodId, MethodKind, Op, Program, Reg, SelectorId, Value,
+};
 use dchm_ir::cost::{op_size, CostModel};
 use dchm_ir::passes::inline::{inline_call, CallSite};
 use dchm_ir::passes::{run_pipeline, specialize, Bindings, OptConfig};
@@ -56,6 +58,177 @@ pub fn func_size_bytes(f: &Function) -> usize {
         .sum()
 }
 
+/// Incremental FNV-1a, shared by the compile-environment and state-binding
+/// fingerprints of the code cache.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fnv {
+    h: u64,
+}
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    pub(crate) fn mix_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a value in with the same equivalence as [`Value::key_eq`]:
+    /// doubles by bit pattern (all NaNs equal their own bit pattern, `-0.0`
+    /// distinct from `0.0`).
+    pub(crate) fn mix_value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.mix_u64(0x11);
+                self.mix_u64(*i as u64);
+            }
+            Value::Double(d) => {
+                self.mix_u64(0x22);
+                self.mix_u64(d.to_bits());
+            }
+            Value::Ref(r) => {
+                self.mix_u64(0x33);
+                self.mix_u64(r.0 as u64);
+            }
+            Value::Null => self.mix_u64(0x44),
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.h
+    }
+}
+
+/// Everything the optimizing compiler reads from the VM, borrowed into one
+/// `Sync` bundle. `VmState` itself holds `Rc`s and cannot cross threads;
+/// this bundle can, which is what lets a batched compile run its pipelines
+/// on worker threads while the state stays on the VM thread.
+#[derive(Clone, Copy)]
+pub struct CompileEnv<'a> {
+    /// The program being compiled.
+    pub program: &'a Program,
+    /// Patch points the compiler must instrument.
+    pub patch_spec: &'a PatchSpec,
+    /// Mutation-engine compile-time facts (OLC, Section 5 heuristic, guards).
+    pub hints: &'a CompilerHints,
+    /// Selector -> unique implementation map for CHA-style devirtualization.
+    pub unique_impl: &'a HashMap<SelectorId, MethodId>,
+    /// `VmConfig::enable_inlining`.
+    pub enable_inlining: bool,
+    /// `VmConfig::max_inline_size`.
+    pub max_inline_size: usize,
+    /// `VmConfig::max_inline_depth`.
+    pub max_inline_depth: usize,
+}
+
+// The whole point of the bundle: workers may share it.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<CompileEnv<'static>>();
+};
+
+impl<'a> CompileEnv<'a> {
+    /// Borrows the compile-relevant slices of a `VmState`.
+    pub fn of(state: &'a VmState) -> Self {
+        CompileEnv {
+            program: &state.program,
+            patch_spec: &state.patch_spec,
+            hints: &state.hints,
+            unique_impl: &state.unique_impl,
+            enable_inlining: state.config.enable_inlining,
+            max_inline_size: state.config.max_inline_size,
+            max_inline_depth: state.config.max_inline_depth,
+        }
+    }
+
+    /// FNV-1a fingerprint of every compiler input that can change what code
+    /// a given `(method, level, bindings)` request produces: the patch
+    /// spec, the hints (OLC tables, Section 5 parameters, guard emission)
+    /// and the inlining configuration. Hash-map contents are folded in
+    /// sorted order so the value is deterministic. The code cache treats
+    /// any change of this fingerprint as a full invalidation event.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        let sorted = |set: &HashSet<FieldId>| {
+            let mut v: Vec<FieldId> = set.iter().copied().collect();
+            v.sort();
+            v
+        };
+        for f in sorted(&self.patch_spec.instance_fields) {
+            h.mix_u64(1);
+            h.mix_u64(f.index() as u64);
+        }
+        for f in sorted(&self.patch_spec.static_fields) {
+            h.mix_u64(2);
+            h.mix_u64(f.index() as u64);
+        }
+        let mut ctors: Vec<ClassId> = self.patch_spec.ctor_classes.iter().copied().collect();
+        ctors.sort_by_key(|c| c.index());
+        for c in ctors {
+            h.mix_u64(3);
+            h.mix_u64(c.index() as u64);
+        }
+        h.mix_u64(4);
+        h.mix_u64(self.hints.k as u64);
+        h.mix_u64(self.hints.emit_guards as u64);
+        let mut spec: Vec<(MethodId, usize)> = self
+            .hints
+            .spec_field_count
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        spec.sort();
+        for (m, n) in spec {
+            h.mix_u64(5);
+            h.mix_u64(m.index() as u64);
+            h.mix_u64(n as u64);
+        }
+        let mut olc: Vec<&FieldId> = self.hints.olc.keys().collect();
+        olc.sort();
+        for k in olc {
+            let info = &self.hints.olc[k];
+            h.mix_u64(6);
+            h.mix_u64(k.index() as u64);
+            h.mix_u64(info.ref_field.index() as u64);
+            h.mix_u64(info.exact_class.index() as u64);
+            let mut bindings: Vec<(FieldId, Value)> =
+                info.bindings.iter().map(|(f, v)| (*f, *v)).collect();
+            bindings.sort_by_key(|(f, _)| *f);
+            for (f, v) in bindings {
+                h.mix_u64(f.index() as u64);
+                h.mix_value(&v);
+            }
+        }
+        h.mix_u64(7);
+        h.mix_u64(self.enable_inlining as u64);
+        h.mix_u64(self.max_inline_size as u64);
+        h.mix_u64(self.max_inline_depth as u64);
+        h.finish()
+    }
+}
+
+/// Lifts `mid` and instruments its patch points: the *baseline* form every
+/// compile of the method starts from, and the unit the VM's lift cache
+/// memoizes (one lift shared by the general version and all of its state
+/// specializations).
+pub fn lift_baseline(env: &CompileEnv<'_>, mid: MethodId) -> Function {
+    let md = env.program.method(mid);
+    debug_assert!(
+        md.kind != MethodKind::Abstract,
+        "cannot compile abstract method {}",
+        md.name
+    );
+    let mut f = lift(&md.code, md.num_regs, md.arg_count() as u16);
+    instrument(&mut f, env.program, env.patch_spec, mid);
+    f
+}
+
 /// Compiles `mid` at `level`; `bindings` requests a state-specialized
 /// version (the "special compiled code" of the paper).
 pub fn compile(
@@ -64,23 +237,32 @@ pub fn compile(
     level: u8,
     bindings: Option<&Bindings>,
 ) -> CompileOutcome {
-    let program = &state.program;
+    let env = CompileEnv::of(state);
+    let baseline = lift_baseline(&env, mid);
+    compile_in(&env, &baseline, mid, level, bindings)
+}
+
+/// Compiles `mid` from an already lifted + instrumented `baseline` (see
+/// [`lift_baseline`]). Pure with respect to the VM: reads only the `Sync`
+/// [`CompileEnv`], so batched compilation may call it from worker threads.
+pub fn compile_in(
+    env: &CompileEnv<'_>,
+    baseline: &Function,
+    mid: MethodId,
+    level: u8,
+    bindings: Option<&Bindings>,
+) -> CompileOutcome {
+    let program = env.program;
     let md = program.method(mid);
-    debug_assert!(
-        md.kind != MethodKind::Abstract,
-        "cannot compile abstract method {}",
-        md.name
-    );
     let arg_count = md.arg_count() as u16;
-    let mut f = lift(&md.code, md.num_regs, arg_count);
-    instrument(&mut f, program, &state.patch_spec, mid);
+    let mut f = baseline.clone();
 
     // Guards must go in *now*, while the function is still coordinate-
     // identical to the baseline version a deoptimizing frame resumes in.
     let mut deopt = None;
     let mut guarded_fields: Option<HashSet<FieldId>> = None;
     if let Some(b) = bindings {
-        if state.hints.emit_guards && !b.is_empty() {
+        if env.hints.emit_guards && !b.is_empty() {
             let has_receiver = md.kind != MethodKind::Static;
             deopt = Some(insert_guards(&mut f, b, has_receiver, arg_count));
             guarded_fields = Some(
@@ -93,16 +275,16 @@ pub fn compile(
         }
     }
 
-    if level >= 1 && state.config.enable_inlining {
+    if level >= 1 && env.enable_inlining {
         inline_pass(
             &mut f,
             program,
-            &state.patch_spec,
-            &state.hints,
-            &state.unique_impl,
+            env.patch_spec,
+            env.hints,
+            env.unique_impl,
             mid,
-            state.config.max_inline_size,
-            state.config.max_inline_depth,
+            env.max_inline_size,
+            env.max_inline_depth,
             guarded_fields.as_ref(),
         );
     }

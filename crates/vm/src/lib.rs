@@ -52,6 +52,7 @@
 //! assert_eq!(result, Some(Value::Int(42)));
 //! ```
 
+pub mod codecache;
 pub mod compiler;
 pub mod error;
 pub mod heap;
@@ -61,7 +62,8 @@ pub mod state;
 pub mod stats;
 pub mod tib;
 
-pub use compiler::{DeoptInfo, DeoptPoint};
+pub use codecache::{binding_fingerprint, CodeCache, Evicted, Probe};
+pub use compiler::{CompileEnv, DeoptInfo, DeoptPoint};
 pub use error::RunError;
 pub use heap::{Heap, HeapStats};
 pub use hooks::{
@@ -69,7 +71,9 @@ pub use hooks::{
     PatchSpec, VmObserver,
 };
 pub use interp::Vm;
-pub use state::{CodeMeta, CodeSlot, CompiledId, CompiledMethod, VmConfig, VmState};
+pub use state::{
+    CodeMeta, CodeSlot, CompileRequest, CompiledId, CompiledMethod, VmConfig, VmState,
+};
 pub use stats::{MethodProfile, VmStats};
 pub use tib::{Imt, ImtEntry, Tib, TibId, TibKind, IMT_SLOTS};
 

@@ -2,6 +2,7 @@
 //! bookkeeping, heap plumbing and the public surface the mutation engine
 //! drives (special-TIB creation, slot patching, special compilation).
 
+use crate::codecache::{binding_fingerprint, CodeCache, Probe};
 use crate::compiler;
 use crate::error::RunError;
 use crate::heap::Heap;
@@ -13,10 +14,13 @@ use dchm_bytecode::{ClassId, FieldId, MethodId, Op, Program, Reg, SelectorId, Va
 use dchm_trace::{FaultKind, TraceEvent, Tracer, NO_ID};
 use dchm_ir::cost::{op_cost, CostModel};
 use dchm_ir::passes::Bindings;
-use dchm_ir::Function;
+use dchm_ir::{Function, LiftCache};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Identifies a compiled method in the code store.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -207,6 +211,13 @@ pub struct VmConfig {
     /// their opt0 code is generated, opt1 and opt2 code is generated too
     /// (paper Figure 14).
     pub accelerated_methods: HashSet<MethodId>,
+    /// Capacity (entries) of the state-keyed compiled-code cache; 0
+    /// disables caching. A hit reinstalls previously produced code and
+    /// re-bills its stored compile cycles — identical to what recompiling
+    /// would bill, since the compiler is deterministic — so modeled
+    /// observables are the same at any capacity; only host-side compile
+    /// wall time changes.
+    pub code_cache_capacity: usize,
 }
 
 impl Default for VmConfig {
@@ -222,6 +233,7 @@ impl Default for VmConfig {
             max_inline_depth: 2,
             fuel: None,
             accelerated_methods: HashSet::new(),
+            code_cache_capacity: 1024,
         }
     }
 }
@@ -368,6 +380,28 @@ pub struct VmState {
     /// deoptimizing frame resumes in. Compiled on the first deopt of each
     /// method, reused afterwards.
     deopt_baseline: Vec<Option<CompiledId>>,
+    /// State-keyed compiled-code cache (see [`crate::codecache`] for the
+    /// determinism contract).
+    pub code_cache: CodeCache,
+    /// Memoized baseline lifts: one lift + instrumentation per method,
+    /// shared by the general version and every state specialization, and
+    /// hash-consed across structurally identical methods.
+    pub lift_cache: LiftCache,
+    /// Host wall-clock nanoseconds spent inside the compiler pipeline.
+    /// *Not* modeled time — benchmarks read it to measure what the code
+    /// cache and batched compilation actually save on the host.
+    pub compile_wall_nanos: u64,
+}
+
+/// One deferred compilation request for [`VmState::compile_batch`].
+#[derive(Clone, Debug)]
+pub struct CompileRequest {
+    /// Method to compile.
+    pub method: MethodId,
+    /// Optimization level.
+    pub level: u8,
+    /// State bindings for a special version; `None` requests general code.
+    pub bindings: Option<Bindings>,
 }
 
 impl VmState {
@@ -461,6 +495,7 @@ impl VmState {
             .collect();
 
         let sample_period = config.sample_period;
+        let code_cache = CodeCache::new(config.code_cache_capacity);
         VmState {
             program,
             heap: Heap::new(config.heap_bytes),
@@ -494,6 +529,9 @@ impl VmState {
             injector: None,
             tracer: Tracer::default(),
             deopt_baseline: vec![None; nmethods],
+            code_cache,
+            lift_cache: LiftCache::new(),
+            compile_wall_nanos: 0,
         }
     }
 
@@ -535,6 +573,15 @@ impl VmState {
     /// event for the mutation handler.
     pub fn recompile(&mut self, mid: MethodId, level: u8) -> CompiledId {
         let cid = self.compile_internal(mid, level, None);
+        self.finish_recompile(mid, level, cid);
+        cid
+    }
+
+    /// The install/bookkeeping tail of [`Self::recompile`]: JTOC/TIB
+    /// install, profile update, recompilation event, trace stamp. Shared by
+    /// the serial and batched recompilation paths so both interleave
+    /// billing and installation identically.
+    fn finish_recompile(&mut self, mid: MethodId, level: u8, cid: CompiledId) {
         self.install_general(mid, cid);
         let p = &mut self.stats.per_method[mid.index()];
         if p.level.is_some() {
@@ -554,7 +601,6 @@ impl VmState {
                 },
             );
         }
-        cid
     }
 
     /// Compiles a *special* (state-specialized) version of `mid` at `level`
@@ -575,10 +621,78 @@ impl VmState {
         level: u8,
         bindings: Option<&Bindings>,
     ) -> CompiledId {
-        let outcome = compiler::compile(self, mid, level, bindings);
         let special = bindings.is_some();
-        let size = outcome.size_bytes;
+        let env_fp = compiler::CompileEnv::of(self).fingerprint();
+        let binding_fp = binding_fingerprint(bindings);
+        match self.code_cache.probe(mid.0, level, binding_fp, env_fp) {
+            Probe::Hit {
+                cid,
+                compile_cycles,
+            } => {
+                self.stats.code_cache_hits += 1;
+                self.replay_cached(mid, level, special, cid, compile_cycles);
+                return cid;
+            }
+            Probe::Miss { invalidated } => {
+                if invalidated {
+                    self.stats.code_cache_invalidations += 1;
+                }
+                self.stats.code_cache_misses += 1;
+            }
+            Probe::Disabled => {}
+        }
+        let t0 = Instant::now();
+        let outcome = self.run_compiler(mid, level, bindings, env_fp);
+        self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
         let cost = outcome.compile_cycles;
+        let cid = self.install_outcome(mid, level, special, outcome);
+        self.cache_insert((mid.0, level, binding_fp), env_fp, cid, cost, false);
+        cid
+    }
+
+    /// Runs the compiler pipeline for one request, sharing the memoized
+    /// baseline lift. Pure host work: bills nothing, installs nothing.
+    fn run_compiler(
+        &mut self,
+        mid: MethodId,
+        level: u8,
+        bindings: Option<&Bindings>,
+        env_fp: u64,
+    ) -> compiler::CompileOutcome {
+        let baseline = self.baseline_for(mid, env_fp);
+        let env = compiler::CompileEnv::of(self);
+        compiler::compile_in(&env, &baseline, mid, level, bindings)
+    }
+
+    /// The memoized baseline (lifted + instrumented) IR of `mid`, computed
+    /// at most once per method and compiler environment.
+    fn baseline_for(&mut self, mid: MethodId, env_fp: u64) -> Arc<Function> {
+        // Split borrows: the lift cache is mutated while the compile
+        // environment borrows the rest of the state.
+        let VmState {
+            ref program,
+            ref patch_spec,
+            ref hints,
+            ref unique_impl,
+            ref config,
+            ref mut lift_cache,
+            ..
+        } = *self;
+        let env = compiler::CompileEnv {
+            program,
+            patch_spec,
+            hints,
+            unique_impl,
+            enable_inlining: config.enable_inlining,
+            max_inline_size: config.max_inline_size,
+            max_inline_depth: config.max_inline_depth,
+        };
+        lift_cache.get_or_lift(mid.0, env_fp, || compiler::lift_baseline(&env, mid))
+    }
+
+    /// Bills one compilation: modeled clock plus the compile statistics,
+    /// in exactly the order the pre-cache compiler used.
+    fn bill_compile(&mut self, special: bool, level: u8, size: usize, cost: u64) {
         self.clock += cost;
         self.stats.compile_cycles += cost;
         if special {
@@ -590,6 +704,17 @@ impl VmState {
             self.stats.compiles_by_level[l] += 1;
             self.stats.code_bytes_by_level[l] += size as u64;
         }
+    }
+
+    /// Appends a compiled method (and its inline-cache row) to the code
+    /// store. No billing, no trace.
+    fn push_code(
+        &mut self,
+        mid: MethodId,
+        level: u8,
+        special: bool,
+        outcome: compiler::CompileOutcome,
+    ) -> CompiledId {
         let cid = CompiledId(self.code.len() as u32);
         let func = Rc::new(outcome.func);
         let meta = Rc::new(CodeMeta::build(&func));
@@ -600,9 +725,25 @@ impl VmState {
             special,
             func,
             meta,
-            size_bytes: size,
+            size_bytes: outcome.size_bytes,
             deopt: outcome.deopt.map(Rc::new),
         });
+        cid
+    }
+
+    /// Bills, stores and trace-stamps a fresh compilation outcome — the
+    /// cache-miss tail of [`Self::compile_internal`].
+    fn install_outcome(
+        &mut self,
+        mid: MethodId,
+        level: u8,
+        special: bool,
+        outcome: compiler::CompileOutcome,
+    ) -> CompiledId {
+        let size = outcome.size_bytes;
+        let cost = outcome.compile_cycles;
+        self.bill_compile(special, level, size, cost);
+        let cid = self.push_code(mid, level, special, outcome);
         if special && self.tracer.on() {
             self.tracer.emit(
                 self.clock,
@@ -615,6 +756,295 @@ impl VmState {
             );
         }
         cid
+    }
+
+    /// The cache-hit tail of [`Self::compile_internal`]: bills the stored
+    /// compile cycles (the compiler is deterministic, so this is exactly
+    /// what recompiling would bill) and replays the trace stamps a fresh
+    /// compile would emit, plus the `CodeCacheHit` marker. No new code is
+    /// stored — the cached [`CompiledId`] is reused.
+    fn replay_cached(
+        &mut self,
+        mid: MethodId,
+        level: u8,
+        special: bool,
+        cid: CompiledId,
+        cost: u64,
+    ) {
+        let size = self.compiled(cid).size_bytes;
+        self.bill_compile(special, level, size, cost);
+        if self.tracer.on() {
+            self.tracer.emit(
+                self.clock,
+                TraceEvent::CodeCacheHit {
+                    method: mid.0,
+                    code: cid.0,
+                    level: level as u32,
+                    special,
+                },
+            );
+            if special {
+                self.tracer.emit(
+                    self.clock,
+                    TraceEvent::SpecialCompile {
+                        method: mid.0,
+                        code: cid.0,
+                        level: level as u32,
+                        size_bytes: size as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Records a compilation in the code cache; an eviction is counted and
+    /// trace-stamped unless the insert came from the silent (fault-injected)
+    /// path, which must not touch any statistic.
+    fn cache_insert(
+        &mut self,
+        key: (u32, u8, u64),
+        env_fp: u64,
+        cid: CompiledId,
+        cost: u64,
+        silent: bool,
+    ) {
+        let (method, level, binding_fp) = key;
+        let evicted = self
+            .code_cache
+            .insert(method, level, binding_fp, env_fp, cid, cost);
+        if let Some(ev) = evicted {
+            if !silent {
+                self.stats.code_cache_evictions += 1;
+                if self.tracer.on() {
+                    self.tracer.emit(
+                        self.clock,
+                        TraceEvent::CodeCacheEvict {
+                            method: ev.method,
+                            code: ev.cid.0,
+                            level: ev.level as u32,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Compiles a batch of requests, coalescing duplicates through the code
+    /// cache and running the compiler pipelines of the remaining jobs on
+    /// worker threads. Billing, statistics, installation and trace stamps
+    /// happen serially in request order, so every modeled observable is
+    /// bit-identical to issuing the requests one by one; only host wall
+    /// time changes. Returns one [`CompiledId`] per request, in order.
+    pub fn compile_batch(&mut self, reqs: Vec<CompileRequest>) -> Vec<CompiledId> {
+        self.compile_batch_impl(reqs, false)
+    }
+
+    /// Batched [`Self::recompile`]: compiles every `(method, level)` pair
+    /// (pipelines parallelized on worker threads), then installs and
+    /// bills serially in request order — the same interleaving the serial
+    /// recompile loop produces.
+    pub fn recompile_batch(&mut self, reqs: &[(MethodId, u8)]) -> Vec<CompiledId> {
+        let reqs = reqs
+            .iter()
+            .map(|&(method, level)| CompileRequest {
+                method,
+                level,
+                bindings: None,
+            })
+            .collect();
+        self.compile_batch_impl(reqs, true)
+    }
+
+    fn compile_batch_impl(&mut self, reqs: Vec<CompileRequest>, install: bool) -> Vec<CompiledId> {
+        /// Phase-A resolution of one request.
+        enum Slot {
+            /// Cached: replay in phase C.
+            Hit { cid: CompiledId, cost: u64 },
+            /// Compile job `job`; `use_cache` is false when the cache is
+            /// disabled (no counters, no insert).
+            Job {
+                job: usize,
+                binding_fp: u64,
+                invalidated: bool,
+                use_cache: bool,
+            },
+            /// Same key as an earlier job in this batch: re-probe in phase
+            /// C, after the twin's insert — exactly what a serial loop sees.
+            DupOf { binding_fp: u64 },
+        }
+
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        // One fingerprint for the whole batch: installs in phase C touch
+        // none of the compiler inputs the fingerprint covers.
+        let env_fp = compiler::CompileEnv::of(self).fingerprint();
+
+        // Phase A — serial cache probes in request order.
+        let mut slots = Vec::with_capacity(reqs.len());
+        let mut jobs: Vec<usize> = Vec::new();
+        let mut pending: HashSet<(u32, u8, u64)> = HashSet::new();
+        for (i, r) in reqs.iter().enumerate() {
+            let binding_fp = binding_fingerprint(r.bindings.as_ref());
+            if pending.contains(&(r.method.0, r.level, binding_fp)) {
+                slots.push(Slot::DupOf { binding_fp });
+                continue;
+            }
+            match self.code_cache.probe(r.method.0, r.level, binding_fp, env_fp) {
+                Probe::Hit {
+                    cid,
+                    compile_cycles,
+                } => slots.push(Slot::Hit {
+                    cid,
+                    cost: compile_cycles,
+                }),
+                Probe::Miss { invalidated } => {
+                    pending.insert((r.method.0, r.level, binding_fp));
+                    slots.push(Slot::Job {
+                        job: jobs.len(),
+                        binding_fp,
+                        invalidated,
+                        use_cache: true,
+                    });
+                    jobs.push(i);
+                }
+                Probe::Disabled => {
+                    slots.push(Slot::Job {
+                        job: jobs.len(),
+                        binding_fp,
+                        invalidated: false,
+                        use_cache: false,
+                    });
+                    jobs.push(i);
+                }
+            }
+        }
+
+        // Phase B — compile the jobs. Baselines are memoized on the VM
+        // thread (the lift cache is not thread-safe); the pipelines — pure
+        // functions of the `Sync` compile environment — run on workers.
+        let mut baselines: Vec<Arc<Function>> = Vec::with_capacity(jobs.len());
+        for &ri in &jobs {
+            let b = self.baseline_for(reqs[ri].method, env_fp);
+            baselines.push(b);
+        }
+        let wall = Instant::now();
+        let mut outcomes: Vec<Option<compiler::CompileOutcome>>;
+        {
+            let env = compiler::CompileEnv::of(self);
+            let threads = rayon::current_num_threads().min(jobs.len());
+            if jobs.len() < 2 || threads < 2 {
+                outcomes = Vec::with_capacity(jobs.len());
+                for (j, &ri) in jobs.iter().enumerate() {
+                    let r = &reqs[ri];
+                    outcomes.push(Some(compiler::compile_in(
+                        &env,
+                        &baselines[j],
+                        r.method,
+                        r.level,
+                        r.bindings.as_ref(),
+                    )));
+                }
+            } else {
+                // A shared work index keeps workers busy regardless of how
+                // uneven individual compile times are.
+                let next = AtomicUsize::new(0);
+                let out: Mutex<Vec<Option<compiler::CompileOutcome>>> =
+                    Mutex::new((0..jobs.len()).map(|_| None).collect());
+                rayon::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|_| loop {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            if j >= jobs.len() {
+                                break;
+                            }
+                            let r = &reqs[jobs[j]];
+                            let o = compiler::compile_in(
+                                &env,
+                                &baselines[j],
+                                r.method,
+                                r.level,
+                                r.bindings.as_ref(),
+                            );
+                            out.lock().expect("compile worker poisoned")[j] = Some(o);
+                        });
+                    }
+                });
+                outcomes = out.into_inner().expect("compile worker poisoned");
+            }
+        }
+        self.compile_wall_nanos += wall.elapsed().as_nanos() as u64;
+
+        // Phase C — serial, in request order: bill, store, trace-stamp and
+        // (for recompiles) install, replicating the serial loop exactly.
+        let mut cids = Vec::with_capacity(reqs.len());
+        for (i, r) in reqs.iter().enumerate() {
+            let special = r.bindings.is_some();
+            let cid = match slots[i] {
+                Slot::Hit { cid, cost } => {
+                    self.stats.code_cache_hits += 1;
+                    self.replay_cached(r.method, r.level, special, cid, cost);
+                    cid
+                }
+                Slot::Job {
+                    job,
+                    binding_fp,
+                    invalidated,
+                    use_cache,
+                } => {
+                    let outcome = outcomes[job].take().expect("job compiled exactly once");
+                    if use_cache {
+                        if invalidated {
+                            self.stats.code_cache_invalidations += 1;
+                        }
+                        self.stats.code_cache_misses += 1;
+                    }
+                    let cost = outcome.compile_cycles;
+                    let cid = self.install_outcome(r.method, r.level, special, outcome);
+                    if use_cache {
+                        self.cache_insert((r.method.0, r.level, binding_fp), env_fp, cid, cost, false);
+                    }
+                    cid
+                }
+                Slot::DupOf { binding_fp } => {
+                    match self.code_cache.probe(r.method.0, r.level, binding_fp, env_fp) {
+                        Probe::Hit {
+                            cid,
+                            compile_cycles,
+                        } => {
+                            self.stats.code_cache_hits += 1;
+                            self.replay_cached(r.method, r.level, special, cid, compile_cycles);
+                            cid
+                        }
+                        // The twin's entry was evicted between its insert
+                        // and this probe (tiny capacity): fall back to a
+                        // full serial compile, like the serial loop would.
+                        _ => {
+                            self.stats.code_cache_misses += 1;
+                            let t0 = Instant::now();
+                            let outcome =
+                                self.run_compiler(r.method, r.level, r.bindings.as_ref(), env_fp);
+                            self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
+                            let cost = outcome.compile_cycles;
+                            let cid = self.install_outcome(r.method, r.level, special, outcome);
+                            self.cache_insert(
+                                (r.method.0, r.level, binding_fp),
+                                env_fp,
+                                cid,
+                                cost,
+                                false,
+                            );
+                            cid
+                        }
+                    }
+                }
+            };
+            if install {
+                self.finish_recompile(r.method, r.level, cid);
+            }
+            cids.push(cid);
+        }
+        cids
     }
 
     /// The baseline (level-0, unspecialized) code a deoptimizing frame of
@@ -1027,23 +1457,25 @@ impl VmState {
     }
 
     /// Compiles general code for `mid` at `level` without billing cycles or
-    /// updating any statistic — the injected-recompile path. The code store
-    /// grows (code is immortal) but nothing observable changes.
+    /// updating any statistic — the injected-recompile path. Routed through
+    /// the code cache like every other compile: a hit returns the cached
+    /// version (which the deterministic compiler would reproduce bit for
+    /// bit), a miss compiles and populates the cache. Neither touches a
+    /// counter or the clock, keeping injected faults cycle-transparent:
+    /// cache entries only ever change *which* host work later requests
+    /// skip, never what they bill.
     fn compile_silent(&mut self, mid: MethodId, level: u8) -> CompiledId {
-        let outcome = compiler::compile(self, mid, level, None);
-        let cid = CompiledId(self.code.len() as u32);
-        let func = Rc::new(outcome.func);
-        let meta = Rc::new(CodeMeta::build(&func));
-        self.icaches.push(vec![IcEntry::EMPTY; meta.num_sites as usize]);
-        self.code.push(CompiledMethod {
-            method: mid,
-            level,
-            special: false,
-            func,
-            meta,
-            size_bytes: outcome.size_bytes,
-            deopt: None,
-        });
+        let env_fp = compiler::CompileEnv::of(self).fingerprint();
+        let binding_fp = binding_fingerprint(None);
+        if let Probe::Hit { cid, .. } = self.code_cache.probe(mid.0, level, binding_fp, env_fp) {
+            return cid;
+        }
+        let t0 = Instant::now();
+        let outcome = self.run_compiler(mid, level, None, env_fp);
+        self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
+        let cost = outcome.compile_cycles;
+        let cid = self.push_code(mid, level, false, outcome);
+        self.cache_insert((mid.0, level, binding_fp), env_fp, cid, cost, true);
         cid
     }
 

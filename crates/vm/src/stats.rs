@@ -93,6 +93,18 @@ pub struct VmStats {
     /// Baseline (deopt-target) code versions compiled on first deopt of a
     /// method.
     pub deopt_baseline_compiles: u64,
+    /// Compilation requests answered by the compiled-code cache (the stored
+    /// version was reinstalled; modeled billing unchanged, host pipeline
+    /// work elided).
+    pub code_cache_hits: u64,
+    /// Compilation requests that ran the full pipeline and populated the
+    /// cache (silent fault-injected recompiles are never counted).
+    pub code_cache_misses: u64,
+    /// Entries dropped by the cache's LRU capacity bound.
+    pub code_cache_evictions: u64,
+    /// Whole-cache flushes caused by compiler-environment changes (plan
+    /// installs, guard-config or inlining-config changes).
+    pub code_cache_invalidations: u64,
     /// Per-method profiles, indexed by [`MethodId`].
     pub per_method: Vec<MethodProfile>,
 }
@@ -140,10 +152,10 @@ impl VmStats {
 }
 
 impl fmt::Display for VmStats {
-    /// A stable six-row summary table (the bench bins' standard dump):
-    /// cycles, ops, compiles, TIB/mutation work, inline caches, guards.
-    /// Layout and field order are part of the output contract — scripts
-    /// may grep it.
+    /// A stable seven-row summary table (the bench bins' standard dump):
+    /// cycles, ops, compiles, TIB/mutation work, inline caches, the
+    /// compiled-code cache, guards. Layout and field order are part of the
+    /// output contract — scripts may grep it.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total_cycles();
         let pct = |part: u64| {
@@ -194,6 +206,14 @@ impl fmt::Display for VmStats {
             f,
             "icache    hits {}  misses {}  invalidations {}",
             self.ic_hits, self.ic_misses, self.ic_invalidations
+        )?;
+        writeln!(
+            f,
+            "codecache hits {}  misses {}  evictions {}  invalidations {}",
+            self.code_cache_hits,
+            self.code_cache_misses,
+            self.code_cache_evictions,
+            self.code_cache_invalidations
         )?;
         write!(
             f,
@@ -247,8 +267,9 @@ mod tests {
         assert!(text.contains("ops       executed 10  samples 0"));
         assert!(text.contains("compiles  opt0 2 (64 B)  opt1 1 (32 B)"));
         assert!(text.contains("flips 3"));
+        assert!(text.contains("codecache hits 0  misses 0  evictions 0  invalidations 0"));
         assert!(text.contains("guards    executed 0"));
-        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text.lines().count(), 7);
 
         let p = MethodProfile { invocations: 4, level: Some(2), ..Default::default() };
         let line = p.to_string();
