@@ -169,6 +169,21 @@ impl ProgramBuilder {
         verify_program(&p)?;
         Ok(p)
     }
+
+    /// Like [`ProgramBuilder::finish`], but additionally rejects dead code
+    /// ([`crate::verify::verify_reachability`]). Program generators and
+    /// shrinkers use this so every emitted instruction is exercisable by
+    /// the differential oracle; hand-written frontends keep the laxer
+    /// [`ProgramBuilder::finish`].
+    ///
+    /// # Errors
+    /// Returns the first [`VerifyError`] found, including
+    /// [`VerifyError::UnreachableCode`].
+    pub fn finish_strict(self) -> Result<Program, VerifyError> {
+        let p = self.finish()?;
+        crate::verify::verify_reachability(&p)?;
+        Ok(p)
+    }
 }
 
 fn verify_hierarchy(p: &Program) -> Result<(), VerifyError> {

@@ -59,4 +59,4 @@ pub use instr::{DBinOp, IBinOp, Instr, IntrinsicKind, Op};
 pub use loops::{loop_nesting, LoopInfo};
 pub use program::{Program, ResolvedCall};
 pub use value::{CmpOp, ElemKind, Ty, Value};
-pub use verify::{verify_program, VerifyError};
+pub use verify::{verify_program, verify_reachability, VerifyError};

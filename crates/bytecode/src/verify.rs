@@ -123,6 +123,26 @@ pub enum VerifyError {
         /// The class's name.
         class: String,
     },
+    /// An instruction references an entity id outside the program's tables
+    /// (a dangling class/method/field/selector reference).
+    DanglingRef {
+        /// Offending method.
+        method: String,
+        /// Instruction index.
+        at: usize,
+        /// Human-readable description of the dangling id.
+        what: String,
+    },
+    /// An instruction can never execute (no path from the method entry
+    /// reaches it). Only reported by [`verify_reachability`] /
+    /// [`crate::ProgramBuilder::finish_strict`]; plain verification
+    /// tolerates dead code.
+    UnreachableCode {
+        /// Offending method.
+        method: String,
+        /// Index of the first unreachable instruction.
+        at: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -179,6 +199,12 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::MultipleConstructors { class } => {
                 write!(f, "class {class} declares more than one constructor")
+            }
+            VerifyError::DanglingRef { method, at, what } => {
+                write!(f, "{method}@{at}: dangling reference to {what}")
+            }
+            VerifyError::UnreachableCode { method, at } => {
+                write!(f, "{method}@{at}: instruction is unreachable")
             }
         }
     }
@@ -333,11 +359,59 @@ fn verify_method(p: &Program, mid: MethodId) -> Result<(), VerifyError> {
                         num_regs: m.num_regs,
                     });
                 }
+                check_refs(p, op, &name, at)?;
                 verify_op(p, op, &name, at)?;
             }
         }
     }
     Ok(())
+}
+
+/// Rejects entity ids that index outside the program's tables, so the
+/// resolution checks below (and every downstream consumer) can index
+/// without panicking. Runs before [`verify_op`] on every instruction.
+fn check_refs(
+    p: &Program,
+    op: &Op,
+    name: &dyn Fn() -> String,
+    at: usize,
+) -> Result<(), VerifyError> {
+    let dangling = |what: String| VerifyError::DanglingRef {
+        method: name(),
+        at,
+        what,
+    };
+    let class = |c: &ClassId| {
+        (c.index() < p.classes.len())
+            .then_some(())
+            .ok_or_else(|| dangling(format!("class {c}")))
+    };
+    let field = |f: &crate::ids::FieldId| {
+        (f.index() < p.fields.len())
+            .then_some(())
+            .ok_or_else(|| dangling(format!("field {f}")))
+    };
+    let sel = |s: &crate::ids::SelectorId| {
+        (s.index() < p.selectors.len())
+            .then_some(())
+            .ok_or_else(|| dangling(format!("selector {s}")))
+    };
+    match op {
+        Op::New { class: c, .. }
+        | Op::InstanceOf { class: c, .. }
+        | Op::CheckCast { class: c, .. } => class(c),
+        Op::GetField { field: f, .. }
+        | Op::PutField { field: f, .. }
+        | Op::GetStatic { field: f, .. }
+        | Op::PutStatic { field: f, .. } => field(f),
+        Op::CallVirtual { sel: s, .. } => sel(s),
+        Op::CallSpecial { class: c, sel: s, .. } => class(c).and_then(|()| sel(s)),
+        Op::CallInterface { iface, sel: s, .. } => class(iface).and_then(|()| sel(s)),
+        Op::CallStatic { method, .. } => (method.index() < p.methods.len())
+            .then_some(())
+            .ok_or_else(|| dangling(format!("method {method}"))),
+        _ => Ok(()),
+    }
 }
 
 fn check_field(
@@ -472,6 +546,52 @@ fn verify_op(
         | Op::GuardState { .. } => Err(VerifyError::NotifyInSource { method: name(), at }),
         _ => Ok(()),
     }
+}
+
+/// Checks that every instruction of every concrete method is reachable
+/// from its entry.
+///
+/// This is *stricter* than [`verify_program`]: the evaluator tolerates dead
+/// code (it simply never runs), and hand-written workloads occasionally
+/// carry some, so plain verification accepts it. Machine generators and
+/// shrinkers, on the other hand, must not emit code the differential oracle
+/// can never exercise — they link through
+/// [`crate::ProgramBuilder::finish_strict`], which adds this pass.
+///
+/// # Errors
+/// Returns [`VerifyError::UnreachableCode`] naming the first dead
+/// instruction found.
+pub fn verify_reachability(p: &Program) -> Result<(), VerifyError> {
+    for m in &p.methods {
+        if m.code.is_empty() {
+            continue;
+        }
+        let n = m.code.len();
+        let mut reachable = vec![false; n];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if i >= n || reachable[i] {
+                continue;
+            }
+            reachable[i] = true;
+            match &m.code[i] {
+                Instr::Jmp(t) => stack.push(t.index()),
+                Instr::BrIf { target, .. } => {
+                    stack.push(target.index());
+                    stack.push(i + 1);
+                }
+                Instr::Ret(_) => {}
+                Instr::Op(_) => stack.push(i + 1),
+            }
+        }
+        if let Some(at) = reachable.iter().position(|&r| !r) {
+            return Err(VerifyError::UnreachableCode {
+                method: format!("{}::{}", p.class(m.owner).name, m.name),
+                at,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Convenience: verify and name the class a method belongs to.

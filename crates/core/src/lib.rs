@@ -42,6 +42,7 @@ pub mod olc;
 pub mod online;
 pub mod pipeline;
 pub mod plan;
+pub mod synth;
 
 pub use analysis::{build_plan, find_state_fields, AnalysisConfig};
 pub use engine::MutationEngine;
@@ -49,3 +50,4 @@ pub use olc::{analyze_olc, OlcReport};
 pub use online::{OnlineSession, Phase};
 pub use pipeline::{prepare, PipelineConfig, Prepared};
 pub use plan::{HotState, MutableClass, MutationPlan};
+pub use synth::{synthesize_plan, SynthConfig};

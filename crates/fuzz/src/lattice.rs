@@ -1,0 +1,226 @@
+//! The configuration lattice: every generated program runs once per entry,
+//! and the oracle compares fingerprints at two strictness levels.
+//!
+//! * **Output identity** — result value, output text and checksum — is the
+//!   global conformance property: it must hold across tiers, adaptive
+//!   recompilation, mutation on/off, cache capacities, tracing and fault
+//!   injection. The single exception is guards-off mutation
+//!   (`output_group: "noguard"`): running specialization *without* its
+//!   safety net legitimately lets stale specialized frames misbehave, so
+//!   those configs are only compared among themselves.
+//! * **Full identity** — the whole [`crate::oracle::FuzzObs`], modeled
+//!   clock and mutation counters included — holds inside a `clock_group`:
+//!   configs that differ only in machinery the model promises is
+//!   transparent (cache capacity, tracing, transparent faults).
+//!
+//! Forced-guard-failure injection changes which code version executes
+//! (and therefore billing), so that config carries an empty clock group:
+//! it participates in the output check only.
+
+/// Host-side perturbation applied to a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// No injector.
+    None,
+    /// Transparent faults (forced GCs, IC bumps, silent recompiles) at
+    /// every allocation point, from this seed.
+    Transparent(u64),
+    /// Forced guard failures from this seed.
+    GuardFail(u64),
+}
+
+/// One VM configuration of the lattice.
+#[derive(Clone, Debug)]
+pub struct ConfigSpec {
+    /// Display name, unique in the lattice.
+    pub name: &'static str,
+    /// Level methods are first compiled at.
+    pub initial_level: u8,
+    /// Adaptive promotion on (fast cadence) or pinned at `initial_level`.
+    pub adaptive: bool,
+    /// Attach the synthesized plan with its hot states (true) or with hot
+    /// states stripped — identical instrumentation, no specialization.
+    pub mutate: bool,
+    /// Plant state guards in special code. Ignored when `mutate` is off.
+    pub emit_guards: bool,
+    /// State-keyed code cache capacity (0 disables).
+    pub cache_capacity: usize,
+    /// Fly the flight recorder.
+    pub tracing: bool,
+    /// Fault injection.
+    pub fault: Fault,
+    /// 512 MiB heap (no organic GC) instead of the tiny default that
+    /// forces collections during allocation bursts.
+    pub big_heap: bool,
+    /// Configs sharing a non-empty clock group must match on the full
+    /// fingerprint. Empty = compared for output only.
+    pub clock_group: &'static str,
+    /// Output-identity partition ("main" or "noguard").
+    pub output_group: &'static str,
+}
+
+impl ConfigSpec {
+    const fn base(name: &'static str, clock_group: &'static str) -> Self {
+        ConfigSpec {
+            name,
+            initial_level: 0,
+            adaptive: false,
+            mutate: false,
+            emit_guards: true,
+            cache_capacity: 0,
+            tracing: false,
+            fault: Fault::None,
+            big_heap: false,
+            clock_group,
+            output_group: "main",
+        }
+    }
+}
+
+/// The full lattice, 16 configurations.
+pub fn lattice() -> Vec<ConfigSpec> {
+    // Mutation off across the tier ladder: output must be tier-invariant.
+    let mut v = vec![
+        ConfigSpec::base("base0-nomut", "t0-off"),
+        ConfigSpec {
+            initial_level: 1,
+            ..ConfigSpec::base("opt1-nomut", "t1-off")
+        },
+        ConfigSpec {
+            initial_level: 2,
+            ..ConfigSpec::base("opt2-nomut", "t2-off")
+        },
+        ConfigSpec {
+            adaptive: true,
+            ..ConfigSpec::base("adaptive-nomut", "ad-off")
+        },
+    ];
+
+    // Mutation on, adaptive: the cache-capacity/tracing transparency group.
+    let ad_on = |name, cache_capacity, tracing| ConfigSpec {
+        adaptive: true,
+        mutate: true,
+        cache_capacity,
+        tracing,
+        ..ConfigSpec::base(name, "ad-on")
+    };
+    v.push(ad_on("adaptive-mut", 1024, false));
+    v.push(ad_on("adaptive-mut-nocache", 0, false));
+    v.push(ad_on("adaptive-mut-cache1", 1, false));
+    v.push(ad_on("adaptive-mut-traced", 1024, true));
+
+    // Mutation on at pinned tiers.
+    v.push(ConfigSpec {
+        mutate: true,
+        cache_capacity: 1024,
+        ..ConfigSpec::base("base0-mut", "t0-on")
+    });
+    v.push(ConfigSpec {
+        initial_level: 2,
+        mutate: true,
+        cache_capacity: 1024,
+        ..ConfigSpec::base("opt2-mut", "t2-on")
+    });
+
+    // Guards off: quarantined output group (stale specialized frames are
+    // allowed to misbehave — that divergence is the hazard itself, see
+    // vm/tests/deopt.rs), but the two members must still agree with each
+    // other in full.
+    let no_guard = |name, cache_capacity| ConfigSpec {
+        adaptive: true,
+        mutate: true,
+        emit_guards: false,
+        cache_capacity,
+        output_group: "noguard",
+        ..ConfigSpec::base(name, "ad-ng")
+    };
+    v.push(no_guard("adaptive-noguard", 1024));
+    v.push(no_guard("adaptive-noguard-nocache", 0));
+
+    // Big heap: the fault-injection transparency group (injected GCs must
+    // be the only collector activity, mirroring vm/tests/fault_injection).
+    let big = |name, fault, tracing, clock_group| ConfigSpec {
+        adaptive: true,
+        mutate: true,
+        cache_capacity: 1024,
+        tracing,
+        fault,
+        big_heap: true,
+        ..ConfigSpec::base(name, clock_group)
+    };
+    v.push(big("adaptive-mut-big", Fault::None, false, "big"));
+    v.push(big(
+        "adaptive-mut-big-faultA",
+        Fault::Transparent(0xA11CE),
+        true,
+        "big",
+    ));
+    v.push(big(
+        "adaptive-mut-big-faultB",
+        Fault::Transparent(0xB0B),
+        false,
+        "big",
+    ));
+    // Forced guard failures change which code version runs (and bills):
+    // output check only.
+    v.push(big(
+        "adaptive-mut-big-guardfail",
+        Fault::GuardFail(0xC0FFEE),
+        true,
+        "",
+    ));
+
+    v
+}
+
+/// A copy of `configs` with guard emission silently cleared on the config
+/// named `name` — the deliberate one-guard-site break used to prove the
+/// oracle and shrinker end to end (`--break-guards`).
+pub fn tampered(configs: &[ConfigSpec], name: &str) -> Vec<ConfigSpec> {
+    configs
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            if c.name == name {
+                c.emit_guards = false;
+            }
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_are_unique_and_groups_consistent() {
+        let l = lattice();
+        assert_eq!(l.len(), 16);
+        let names: HashSet<_> = l.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), l.len());
+        for c in &l {
+            assert!(c.output_group == "main" || c.output_group == "noguard");
+            if c.output_group == "noguard" {
+                assert!(c.mutate && !c.emit_guards);
+            }
+            if let Fault::Transparent(_) | Fault::GuardFail(_) = c.fault {
+                assert!(c.big_heap, "fault configs need the quiet heap");
+            }
+        }
+    }
+
+    #[test]
+    fn tampering_flips_exactly_one_config() {
+        let l = lattice();
+        let t = tampered(&l, "adaptive-mut");
+        let changed: Vec<_> = l
+            .iter()
+            .zip(&t)
+            .filter(|(a, b)| a.emit_guards != b.emit_guards)
+            .collect();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].0.name, "adaptive-mut");
+    }
+}

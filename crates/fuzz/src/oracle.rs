@@ -1,0 +1,167 @@
+//! The multi-config differential oracle: run one program + plan through
+//! every lattice entry and compare fingerprints at the strictness each
+//! pairing is entitled to (see [`crate::lattice`]).
+
+use crate::lattice::{ConfigSpec, Fault};
+use dchm_core::MutationPlan;
+use dchm_testutil::{attach_plan, observe, Obs};
+use dchm_vm::{FaultConfig, FaultInjector, VmConfig};
+
+/// Heap for configs that should collect during allocation bursts: sized so
+/// a few hundred burst objects (header + 8 bytes per field) exhaust it and
+/// collections land mid-flip, while the live set (a handful of driver
+/// objects) stays tiny.
+const SMALL_HEAP: usize = 32 << 10;
+/// Heap for fault-injection configs: organic GC never fires, so injected
+/// (free) GCs are the only collector activity.
+const BIG_HEAP: usize = 512 << 20;
+/// Safety net against generator bugs; generated programs execute a few
+/// hundred thousand ops, nowhere near this.
+const FUEL: u64 = 20_000_000;
+
+/// Full fingerprint of one lattice run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzObs {
+    /// `Debug` rendering of the `run_entry` result (value or trap).
+    pub result: String,
+    /// Output + modeled-clock fingerprint.
+    pub obs: Obs,
+    /// Object TIB-pointer flips performed by the mutation engine.
+    pub tib_flips: u64,
+    /// Special TIBs created.
+    pub special_tibs: u64,
+    /// State-guard failures observed.
+    pub guard_failures: u64,
+    /// Frames deoptimized onto baseline code.
+    pub deopts: u64,
+}
+
+impl FuzzObs {
+    /// The globally-comparable slice: result, output text, checksum.
+    pub fn output(&self) -> (&str, &str, u64) {
+        (&self.result, &self.obs.text, self.obs.checksum)
+    }
+}
+
+/// Runs `p` under one lattice configuration and fingerprints it.
+pub fn run_config(p: &dchm_bytecode::Program, plan: &MutationPlan, c: &ConfigSpec) -> FuzzObs {
+    let mut plan = plan.clone();
+    if c.mutate {
+        plan.emit_guards = c.emit_guards;
+        // Specialize at the code level this tier actually compiles, so
+        // every mutation-on config exercises its specializer.
+        plan.mutation_level = c.initial_level;
+    } else {
+        // Hot states stripped, classes kept: patch-point instrumentation
+        // stays identical to mutation-on runs, nothing ever specializes.
+        for mc in &mut plan.classes {
+            mc.hot_states.clear();
+        }
+    }
+
+    let mut cfg = VmConfig {
+        heap_bytes: if c.big_heap { BIG_HEAP } else { SMALL_HEAP },
+        initial_level: c.initial_level,
+        fuel: Some(FUEL),
+        code_cache_capacity: c.cache_capacity,
+        ..VmConfig::default()
+    };
+    if c.adaptive {
+        cfg.sample_period = 600;
+        cfg.opt1_samples = 2;
+        cfg.opt2_samples = 4;
+    } else {
+        cfg.sample_period = u64::MAX;
+    }
+
+    let mut vm = attach_plan(p, plan, cfg);
+    if c.tracing {
+        vm.enable_tracing(16 * 1024);
+    }
+    match c.fault {
+        Fault::None => {}
+        Fault::Transparent(seed) => {
+            vm.state.injector = Some(FaultInjector::new(FaultConfig {
+                period: 1,
+                ..FaultConfig::transparent(seed)
+            }));
+        }
+        Fault::GuardFail(seed) => {
+            vm.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(seed)));
+        }
+    }
+
+    let result = format!("{:?}", vm.run_entry());
+    let s = vm.stats();
+    FuzzObs {
+        result,
+        obs: observe(&vm),
+        tib_flips: s.tib_flips,
+        special_tibs: s.special_tibs,
+        guard_failures: s.guard_failures,
+        deopts: s.deopts,
+    }
+}
+
+/// A conformance violation between two lattice configurations.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// `"output"` (global identity broken) or `"clock"` (full-fingerprint
+    /// identity broken inside a clock group).
+    pub kind: &'static str,
+    /// Reference config of the comparison group.
+    pub config_a: String,
+    /// The config that disagreed with it.
+    pub config_b: String,
+    /// Both fingerprints, rendered.
+    pub detail: String,
+}
+
+/// Runs the whole lattice and returns the first divergence, if any.
+///
+/// Output identity is checked first (it is the conformance property;
+/// a clock mismatch usually rides along with it), then full-fingerprint
+/// identity inside each non-empty clock group.
+pub fn check(
+    p: &dchm_bytecode::Program,
+    plan: &MutationPlan,
+    configs: &[ConfigSpec],
+) -> Option<Divergence> {
+    let results: Vec<FuzzObs> = configs.iter().map(|c| run_config(p, plan, c)).collect();
+
+    let find = |key: fn(&ConfigSpec) -> &'static str,
+                    eq: fn(&FuzzObs, &FuzzObs) -> bool,
+                    kind: &'static str| {
+        let mut refs: Vec<(&str, usize)> = Vec::new();
+        for (i, c) in configs.iter().enumerate() {
+            let group = key(c);
+            if group.is_empty() {
+                continue;
+            }
+            match refs.iter().find(|(g, _)| *g == group) {
+                None => refs.push((group, i)),
+                Some(&(_, r)) => {
+                    if !eq(&results[r], &results[i]) {
+                        return Some(Divergence {
+                            kind,
+                            config_a: configs[r].name.to_string(),
+                            config_b: configs[i].name.to_string(),
+                            detail: format!(
+                                "{}: {:?}\n{}: {:?}",
+                                configs[r].name, results[r], configs[i].name, results[i]
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    };
+
+    find(
+        |c| c.output_group,
+        |a, b| a.output() == b.output(),
+        "output",
+    )
+    .or_else(|| find(|c| c.clock_group, |a, b| a == b, "clock"))
+}

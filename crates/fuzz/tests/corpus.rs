@@ -1,0 +1,88 @@
+//! Replays the checked-in corpus specs through the full configuration
+//! lattice as ordinary tests — every edge case the fuzzer development
+//! surfaced stays a permanent conformance check.
+
+use dchm_fuzz::{check_spec, compile_spec, corpus_specs, lattice, Spec};
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+fn load(name: &str) -> Spec {
+    let path = corpus_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// Every checked-in file must match the in-crate definition (regenerate
+/// with `cargo run -p dchm-fuzz -- --write-corpus` after editing), and
+/// every definition must be checked in.
+#[test]
+fn corpus_files_match_definitions() {
+    for (name, spec) in corpus_specs() {
+        assert_eq!(load(name), spec, "{name}.json is stale");
+    }
+    let on_disk = std::fs::read_dir(corpus_dir()).expect("corpus dir exists").count();
+    assert_eq!(on_disk, corpus_specs().len(), "unknown files in corpus/");
+}
+
+#[test]
+fn corpus_has_at_least_five_cases() {
+    assert!(corpus_specs().len() >= 5);
+}
+
+fn check_case(name: &str) {
+    let spec = load(name);
+    if let Some(d) = check_spec(&spec, &lattice()) {
+        panic!(
+            "{name}: {} divergence between {} and {}\n{}",
+            d.kind, d.config_a, d.config_b, d.detail
+        );
+    }
+}
+
+#[test]
+fn empty_method_conforms() {
+    check_case("empty-method");
+    // And it really is the no-state edge: the synthesized plan is empty.
+    let (_, plan) = compile_spec(&load("empty-method")).unwrap();
+    assert!(plan.classes.is_empty());
+}
+
+#[test]
+fn mutation_during_gc_conforms() {
+    check_case("mutation-during-gc");
+    // The scenario must actually collect on the small heap and flip TIBs,
+    // or it is not testing mutation during GC.
+    use dchm_fuzz::{lattice, run_config};
+    let (p, plan) = compile_spec(&load("mutation-during-gc")).unwrap();
+    let cfgs = lattice();
+    let adaptive_mut = cfgs.iter().find(|c| c.name == "adaptive-mut").unwrap();
+    let obs = run_config(&p, &plan, adaptive_mut);
+    assert!(obs.obs.gc_cycles > 0, "no GC ran: {obs:?}");
+    assert!(obs.tib_flips > 0, "no TIB flips: {obs:?}");
+}
+
+#[test]
+fn guard_fail_first_call_conforms() {
+    check_case("guard-fail-first-call");
+    use dchm_fuzz::{lattice, run_config};
+    let (p, plan) = compile_spec(&load("guard-fail-first-call")).unwrap();
+    let cfgs = lattice();
+    let adaptive_mut = cfgs.iter().find(|c| c.name == "adaptive-mut").unwrap();
+    let obs = run_config(&p, &plan, adaptive_mut);
+    assert!(obs.guard_failures > 0, "guard never failed: {obs:?}");
+    assert!(obs.deopts > 0, "nothing deoptimized: {obs:?}");
+}
+
+#[test]
+fn interface_dispatch_flip_conforms() {
+    check_case("interface-dispatch-flip");
+}
+
+#[test]
+fn static_state_flip_conforms() {
+    check_case("static-state-flip");
+}

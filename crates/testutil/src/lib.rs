@@ -1,0 +1,184 @@
+#![warn(missing_docs)]
+
+//! # dchm-testutil
+//!
+//! Shared plumbing for the differential test suites and the conformance
+//! fuzzer. `crates/vm/tests/{deopt,fault_injection,codecache,trace}.rs`
+//! each used to carry a private copy of the same observable-fingerprint
+//! struct, harness VM cadence and prepared-pipeline boilerplate; they and
+//! the `dchm-fuzz` driver now share this one, so a harness fix (or a new
+//! observable) lands in every differential check at once.
+//!
+//! The central contract is [`Obs`]: the complete modeled fingerprint of a
+//! finished run. Two runs that must be "bit-identical" in the paper's
+//! sense compare equal here — output text, checksum, the modeled clock and
+//! its execution/GC split, and the op count.
+
+use dchm_bytecode::Program;
+use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
+use dchm_core::{MutationEngine, MutationPlan, OlcReport};
+use dchm_vm::{Vm, VmConfig};
+use dchm_workloads::{catalog, Scale, Workload};
+
+/// Observable fingerprint of one finished run.
+///
+/// Equality is the strongest comparison the suites use: output text,
+/// checksum, the full modeled clock, its execution and GC components, and
+/// the executed-op count. Suites that may only compare *output* (e.g.
+/// forced-guard-failure runs, which legitimately re-bill execution)
+/// compare the [`Obs::text`]/[`Obs::checksum`] fields directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Obs {
+    /// The VM output log.
+    pub text: String,
+    /// The VM output checksum (sink intrinsics fold into this).
+    pub checksum: u64,
+    /// Total modeled cycles (execution + compile + GC).
+    pub clock: u64,
+    /// Application execution cycles.
+    pub exec_cycles: u64,
+    /// Collector cycles.
+    pub gc_cycles: u64,
+    /// Executed bytecode ops.
+    pub ops: u64,
+}
+
+/// Extracts the fingerprint of a finished run.
+pub fn observe(vm: &Vm) -> Obs {
+    let s = vm.stats();
+    Obs {
+        text: vm.state.output.text.clone(),
+        checksum: vm.state.output.checksum,
+        clock: vm.cycles(),
+        exec_cycles: s.exec_cycles,
+        gc_cycles: s.gc_cycles,
+        ops: s.ops_executed,
+    }
+}
+
+/// The determinism-harness VM cadence: sampling fast enough that
+/// small-scale workloads reach opt2 early, like the paper's warm-up.
+pub fn harness_config(w: &Workload) -> VmConfig {
+    let mut c = w.vm_config();
+    c.sample_period = 15_000;
+    c.opt1_samples = 3;
+    c.opt2_samples = 8;
+    c
+}
+
+/// [`harness_config`] with the heap enlarged so organic GC never runs —
+/// the fault-injection suites need injected GCs to be the only collector
+/// activity, or billing comparisons would drown in cadence shifts.
+pub fn big_heap_config(w: &Workload) -> VmConfig {
+    let mut c = harness_config(w);
+    c.heap_bytes = 512 << 20;
+    c
+}
+
+/// Looks up a small-scale workload from the Table 1 catalog by name.
+///
+/// # Panics
+/// Panics if no such workload exists — a typo in a test, not a runtime
+/// condition.
+pub fn find_workload(name: &str) -> Workload {
+    catalog(Scale::Small)
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("workload {name} not in catalog"))
+}
+
+/// Runs the offline pipeline (profile → analyze → plan) for `w` under an
+/// explicit profiling VM config.
+///
+/// # Panics
+/// Panics if the profiling run traps.
+pub fn prepare_with(w: &Workload, profile_vm: VmConfig) -> Prepared {
+    let cfg = PipelineConfig {
+        profile_vm,
+        ..Default::default()
+    };
+    let wl = w.clone();
+    prepare(w.program.clone(), &cfg, move |vm| {
+        wl.run(vm).expect("profiling run must not trap");
+    })
+}
+
+/// [`prepare_with`] under the standard [`harness_config`] cadence.
+pub fn prepare_workload(w: &Workload) -> Prepared {
+    prepare_with(w, harness_config(w))
+}
+
+/// A VM with `plan` attached via a fresh [`MutationEngine`] (empty OLC
+/// report) — the hand-built-plan pattern of the deopt suite and the fuzz
+/// oracle, which synthesize plans instead of profiling for them.
+pub fn attach_plan(p: &Program, plan: MutationPlan, cfg: VmConfig) -> Vm {
+    MutationEngine::new(plan, OlcReport::default()).attach(p.clone(), cfg)
+}
+
+/// Attaches `plan` and runs the program entry to completion.
+///
+/// # Panics
+/// Panics if the run traps; use [`attach_plan`] + `run_entry` when a trap
+/// is an expected outcome.
+pub fn run_with_plan(p: &Program, plan: MutationPlan, cfg: VmConfig) -> Vm {
+    let mut vm = attach_plan(p, plan, cfg);
+    vm.run_entry().expect("run must not trap");
+    vm
+}
+
+/// Renders the tail of a traced run's event stream — the post-mortem
+/// attached to differential mismatches.
+pub fn trace_tail(vm: &Vm, n: usize) -> String {
+    use std::fmt::Write as _;
+    let tail = vm.state.tracer.last(n);
+    let mut out = String::new();
+    let _ = writeln!(out, "--- last {} trace events before divergence ---", tail.len());
+    for ev in &tail {
+        let _ = writeln!(out, "  seq {:>6}  cycle {:>10}  {:?}", ev.seq, ev.cycle, ev.event);
+    }
+    if vm.state.tracer.dropped() > 0 {
+        let _ = writeln!(out, "  ({} older events overwritten)", vm.state.tracer.dropped());
+    }
+    out
+}
+
+/// Dumps the traced event tail to stderr, then panics with `msg`.
+pub fn fail_with_trace(vm: &Vm, msg: String) -> ! {
+    eprint!("{}", trace_tail(vm, 50));
+    panic!("{msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_roundtrip_on_a_workload() {
+        let w = find_workload("SalaryDB");
+        let prepared = prepare_workload(&w);
+        let mut vm = prepared.make_vm(harness_config(&w));
+        w.run(&mut vm).expect("run");
+        let a = observe(&vm);
+        assert!(a.clock > 0 && a.ops > 0);
+        assert_eq!(a.clock, vm.cycles());
+        // Deterministic VM: a second identical run fingerprints equally.
+        let mut vm2 = prepared.make_vm(harness_config(&w));
+        w.run(&mut vm2).expect("run");
+        assert_eq!(a, observe(&vm2));
+    }
+
+    #[test]
+    fn big_heap_config_only_grows_the_heap() {
+        let w = find_workload("SimLogic");
+        let a = harness_config(&w);
+        let b = big_heap_config(&w);
+        assert_eq!(b.sample_period, a.sample_period);
+        assert!(b.heap_bytes >= a.heap_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in catalog")]
+    fn unknown_workload_panics() {
+        let _ = find_workload("NoSuchWorkload");
+    }
+}

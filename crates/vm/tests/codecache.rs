@@ -9,42 +9,15 @@
 //! count must match a cache-disabled run of the identical scenario, because
 //! the cache is only allowed to elide host-side pipeline work.
 
-use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
+use dchm_core::pipeline::Prepared;
 use dchm_core::MutationEngine;
-use dchm_vm::{FaultConfig, FaultInjector, Vm, VmConfig};
-use dchm_workloads::{catalog, Scale, Workload};
-
-/// Observable fingerprint of one finished run.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Obs {
-    text: String,
-    checksum: u64,
-    clock: u64,
-    ops: u64,
-}
-
-/// The determinism-harness VM cadence.
-fn config(w: &Workload) -> VmConfig {
-    let mut c = w.vm_config();
-    c.sample_period = 15_000;
-    c.opt1_samples = 3;
-    c.opt2_samples = 8;
-    c
-}
+use dchm_testutil::{find_workload, harness_config, observe, prepare_workload};
+use dchm_vm::{FaultConfig, FaultInjector, Vm};
+use dchm_workloads::Workload;
 
 fn prepare_small(name: &str) -> (Workload, Prepared) {
-    let w = catalog(Scale::Small)
-        .into_iter()
-        .find(|w| w.name == name)
-        .expect("workload in catalog");
-    let cfg = PipelineConfig {
-        profile_vm: config(&w),
-        ..Default::default()
-    };
-    let wl = w.clone();
-    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
-        wl.run(vm).expect("profiling run must not trap");
-    });
+    let w = find_workload(name);
+    let prepared = prepare_workload(&w);
     (w, prepared)
 }
 
@@ -61,7 +34,7 @@ fn churn(
     guard_flags: &[bool],
     fault_seed: Option<u64>,
 ) -> Vm {
-    let mut cfg = config(w);
+    let mut cfg = harness_config(w);
     cfg.code_cache_capacity = capacity;
     let mut vm = Vm::new(prepared.program.clone(), cfg);
     if let Some(seed) = fault_seed {
@@ -81,15 +54,6 @@ fn churn(
         w.run(&mut vm).expect("churn round must not trap");
     }
     vm
-}
-
-fn observe(vm: &Vm) -> Obs {
-    Obs {
-        text: vm.state.output.text.clone(),
-        checksum: vm.state.output.checksum,
-        clock: vm.cycles(),
-        ops: vm.stats().ops_executed,
-    }
 }
 
 #[test]

@@ -14,7 +14,8 @@
 //! guards are free (0-cycle) and the deopt transition itself is unbilled.
 
 use dchm_bytecode::{ClassId, FieldId, MethodId, MethodSig, Program, ProgramBuilder, Ty, Value};
-use dchm_core::{HotState, MutableClass, MutationEngine, MutationPlan, OlcReport};
+use dchm_core::{HotState, MutableClass, MutationPlan};
+use dchm_testutil::run_with_plan;
 use dchm_vm::{Vm, VmConfig};
 
 /// class Acct { int s; static Acct KEEP;
@@ -95,10 +96,7 @@ fn plan(acct: ClassId, s: FieldId, go: MethodId, hot_states: bool, emit_guards: 
 }
 
 fn run(p: &Program, plan: MutationPlan) -> Vm {
-    let engine = MutationEngine::new(plan, OlcReport::default());
-    let mut vm = engine.attach(p.clone(), VmConfig::default());
-    vm.run_entry().expect("run must not trap");
-    vm
+    run_with_plan(p, plan, VmConfig::default())
 }
 
 #[test]

@@ -18,27 +18,9 @@
 //! Extra seed: set `DCHM_FAULT_SEED=<n>` to add a fourth seed to every
 //! sweep (the CI fault-injection job pins one).
 
-use dchm_core::pipeline::{prepare, PipelineConfig};
+use dchm_testutil::{big_heap_config, fail_with_trace, find_workload, observe, prepare_with};
 use dchm_vm::{FaultConfig, FaultInjector, RunError, Vm, VmConfig};
-use dchm_workloads::{catalog, Scale, Workload};
-
-/// Observable fingerprint of one finished run.
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Obs {
-    text: String,
-    checksum: u64,
-    clock: u64,
-    ops: u64,
-}
-
-fn observe(vm: &Vm) -> Obs {
-    Obs {
-        text: vm.state.output.text.clone(),
-        checksum: vm.state.output.checksum,
-        clock: vm.cycles(),
-        ops: vm.stats().ops_executed,
-    }
-}
+use dchm_workloads::Workload;
 
 fn seeds() -> Vec<u64> {
     let mut s = vec![1, 2, 3];
@@ -52,26 +34,8 @@ fn seeds() -> Vec<u64> {
     s
 }
 
-/// The determinism-harness VM cadence, with the heap enlarged so organic
-/// GC never runs (injected GCs must be the only collector activity).
-fn big_heap_config(w: &Workload) -> VmConfig {
-    let mut c = w.vm_config();
-    c.heap_bytes = 512 << 20;
-    c.sample_period = 15_000;
-    c.opt1_samples = 3;
-    c.opt2_samples = 8;
-    c
-}
-
 fn run_mutated(w: &Workload, injector: Option<FaultInjector>, trace: bool) -> Vm {
-    let cfg = PipelineConfig {
-        profile_vm: big_heap_config(w),
-        ..Default::default()
-    };
-    let wl = w.clone();
-    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
-        wl.run(vm).expect("profiling run must not trap");
-    });
+    let prepared = prepare_with(w, big_heap_config(w));
     let mut vm = prepared.make_vm(big_heap_config(w));
     if trace {
         // Injected runs fly the flight recorder: every injected fault lands
@@ -85,25 +49,8 @@ fn run_mutated(w: &Workload, injector: Option<FaultInjector>, trace: bool) -> Vm
     vm
 }
 
-/// Dumps the tail of the traced event stream — the post-mortem for a
-/// differential mismatch — then panics with `msg`.
-fn fail_with_trace(vm: &Vm, msg: String) -> ! {
-    let tail = vm.state.tracer.last(50);
-    eprintln!("--- last {} trace events before divergence ---", tail.len());
-    for ev in &tail {
-        eprintln!("  seq {:>6}  cycle {:>10}  {:?}", ev.seq, ev.cycle, ev.event);
-    }
-    if vm.state.tracer.dropped() > 0 {
-        eprintln!("  ({} older events overwritten)", vm.state.tracer.dropped());
-    }
-    panic!("{msg}");
-}
-
 fn check_workload(name: &str) {
-    let w = catalog(Scale::Small)
-        .into_iter()
-        .find(|w| w.name == name)
-        .expect("workload in catalog");
+    let w = find_workload(name);
     let reference = observe(&run_mutated(&w, None, false));
     assert!(reference.clock > 0);
 

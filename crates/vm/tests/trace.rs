@@ -12,8 +12,8 @@
 //!    clock but never charge it, including under fault injection.
 
 use dchm_bytecode::{ClassId, FieldId, MethodId, MethodSig, Program, ProgramBuilder, Ty, Value};
-use dchm_core::pipeline::{prepare, PipelineConfig};
-use dchm_core::{HotState, MutableClass, MutationEngine, MutationPlan, OlcReport};
+use dchm_core::{HotState, MutableClass, MutationPlan};
+use dchm_testutil::{attach_plan, find_workload, harness_config, observe, prepare_with};
 use dchm_vm::trace::{Stamped, TraceEvent};
 use dchm_vm::{FaultConfig, FaultInjector, Vm, VmConfig};
 use dchm_workloads::{catalog, Scale, Workload};
@@ -99,8 +99,7 @@ fn find_from<F: Fn(&TraceEvent) -> bool>(
 #[test]
 fn guard_fail_deopt_resume_sequence_with_monotone_stamps() {
     let (p, acct, s, keep, go) = build();
-    let engine = MutationEngine::new(plan(acct, s, go), OlcReport::default());
-    let mut vm = engine.attach(p, VmConfig::default());
+    let mut vm = attach_plan(&p, plan(acct, s, go), VmConfig::default());
     vm.enable_tracing(4096);
     vm.run_entry().expect("run must not trap");
 
@@ -196,46 +195,9 @@ fn guard_fail_deopt_resume_sequence_with_monotone_stamps() {
     assert_eq!(vm.state.tracer.dropped(), 0, "4096-slot ring must suffice");
 }
 
-/// Observable fingerprint for the transparency comparison.
-#[derive(Debug, PartialEq, Eq)]
-struct Obs {
-    text: String,
-    checksum: u64,
-    clock: u64,
-    exec_cycles: u64,
-    gc_cycles: u64,
-    ops: u64,
-}
-
-fn observe(vm: &Vm) -> Obs {
-    Obs {
-        text: vm.state.output.text.clone(),
-        checksum: vm.state.output.checksum,
-        clock: vm.cycles(),
-        exec_cycles: vm.stats().exec_cycles,
-        gc_cycles: vm.stats().gc_cycles,
-        ops: vm.stats().ops_executed,
-    }
-}
-
-fn fp_config(w: &Workload) -> VmConfig {
-    let mut c = w.vm_config();
-    c.sample_period = 15_000;
-    c.opt1_samples = 3;
-    c.opt2_samples = 8;
-    c
-}
-
 fn run_mutated(w: &Workload, trace: bool, injector: Option<FaultInjector>) -> Vm {
-    let cfg = PipelineConfig {
-        profile_vm: fp_config(w),
-        ..Default::default()
-    };
-    let wl = w.clone();
-    let prepared = prepare(w.program.clone(), &cfg, move |vm| {
-        wl.run(vm).expect("profiling run must not trap");
-    });
-    let mut vm = prepared.make_vm(fp_config(w));
+    let prepared = prepare_with(w, harness_config(w));
+    let mut vm = prepared.make_vm(harness_config(w));
     if trace {
         vm.enable_tracing(8192);
     }
@@ -269,10 +231,7 @@ fn tracing_is_transparent_under_fault_injection() {
     // Tracing and the fault injector compose: with both on, the run still
     // matches the plain (untraced, uninjected) reference bit-for-bit for
     // transparent faults, and the injected faults show up as events.
-    let w = catalog(Scale::Small)
-        .into_iter()
-        .find(|w| w.name == "SalaryDB")
-        .expect("SalaryDB in catalog");
+    let w = find_workload("SalaryDB");
     let reference = observe(&run_mutated(&w, false, None));
     let cfg = FaultConfig {
         period: 1,
