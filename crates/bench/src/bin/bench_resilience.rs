@@ -1,0 +1,173 @@
+//! Resilience-governor survival bench: `BENCH_resilience.json` emitter.
+//!
+//! Two sections:
+//!
+//! * **storm** — the `storm_salarydb` scenario (SalaryDB's branch ladder
+//!   plus a no-op `grade` re-store that re-arms the mutation engine after
+//!   every deopt) under `FaultConfig::guard_failures` at period 1: every
+//!   specialized call guard-fails. Governor-off grinds through guard-fail →
+//!   deopt → TIB-flip-back on every single call; governor-on throttles,
+//!   backs off and blacklists, pinning the sites to general code. The
+//!   sites to general code. Under the `storm_config` tiering cadence the
+//!   ungoverned VM is stuck re-executing the padded level-0 baseline on
+//!   every call while the governed VM runs pinned opt2 general code, so
+//!   the same program costs over twice the modeled cycles ungoverned:
+//!   `throughput_ratio` (`clock_off / clock_on`, bit-deterministic) is the
+//!   CI gate (≥ 2x); wall-clock ops/sec is reported alongside.
+//!
+//! * **quiet** — the full Table 1 catalog with no faults injected: the
+//!   governor ships enabled, and on healthy workloads disabling it must not
+//!   move output or a single modeled cycle (`clock_match`/`output_match`
+//!   are the CI gates). Governor checks are free host-side lookups; a
+//!   governor that never fires is invisible.
+//!
+//! Usage:
+//! `cargo run --release -p dchm-bench --bin bench_resilience [--small]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dchm_bench::prepare_workload;
+use dchm_bench::runner::{best_of, mutated_vm, scale_from_args, BenchJson};
+use dchm_testutil::{attach_plan, storm_config, storm_salarydb};
+use dchm_vm::{FaultConfig, FaultInjector, Vm, VmConfig};
+use dchm_workloads::{catalog, Scale, Workload};
+
+struct StormRun {
+    ops: u64,
+    secs: f64,
+    clock: u64,
+    checksum: u64,
+    deopts: u64,
+    throttled: u64,
+    blacklisted: u64,
+}
+
+/// One timed storm run: specials exist from the first compile (the plan
+/// specializes at opt0) and every guard is forced to fail.
+fn run_storm(employees: i64, iters: i64, governor_on: bool) -> StormRun {
+    let (p, plan) = storm_salarydb(employees, iters);
+    let mut vm = attach_plan(&p, plan, storm_config());
+    vm.state.config.governor.enabled = governor_on;
+    vm.state.injector = Some(FaultInjector::new(FaultConfig {
+        period: 1,
+        ..FaultConfig::guard_failures(1)
+    }));
+    let start = Instant::now();
+    vm.run_entry().expect("storm run must not trap");
+    let secs = start.elapsed().as_secs_f64();
+    let s = vm.stats();
+    StormRun {
+        ops: s.ops_executed,
+        secs,
+        clock: vm.cycles(),
+        checksum: vm.state.output.checksum,
+        deopts: s.deopts,
+        throttled: s.specials_throttled,
+        blacklisted: s.specials_blacklisted,
+    }
+}
+
+fn storm_row(scale: Scale) -> String {
+    let (employees, iters) = match scale {
+        Scale::Small => (24, 400),
+        Scale::Full => (200, 2000),
+    };
+    // Deterministic VM, so the fastest of 5 is the best rate estimate.
+    let (off, secs_off) = best_of(5, || {
+        let r = run_storm(employees, iters, false);
+        let s = r.secs;
+        (r, s)
+    });
+    let (on, secs_on) = best_of(5, || {
+        let r = run_storm(employees, iters, true);
+        let s = r.secs;
+        (r, s)
+    });
+    let rate_off = off.ops as f64 / secs_off.max(1e-12);
+    let rate_on = on.ops as f64 / secs_on.max(1e-12);
+    // The survival metric, two ways. `throughput_ratio` is modeled — the
+    // same completed program costs `clock_off` vs `clock_on` modeled
+    // cycles, so the ratio is bit-deterministic and is what CI gates on.
+    // `wall_ratio` is the best-of-5 host-time ratio: informative on a
+    // quiet machine, too noisy to gate.
+    let ratio = off.clock as f64 / (on.clock as f64).max(1.0);
+    let wall_ratio = secs_off.max(1e-12) / secs_on.max(1e-12);
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"name\": \"storm-salarydb\", \"employees\": {employees}, \"iters\": {iters}, \
+         \"throughput_ratio\": {ratio:.3}, \"wall_ratio\": {wall_ratio:.3}, \
+         \"clock_off\": {}, \"clock_on\": {}, \
+         \"ops_per_sec_off\": {rate_off:.0}, \"ops_per_sec_on\": {rate_on:.0}, \
+         \"wall_ms_off\": {:.3}, \"wall_ms_on\": {:.3}, \"output_match\": {}, \
+         \"deopts_off\": {}, \"deopts_on\": {}, \"throttled\": {}, \"blacklisted\": {}}}",
+        off.clock,
+        on.clock,
+        secs_off * 1e3,
+        secs_on * 1e3,
+        off.checksum == on.checksum,
+        off.deopts,
+        on.deopts,
+        on.throttled,
+        on.blacklisted,
+    );
+    row
+}
+
+fn quiet_row(w: &Workload) -> String {
+    let prepared = prepare_workload(w);
+    let mut runs = Vec::new();
+    for governor_on in [true, false] {
+        let mut vm: Vm = mutated_vm(&prepared, w, true);
+        vm.state.config.governor.enabled = governor_on;
+        w.run(&mut vm).expect("quiet run must not trap");
+        runs.push((
+            vm.cycles(),
+            vm.state.output.checksum,
+            vm.stats().specials_throttled,
+        ));
+    }
+    let (clock_on, sum_on, throttled) = runs[0];
+    let (clock_off, sum_off, _) = runs[1];
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"name\": \"{}\", \"clock_on\": {clock_on}, \"clock_off\": {clock_off}, \
+         \"clock_match\": {}, \"output_match\": {}, \"throttled\": {throttled}}}",
+        w.name,
+        clock_on == clock_off,
+        sum_on == sum_off,
+    );
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+
+    let storm = storm_row(scale);
+    let quiet: Vec<String> = catalog(scale).iter().map(quiet_row).collect();
+
+    let mut doc = BenchJson::new("resilience_governor", scale, "ops_per_sec_wall_clock");
+    let cfg = VmConfig::default().governor;
+    doc.meta(
+        "governor",
+        &format!(
+            "{{\"storm_window\": {}, \"throttle_threshold\": {}, \"blacklist_threshold\": {}, \
+             \"backoff_base\": {}, \"backoff_max_exp\": {}, \"quarantine_threshold\": {}}}",
+            cfg.storm_window,
+            cfg.throttle_threshold,
+            cfg.blacklist_threshold,
+            cfg.backoff_base,
+            cfg.backoff_max_exp,
+            cfg.quarantine_threshold
+        ),
+    );
+    doc.meta("storm", &storm);
+    for q in quiet {
+        doc.row(q);
+    }
+    let json = doc.write("BENCH_resilience.json");
+    print!("{json}");
+}

@@ -318,11 +318,49 @@ impl MutationEngine {
                 .all(|&(f, v)| vm.get_field(obj, f).key_eq(v))
         });
         let target = match matched {
-            Some(p) => rt.special_tibs[p],
+            Some(p) => {
+                // Flip-in re-sync: the governor may have pinned this part's
+                // slots to general code (throttle/blacklist) or the pin's
+                // backoff may have expired — make the TIB's slot view agree
+                // with the current verdicts before any object dispatches
+                // through it.
+                self.resync_part_slots(vm, ci, p);
+                rt.special_tibs[p]
+            }
             None => vm.class_tib(class),
         };
         if vm.heap.object(obj).tib != target {
             vm.set_object_tib(obj, target);
+        }
+    }
+
+    /// Recomputes the mutable-method slots of the special TIB for instance
+    /// part `p` from the current static state and governor verdicts —
+    /// refresh_class's per-part arm, filtered by
+    /// [`VmState::special_usable`]. Writes only slots that actually change,
+    /// so a flip-in with nothing to restore stays free of cache
+    /// invalidations.
+    fn resync_part_slots(&self, vm: &mut VmState, ci: usize, p: usize) {
+        let statics_ok = self.statics_ok(vm, ci);
+        let rt = &self.rt[ci];
+        let class_tib = vm.class_tib(rt.class);
+        let tib = rt.special_tibs[p];
+        for m in &rt.methods {
+            let Some(vslot) = m.vslot else { continue };
+            let chosen = (0..rt.states.len())
+                .find(|&s| {
+                    rt.state_part[s] == p
+                        && statics_ok[s]
+                        && m.special[s].is_some_and(|cid| vm.special_usable(cid))
+                })
+                .and_then(|s| m.special[s]);
+            let slot = match chosen {
+                Some(cid) => CodeSlot::Code(cid),
+                None => vm.tib_slot(class_tib, vslot),
+            };
+            if vm.tib_slot(tib, vslot) != slot {
+                vm.set_tib_slot(tib, vslot, slot);
+            }
         }
     }
 
@@ -367,7 +405,10 @@ impl MutationEngine {
                     rt.states
                         .iter()
                         .enumerate()
-                        .find(|&(s, _)| statics_ok[s] && m.special[s].is_some())
+                        .find(|&(s, _)| {
+                            statics_ok[s]
+                                && m.special[s].is_some_and(|cid| vm.special_usable(cid))
+                        })
                         .and_then(|(s, _)| m.special[s])
                 } else {
                     None
@@ -383,7 +424,9 @@ impl MutationEngine {
                     .states
                     .iter()
                     .enumerate()
-                    .find(|&(s, _)| statics_ok[s] && m.special[s].is_some())
+                    .find(|&(s, _)| {
+                        statics_ok[s] && m.special[s].is_some_and(|cid| vm.special_usable(cid))
+                    })
                     .and_then(|(s, _)| m.special[s]);
                 let slot = match chosen {
                     Some(cid) => CodeSlot::Code(cid),
@@ -397,7 +440,9 @@ impl MutationEngine {
                 for (p, &tib) in rt.special_tibs.iter().enumerate() {
                     let chosen = (0..rt.states.len())
                         .find(|&s| {
-                            rt.state_part[s] == p && statics_ok[s] && m.special[s].is_some()
+                            rt.state_part[s] == p
+                                && statics_ok[s]
+                                && m.special[s].is_some_and(|cid| vm.special_usable(cid))
                         })
                         .and_then(|s| m.special[s]);
                     let slot = match chosen {
@@ -444,6 +489,12 @@ impl MutationEngine {
             if b.is_empty() {
                 continue;
             }
+            // Governor gate: a throttled or blacklisted (method, state)
+            // pair is not respecialized — regenerating the code that keeps
+            // deoptimizing is exactly the storm being damped.
+            if !vm.special_request_allowed(method, &b) {
+                continue;
+            }
             reqs.push(dchm_vm::CompileRequest {
                 method,
                 level,
@@ -453,7 +504,11 @@ impl MutationEngine {
         }
         let cids = vm.compile_batch(reqs);
         for (s, cid) in targets.into_iter().zip(cids) {
-            self.rt[ci].methods[mi].special[s] = Some(cid);
+            // A failed (fault-injected or quarantined) special compile
+            // installs nothing; any earlier special version stays usable.
+            if cid.is_some() {
+                self.rt[ci].methods[mi].special[s] = cid;
+            }
         }
     }
 }

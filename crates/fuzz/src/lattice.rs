@@ -15,7 +15,10 @@
 //!
 //! Forced-guard-failure injection changes which code version executes
 //! (and therefore billing), so that config carries an empty clock group:
-//! it participates in the output check only.
+//! it participates in the output check only. The same goes for disarming
+//! the resilience governor under mutation. Identically-seeded storm and
+//! compile-failure twins, by contrast, share a clock group: governor
+//! decisions themselves must be bit-deterministic.
 
 /// Host-side perturbation applied to a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +30,10 @@ pub enum Fault {
     Transparent(u64),
     /// Forced guard failures from this seed.
     GuardFail(u64),
+    /// Forced compile failures from this seed: every faulted compile
+    /// tiers the method down to its cached baseline and eventually
+    /// quarantines it. Output must not move.
+    CompileFail(u64),
 }
 
 /// One VM configuration of the lattice.
@@ -52,6 +59,13 @@ pub struct ConfigSpec {
     /// 512 MiB heap (no organic GC) instead of the tiny default that
     /// forces collections during allocation bursts.
     pub big_heap: bool,
+    /// Resilience governor (deopt-storm throttling + compile quarantine)
+    /// armed. Off is the ungoverned reference: identical output, possibly
+    /// different billing once a storm actually triggers.
+    pub governor: bool,
+    /// Frame-depth ceiling override (`None` keeps the VM default). An
+    /// unhit ceiling must be fully transparent.
+    pub max_frame_depth: Option<usize>,
     /// Configs sharing a non-empty clock group must match on the full
     /// fingerprint. Empty = compared for output only.
     pub clock_group: &'static str,
@@ -71,13 +85,15 @@ impl ConfigSpec {
             tracing: false,
             fault: Fault::None,
             big_heap: false,
+            governor: true,
+            max_frame_depth: None,
             clock_group,
             output_group: "main",
         }
     }
 }
 
-/// The full lattice, 16 configurations.
+/// The full lattice, 23 configurations.
 pub fn lattice() -> Vec<ConfigSpec> {
     // Mutation off across the tier ladder: output must be tier-invariant.
     let mut v = vec![
@@ -94,6 +110,13 @@ pub fn lattice() -> Vec<ConfigSpec> {
             adaptive: true,
             ..ConfigSpec::base("adaptive-nomut", "ad-off")
         },
+        // No mutation means no guard failures, so the governor never acts:
+        // disabling it must be invisible down to the modeled clock.
+        ConfigSpec {
+            adaptive: true,
+            governor: false,
+            ..ConfigSpec::base("adaptive-nomut-nogov", "ad-off")
+        },
     ];
 
     // Mutation on, adaptive: the cache-capacity/tracing transparency group.
@@ -108,6 +131,20 @@ pub fn lattice() -> Vec<ConfigSpec> {
     v.push(ad_on("adaptive-mut-nocache", 0, false));
     v.push(ad_on("adaptive-mut-cache1", 1, false));
     v.push(ad_on("adaptive-mut-traced", 1024, true));
+    // An unhit frame-depth ceiling is fully transparent: generated
+    // programs never recurse, so 64 frames is bottomless for them.
+    v.push(ConfigSpec {
+        max_frame_depth: Some(64),
+        ..ad_on("adaptive-mut-depth64", 1024, false)
+    });
+    // Governor disarmed under mutation: organic flip churn may legally
+    // bill differently once a real storm would have been damped, so this
+    // config participates in the output check only.
+    v.push(ConfigSpec {
+        governor: false,
+        clock_group: "",
+        ..ad_on("adaptive-mut-nogov", 1024, false)
+    });
 
     // Mutation on at pinned tiers.
     v.push(ConfigSpec {
@@ -170,6 +207,40 @@ pub fn lattice() -> Vec<ConfigSpec> {
         "",
     ));
 
+    // Governor determinism twins: identical forced-guard-fail storms must
+    // produce bit-identical throttle/blacklist decisions — the pair shares
+    // a clock group, so any nondeterminism in the governor (hash-order
+    // iteration, host-time leakage) surfaces as a full-fingerprint split.
+    // The second twin flies the recorder: tracing stays transparent even
+    // while the governor is acting.
+    v.push(big(
+        "adaptive-mut-storm1",
+        Fault::GuardFail(0x5707),
+        false,
+        "storm",
+    ));
+    v.push(big(
+        "adaptive-mut-storm2",
+        Fault::GuardFail(0x5707),
+        true,
+        "storm",
+    ));
+
+    // Compile-failure quarantine twins: every faulted compile tiers down
+    // to the cached baseline, and decisions must be bit-identical.
+    v.push(big(
+        "adaptive-mut-cfail1",
+        Fault::CompileFail(0xFA11),
+        false,
+        "cfail",
+    ));
+    v.push(big(
+        "adaptive-mut-cfail2",
+        Fault::CompileFail(0xFA11),
+        true,
+        "cfail",
+    ));
+
     v
 }
 
@@ -197,7 +268,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_groups_consistent() {
         let l = lattice();
-        assert_eq!(l.len(), 16);
+        assert_eq!(l.len(), 23);
         let names: HashSet<_> = l.iter().map(|c| c.name).collect();
         assert_eq!(names.len(), l.len());
         for c in &l {
@@ -205,8 +276,13 @@ mod tests {
             if c.output_group == "noguard" {
                 assert!(c.mutate && !c.emit_guards);
             }
-            if let Fault::Transparent(_) | Fault::GuardFail(_) = c.fault {
+            if let Fault::Transparent(_) | Fault::GuardFail(_) | Fault::CompileFail(_) = c.fault {
                 assert!(c.big_heap, "fault configs need the quiet heap");
+            }
+            if !c.governor {
+                // Ungoverned references compare against governed configs:
+                // output-only unless mutation (hence storms) is impossible.
+                assert!(!c.mutate || c.clock_group.is_empty());
             }
         }
     }

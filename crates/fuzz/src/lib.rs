@@ -156,6 +156,41 @@ pub fn corpus_specs() -> Vec<(&'static str, Spec)> {
                 iters: 80,
             },
         ),
+        // Two classes whose `work` stores out of the hot state mid-frame
+        // and straight back in: every call is a guard failure, a deopt and
+        // a re-arm. Hundreds of iterations over two independent sites is a
+        // textbook deopt storm — the resilience governor must throttle the
+        // churn without changing a single output byte, and the spec is the
+        // minimal flip loop the shrinker must preserve (see
+        // `shrink::tests`).
+        (
+            "two-class-storm",
+            Spec {
+                groups: vec![
+                    GroupSpec {
+                        fields: vec![f(1, 5)],
+                        has_interface: false,
+                        has_subclass: false,
+                        static_state: None,
+                        work_self_flip: true,
+                    },
+                    GroupSpec {
+                        fields: vec![f(2, 6)],
+                        has_interface: false,
+                        has_subclass: false,
+                        static_state: None,
+                        work_self_flip: true,
+                    },
+                ],
+                actions: vec![
+                    Action::Flip { group: 0, sub: false, field: 0, alt: false },
+                    Action::CallWork { group: 0, sub: false },
+                    Action::Flip { group: 1, sub: false, field: 0, alt: false },
+                    Action::CallWork { group: 1, sub: false },
+                ],
+                iters: 400,
+            },
+        ),
         // Static (class-TIB/JTOC) state flipping under a specialized
         // static reader, alongside instance state on the same class.
         (

@@ -34,6 +34,14 @@ pub struct FuzzObs {
     pub guard_failures: u64,
     /// Frames deoptimized onto baseline code.
     pub deopts: u64,
+    /// Deopt-storm throttle episodes started by the governor.
+    pub specials_throttled: u64,
+    /// Specials permanently blacklisted by the governor.
+    pub specials_blacklisted: u64,
+    /// Compilations that failed (all injected in this harness).
+    pub compile_failures: u64,
+    /// (method, level) pairs quarantined after repeated compile failures.
+    pub compile_quarantines: u64,
 }
 
 impl FuzzObs {
@@ -73,6 +81,10 @@ pub fn run_config(p: &dchm_bytecode::Program, plan: &MutationPlan, c: &ConfigSpe
     } else {
         cfg.sample_period = u64::MAX;
     }
+    cfg.governor.enabled = c.governor;
+    if let Some(depth) = c.max_frame_depth {
+        cfg.max_frame_depth = Some(depth);
+    }
 
     let mut vm = attach_plan(p, plan, cfg);
     if c.tracing {
@@ -89,6 +101,9 @@ pub fn run_config(p: &dchm_bytecode::Program, plan: &MutationPlan, c: &ConfigSpe
         Fault::GuardFail(seed) => {
             vm.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(seed)));
         }
+        Fault::CompileFail(seed) => {
+            vm.state.injector = Some(FaultInjector::new(FaultConfig::compile_failures(seed)));
+        }
     }
 
     let result = format!("{:?}", vm.run_entry());
@@ -100,6 +115,10 @@ pub fn run_config(p: &dchm_bytecode::Program, plan: &MutationPlan, c: &ConfigSpe
         special_tibs: s.special_tibs,
         guard_failures: s.guard_failures,
         deopts: s.deopts,
+        specials_throttled: s.specials_throttled,
+        specials_blacklisted: s.specials_blacklisted,
+        compile_failures: s.compile_failures,
+        compile_quarantines: s.compile_quarantines,
     }
 }
 

@@ -146,6 +146,36 @@ mod tests {
     }
 
     #[test]
+    fn shrinking_a_storm_preserves_the_flip_loop() {
+        // Shrink the checked-in two-class storm under "still wakes the
+        // governor": the minimizer may drop a class and the redundant
+        // explicit flips, but the storm engine itself — a self-flipping
+        // `work` driven by a call action, looped enough to trip the
+        // throttle threshold — must survive.
+        let (_, spec) = crate::corpus_specs()
+            .into_iter()
+            .find(|(n, _)| *n == "two-class-storm")
+            .expect("corpus has the storm case");
+        let cfgs = crate::lattice();
+        let gov = cfgs.iter().find(|c| c.name == "adaptive-mut").unwrap();
+        let storms = |s: &Spec| {
+            crate::compile_spec(s)
+                .map(|(p, plan)| crate::run_config(&p, &plan, gov).specials_throttled > 0)
+                .unwrap_or(false)
+        };
+        assert!(storms(&spec), "the corpus case must storm to begin with");
+        let min = shrink(&spec, &mut |s: &Spec| storms(s));
+        assert!(storms(&min));
+        assert_eq!(min.groups.len(), 1);
+        assert!(min.groups[0].work_self_flip);
+        assert!(min
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::CallWork { .. })));
+        assert!(min.iters > 1, "one lap cannot trip the throttle threshold");
+    }
+
+    #[test]
     fn fully_minimal_specs_produce_no_self_candidates() {
         let tiny = Spec {
             groups: vec![GroupSpec {

@@ -83,6 +83,33 @@ fn interface_dispatch_flip_conforms() {
 }
 
 #[test]
+fn two_class_storm_conforms() {
+    check_case("two-class-storm");
+    // The scenario must actually storm hard enough to wake the governor —
+    // and the lattice check above has already proven that throttling moved
+    // no output byte anywhere.
+    use dchm_fuzz::{lattice, run_config};
+    let (p, plan) = compile_spec(&load("two-class-storm")).unwrap();
+    let cfgs = lattice();
+    let adaptive_mut = cfgs.iter().find(|c| c.name == "adaptive-mut").unwrap();
+    assert!(adaptive_mut.governor);
+    let obs = run_config(&p, &plan, adaptive_mut);
+    assert!(obs.guard_failures > 0, "storm never failed a guard: {obs:?}");
+    assert!(obs.specials_throttled > 0, "governor never throttled: {obs:?}");
+    // The ungoverned reference rides the full storm: strictly more deopts,
+    // same output (checked by `check_case` via the output group).
+    let nogov = cfgs.iter().find(|c| c.name == "adaptive-mut-nogov").unwrap();
+    let raw = run_config(&p, &plan, nogov);
+    assert_eq!(raw.specials_throttled, 0);
+    assert!(
+        raw.deopts > obs.deopts,
+        "governor did not damp the storm: off {} vs on {}",
+        raw.deopts,
+        obs.deopts
+    );
+}
+
+#[test]
 fn static_state_flip_conforms() {
     check_case("static-state-flip");
 }

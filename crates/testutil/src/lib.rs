@@ -14,9 +14,9 @@
 //! sense compare equal here — output text, checksum, the modeled clock and
 //! its execution/GC split, and the op count.
 
-use dchm_bytecode::Program;
+use dchm_bytecode::{CmpOp, ElemKind, MethodSig, Program, ProgramBuilder, Ty, Value};
 use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
-use dchm_core::{MutationEngine, MutationPlan, OlcReport};
+use dchm_core::{HotState, MutableClass, MutationEngine, MutationPlan, OlcReport};
 use dchm_vm::{Vm, VmConfig};
 use dchm_workloads::{catalog, Scale, Workload};
 
@@ -124,6 +124,188 @@ pub fn run_with_plan(p: &Program, plan: MutationPlan, cfg: VmConfig) -> Vm {
     let mut vm = attach_plan(p, plan, cfg);
     vm.run_entry().expect("run must not trap");
     vm
+}
+
+/// The deopt-storm scenario of the resilience suites: SalaryDB's Fig. 2
+/// shape (a 4-way `grade` branch ladder in `raise()`) with one hostile
+/// twist — `raise()` re-stores `grade` with its own current value on every
+/// call. The store is semantically a no-op, but it re-arms the mutation
+/// engine: after a (forced) guard failure deoptimizes the frame and resets
+/// the object's TIB, the store's patch point flips the object straight back
+/// onto its special TIB, so under `FaultConfig::guard_failures` at period 1
+/// every single `raise()` call deopts — a sustained storm the resilience
+/// governor must damp and an ungoverned VM grinds through forever.
+///
+/// `raise()` also carries a block of dead integer arithmetic: pure ops
+/// whose results are never used, which `dce` removes at opt1+ but the
+/// level-0 baseline executes in full. That is the storm's price under
+/// tiering — every deoptimized call finishes in padded baseline code,
+/// while a site the governor pins to general code runs the slim optimized
+/// version (once the adaptive system has promoted `raise`; see
+/// [`storm_config`]). Under a sustained storm the ungoverned VM is stuck
+/// at the baseline tier forever.
+///
+/// Returns the program plus a hand-written plan (grades 0–3 as the four hot
+/// states of `raise`, specialization at opt0, guards on) so the scenario
+/// needs no profiling run and is bit-reproducible.
+pub fn storm_salarydb(employees: i64, iters: i64) -> (Program, MutationPlan) {
+    let mut pb = ProgramBuilder::new();
+    let sal = pb.class("SalaryEmployee").build();
+    let grade = pb.instance_field(sal, "grade", Ty::Int);
+    let salary = pb.instance_field(sal, "salary", Ty::Double);
+
+    let mut m = pb.ctor(sal, vec![Ty::Int]);
+    let this = m.this();
+    let g = m.param(0);
+    m.put_field(this, grade, g);
+    m.ret(None);
+    m.build();
+
+    // raise(): the paper's branch ladder, then the hostile self-store.
+    let mut m = pb.method(sal, "raise", MethodSig::void());
+    let this = m.this();
+    let g = m.reg();
+    m.get_field(g, this, grade);
+    let s = m.reg();
+    m.get_field(s, this, salary);
+    let l1 = m.label();
+    let l2 = m.label();
+    let l3 = m.label();
+    let done = m.label();
+    m.br_icmp_imm(CmpOp::Ne, g, 0, l1);
+    let k = m.imm_d(1.0);
+    m.dadd(s, s, k);
+    m.jmp(done);
+    m.bind(l1);
+    m.br_icmp_imm(CmpOp::Ne, g, 1, l2);
+    let k = m.imm_d(2.0);
+    m.dadd(s, s, k);
+    m.jmp(done);
+    m.bind(l2);
+    m.br_icmp_imm(CmpOp::Ne, g, 2, l3);
+    let k = m.imm_d(1.01);
+    m.dmul(s, s, k);
+    m.jmp(done);
+    m.bind(l3);
+    let k = m.imm_d(1.02);
+    m.dmul(s, s, k);
+    m.bind(done);
+    // Dead pure arithmetic: 40 multiplies whose results are never used.
+    // `dce` strips the whole chain at opt1+, the baseline executes it —
+    // the modeled (and host) cost of being deoptimized to the slow tier.
+    let three = m.imm(3);
+    let mut pad = m.reg();
+    m.imul(pad, three, three);
+    for _ in 0..39 {
+        let next = m.reg();
+        m.imul(next, pad, three);
+        pad = next;
+    }
+    m.put_field(this, salary, s);
+    // The no-op state re-store that keeps the storm alive.
+    m.put_field(this, grade, g);
+    m.ret(None);
+    let raise = m.build();
+
+    let mut m = pb.static_method(sal, "main", MethodSig::void());
+    let n = m.imm(employees);
+    let arr = m.reg();
+    m.new_arr(arr, ElemKind::Ref, n);
+    let i = m.reg();
+    m.const_i(i, 0);
+    let fill_head = m.label();
+    let fill_done = m.label();
+    m.bind(fill_head);
+    m.br_icmp(CmpOp::Ge, i, n, fill_done);
+    let four = m.imm(4);
+    let g = m.reg();
+    m.irem(g, i, four);
+    let o = m.reg();
+    m.new_obj(o, sal);
+    m.call_ctor(o, sal, vec![g]);
+    m.astore(arr, i, o);
+    m.iadd_imm(i, i, 1);
+    m.jmp(fill_head);
+    m.bind(fill_done);
+
+    let it = m.reg();
+    m.const_i(it, 0);
+    let ohead = m.label();
+    let odone = m.label();
+    m.bind(ohead);
+    let lim = m.imm(iters);
+    m.br_icmp(CmpOp::Ge, it, lim, odone);
+    let j = m.reg();
+    m.const_i(j, 0);
+    let ihead = m.label();
+    let idone = m.label();
+    m.bind(ihead);
+    m.br_icmp(CmpOp::Ge, j, n, idone);
+    let o = m.reg();
+    m.aload(o, arr, j);
+    m.call_virtual(None, o, "raise", vec![]);
+    m.iadd_imm(j, j, 1);
+    m.jmp(ihead);
+    m.bind(idone);
+    m.iadd_imm(it, it, 1);
+    m.jmp(ohead);
+    m.bind(odone);
+
+    let j = m.reg();
+    m.const_i(j, 0);
+    let shead = m.label();
+    let sdone = m.label();
+    m.bind(shead);
+    m.br_icmp(CmpOp::Ge, j, n, sdone);
+    let o = m.reg();
+    m.aload(o, arr, j);
+    let sv = m.reg();
+    m.get_field(sv, o, salary);
+    m.sink_double(sv);
+    m.iadd_imm(j, j, 1);
+    m.jmp(shead);
+    m.bind(sdone);
+    m.ret(None);
+    let main = m.build();
+    pb.set_entry(main);
+    let program = pb.finish().expect("storm SalaryDB verifies");
+
+    let plan = MutationPlan {
+        classes: vec![MutableClass {
+            class: sal,
+            instance_state_fields: vec![grade],
+            static_state_fields: vec![],
+            hot_states: (0..4)
+                .map(|v| HotState {
+                    instance_values: vec![(grade, Value::Int(v))],
+                    static_values: vec![],
+                    frequency: 0.25,
+                })
+                .collect(),
+            mutable_methods: vec![raise],
+            field_scores: vec![],
+        }],
+        // Specialize at opt0 so special code exists from the first compile
+        // — the storm needs no adaptive warm-up.
+        mutation_level: 0,
+        k: 0,
+        emit_guards: true,
+    };
+    (program, plan)
+}
+
+/// The storm-bench VM cadence: sampling aggressive enough that `raise` is
+/// promoted to opt2 within the first few percent of a [`storm_salarydb`]
+/// run. The storm's tier gap (padded baseline vs slim opt2 general code)
+/// only opens once the method is promoted; before that, both the governed
+/// and ungoverned runs storm between identical level-0 versions.
+pub fn storm_config() -> VmConfig {
+    VmConfig {
+        sample_period: 2_000,
+        opt1_samples: 2,
+        opt2_samples: 4,
+        ..Default::default()
+    }
 }
 
 /// Renders the tail of a traced run's event stream — the post-mortem

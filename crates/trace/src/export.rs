@@ -103,6 +103,21 @@ fn args(ev: &TraceEvent) -> Value {
             ("code", int(code as u64)),
             ("level", int(level as u64)),
         ]),
+        TraceEvent::SpecialThrottled { method, episode, until_cycle } => obj(vec![
+            ("method", id(method)),
+            ("episode", int(episode as u64)),
+            ("until_cycle", int(until_cycle)),
+        ]),
+        TraceEvent::SpecialBlacklisted { method, fails } => obj(vec![
+            ("method", id(method)),
+            ("fails", int(fails)),
+        ]),
+        TraceEvent::CompileQuarantine { method, level, fails, until_cycle } => obj(vec![
+            ("method", id(method)),
+            ("level", int(level as u64)),
+            ("fails", int(fails as u64)),
+            ("until_cycle", int(until_cycle)),
+        ]),
     }
 }
 

@@ -59,6 +59,12 @@ pub enum FaultKind {
     Recompile,
     /// A state guard forced to fail despite the state holding.
     ForcedGuardFail,
+    /// An injected opt/special compilation failure (tier-down path).
+    CompileFail,
+    /// An injected out-of-memory at an allocation despite free heap.
+    OomAtAlloc,
+    /// An injected panic at an interpreter operation (containment path).
+    PanicAtOp,
 }
 
 /// One mutation-lifecycle event. All payloads are raw `u32`/`u64` ids
@@ -213,6 +219,38 @@ pub enum TraceEvent {
         /// Optimization level of the evicted version.
         level: u32,
     },
+    /// The resilience governor throttled respecialization of a
+    /// (method, special-state) site after a deopt storm: the site is
+    /// pinned to general code until the backoff deadline passes.
+    SpecialThrottled {
+        /// Method whose special version was throttled.
+        method: u32,
+        /// Throttle episode count for this site (drives the exponential
+        /// backoff: episode N backs off `base << (N-1)` cycles, capped).
+        episode: u32,
+        /// Modeled cycle at which respecialization may resume.
+        until_cycle: u64,
+    },
+    /// The governor blacklisted a (method, special-state) site for good:
+    /// lifetime guard-failure churn crossed the blacklist threshold.
+    SpecialBlacklisted {
+        /// Method whose special version was blacklisted.
+        method: u32,
+        /// Lifetime guard failures the site accumulated.
+        fails: u64,
+    },
+    /// The governor quarantined a (method, opt-level) compile pair after
+    /// repeated compilation failures; retries resume at the deadline.
+    CompileQuarantine {
+        /// Method whose compilation keeps failing.
+        method: u32,
+        /// Requested optimization level.
+        level: u32,
+        /// Failures accumulated for the pair.
+        fails: u32,
+        /// Modeled cycle at which a retry is allowed.
+        until_cycle: u64,
+    },
 }
 
 impl TraceEvent {
@@ -234,6 +272,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::CodeCacheHit { .. } => "CodeCacheHit",
             TraceEvent::CodeCacheEvict { .. } => "CodeCacheEvict",
+            TraceEvent::SpecialThrottled { .. } => "SpecialThrottled",
+            TraceEvent::SpecialBlacklisted { .. } => "SpecialBlacklisted",
+            TraceEvent::CompileQuarantine { .. } => "CompileQuarantine",
         }
     }
 
@@ -252,6 +293,9 @@ impl TraceEvent {
             TraceEvent::GcStart { .. } | TraceEvent::GcEnd { .. } => "gc",
             TraceEvent::Sample { .. } => "adaptive",
             TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::SpecialThrottled { .. }
+            | TraceEvent::SpecialBlacklisted { .. }
+            | TraceEvent::CompileQuarantine { .. } => "governor",
         }
     }
 
@@ -268,7 +312,10 @@ impl TraceEvent {
             | TraceEvent::Sample { method, .. }
             | TraceEvent::FaultInjected { method, .. }
             | TraceEvent::CodeCacheHit { method, .. }
-            | TraceEvent::CodeCacheEvict { method, .. } => {
+            | TraceEvent::CodeCacheEvict { method, .. }
+            | TraceEvent::SpecialThrottled { method, .. }
+            | TraceEvent::SpecialBlacklisted { method, .. }
+            | TraceEvent::CompileQuarantine { method, .. } => {
                 (method != NO_ID).then_some(method)
             }
             _ => None,

@@ -136,6 +136,16 @@ impl CodeCache {
         self.map.clear();
     }
 
+    /// Drops every entry for `(method, level)` regardless of binding
+    /// fingerprint — the quarantine hook: once the governor quarantines a
+    /// compile pair, versions cached before the failing environment change
+    /// must not be served as stale hits. Returns how many entries dropped.
+    pub fn invalidate_method(&mut self, method: u32, level: u8) -> usize {
+        let before = self.map.len();
+        self.map.retain(|&(m, l, _), _| m != method || l != level);
+        before - self.map.len()
+    }
+
     /// Flushes when `env_fp` differs from the environment the entries were
     /// produced under; returns true if a non-empty cache was dropped.
     fn sync_env(&mut self, env_fp: u64) -> bool {
@@ -298,6 +308,22 @@ mod tests {
         c.insert(1, 0, 0, 9, CompiledId(1), 10);
         assert!(c.insert(1, 0, 0, 9, CompiledId(1), 10).is_none());
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_method_drops_only_that_pair() {
+        let mut c = CodeCache::new(8);
+        c.insert(1, 2, 77, 5, CompiledId(10), 100);
+        c.insert(1, 2, 78, 5, CompiledId(11), 100);
+        c.insert(1, 1, 77, 5, CompiledId(12), 100);
+        c.insert(2, 2, 77, 5, CompiledId(13), 100);
+        assert_eq!(c.invalidate_method(1, 2), 2);
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c.probe(1, 2, 77, 5), Probe::Miss { .. }));
+        assert!(matches!(c.probe(1, 2, 78, 5), Probe::Miss { .. }));
+        assert!(matches!(c.probe(1, 1, 77, 5), Probe::Hit { .. }));
+        assert!(matches!(c.probe(2, 2, 77, 5), Probe::Hit { .. }));
+        assert_eq!(c.invalidate_method(1, 2), 0);
     }
 
     #[test]

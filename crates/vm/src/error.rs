@@ -62,6 +62,18 @@ pub enum RunError {
         /// Human-readable description of the broken invariant.
         what: String,
     },
+    /// A call would exceed [`crate::state::VmConfig::max_frame_depth`]
+    /// (the model of `StackOverflowError`).
+    StackOverflow {
+        /// Depth the call would have reached.
+        depth: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The VM was poisoned by an earlier contained panic
+    /// ([`RunError::VmInvariant`]); its heap and code state are suspect,
+    /// so further runs refuse to execute.
+    Poisoned,
 }
 
 impl fmt::Display for RunError {
@@ -88,6 +100,12 @@ impl fmt::Display for RunError {
             }
             RunError::TypeConfusion { what } => write!(f, "type confusion: {what}"),
             RunError::VmInvariant { what } => write!(f, "vm invariant violated: {what}"),
+            RunError::StackOverflow { depth, limit } => {
+                write!(f, "stack overflow: depth {depth} exceeds limit {limit}")
+            }
+            RunError::Poisoned => {
+                write!(f, "vm poisoned by an earlier contained panic; refusing to run")
+            }
         }
     }
 }
@@ -107,5 +125,9 @@ mod tests {
             heap: 1024,
         };
         assert!(format!("{e}").contains("64"));
+        let e = RunError::StackOverflow { depth: 65, limit: 64 };
+        let text = format!("{e}");
+        assert!(text.contains("65") && text.contains("64"));
+        assert!(format!("{}", RunError::Poisoned).contains("poisoned"));
     }
 }

@@ -122,6 +122,14 @@ pub struct FaultConfig {
     /// Force state guards in specialized code to fail (deoptimize) even
     /// though the object is still in its hot state.
     pub force_guard_fail: bool,
+    /// Fail opt-level and special compilations (level-0 baseline compiles
+    /// are exempt so a tier-down target always exists).
+    pub compile_fails: bool,
+    /// Report out-of-memory at allocation points despite free heap.
+    pub oom_at_alloc: bool,
+    /// Panic at allocation points — exercises the `Vm::run` containment
+    /// boundary (typed `VmInvariant` + poisoned VM).
+    pub panic_at_op: bool,
     /// Mean events between injections: each eligible event injects with
     /// probability `1/period`. `0` disables the injector entirely.
     pub period: u64,
@@ -137,6 +145,9 @@ impl FaultConfig {
             ic_bumps: true,
             recompiles: true,
             force_guard_fail: false,
+            compile_fails: false,
+            oom_at_alloc: false,
+            panic_at_op: false,
             period: 24,
         }
     }
@@ -149,7 +160,25 @@ impl FaultConfig {
             ic_bumps: false,
             recompiles: false,
             force_guard_fail: true,
+            compile_fails: false,
+            oom_at_alloc: false,
+            panic_at_op: false,
             period: 4,
+        }
+    }
+
+    /// Only compile failures, at the given seed.
+    pub fn compile_failures(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            gc_at_alloc: false,
+            ic_bumps: false,
+            recompiles: false,
+            force_guard_fail: false,
+            compile_fails: true,
+            oom_at_alloc: false,
+            panic_at_op: false,
+            period: 2,
         }
     }
 }
@@ -163,6 +192,10 @@ pub enum Fault {
     IcBump,
     /// Recompile the currently-running method at its current level.
     Recompile,
+    /// Report out-of-memory despite free heap.
+    Oom,
+    /// Panic at the allocation point (containment-boundary exercise).
+    Panic,
 }
 
 /// Deterministic, seed-driven fault injector (splitmix64 PRNG). The VM
@@ -181,6 +214,12 @@ pub struct FaultInjector {
     pub recompiles: u64,
     /// Number of guards forced to fail.
     pub forced_guard_fails: u64,
+    /// Number of compilations forced to fail.
+    pub compile_fails: u64,
+    /// Number of out-of-memory faults injected.
+    pub ooms: u64,
+    /// Number of panics injected.
+    pub panics: u64,
 }
 
 impl FaultInjector {
@@ -193,6 +232,9 @@ impl FaultInjector {
             ic_bumps: 0,
             recompiles: 0,
             forced_guard_fails: 0,
+            compile_fails: 0,
+            ooms: 0,
+            panics: 0,
         }
     }
 
@@ -211,7 +253,7 @@ impl FaultInjector {
 
     /// Draws at an allocation point; returns the fault to inject, if any.
     pub fn at_alloc(&mut self) -> Option<Fault> {
-        let mut kinds = [Fault::Gc; 3];
+        let mut kinds = [Fault::Gc; 5];
         let mut n = 0usize;
         if self.cfg.gc_at_alloc {
             kinds[n] = Fault::Gc;
@@ -223,6 +265,14 @@ impl FaultInjector {
         }
         if self.cfg.recompiles {
             kinds[n] = Fault::Recompile;
+            n += 1;
+        }
+        if self.cfg.oom_at_alloc {
+            kinds[n] = Fault::Oom;
+            n += 1;
+        }
+        if self.cfg.panic_at_op {
+            kinds[n] = Fault::Panic;
             n += 1;
         }
         if n == 0 || self.cfg.period == 0 {
@@ -237,6 +287,8 @@ impl FaultInjector {
             Fault::Gc => self.gcs += 1,
             Fault::IcBump => self.ic_bumps += 1,
             Fault::Recompile => self.recompiles += 1,
+            Fault::Oom => self.ooms += 1,
+            Fault::Panic => self.panics += 1,
         }
         Some(fault)
     }
@@ -251,6 +303,21 @@ impl FaultInjector {
             self.forced_guard_fails += 1;
         }
         forced
+    }
+
+    /// Draws at an opt-level or special compilation; true forces the
+    /// compile to fail. Level-0 baseline compiles never consult this, so
+    /// a tier-down target always exists. The draw only happens when
+    /// compile failures are enabled, preserving other configs' sequences.
+    pub fn at_compile(&mut self) -> bool {
+        if !self.cfg.compile_fails || self.cfg.period == 0 {
+            return false;
+        }
+        let failed = self.next_u64().is_multiple_of(self.cfg.period);
+        if failed {
+            self.compile_fails += 1;
+        }
+        failed
     }
 }
 

@@ -34,6 +34,7 @@ use dchm_ir::cost::CostModel;
 use dchm_trace::{FaultKind, Stamped, TraceEvent, NO_ID};
 use dchm_ir::Term;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 /// Extra cycles for an IMT conflict stub search (Sec. 3.2.3).
@@ -126,19 +127,34 @@ impl Vm {
 
     /// Calls a static method from the host with `args`.
     ///
+    /// This is the VM's hard containment boundary: any panic escaping the
+    /// evaluator (or code it calls into) is caught and converted into a
+    /// typed [`RunError::VmInvariant`], with the VM *poisoned* — its heap
+    /// and code state are suspect, so every later call returns
+    /// [`RunError::Poisoned`] instead of executing on corrupt state.
+    ///
     /// # Errors
-    /// Propagates any trap raised during execution.
+    /// Propagates any trap raised during execution;
+    /// [`RunError::Poisoned`] when an earlier run was contained.
     ///
     /// # Panics
     /// Panics if called re-entrantly (frames not empty) or if `mid` is not
     /// a static method.
     pub fn call_static(&mut self, mid: MethodId, args: &[Value]) -> Result<Option<Value>, RunError> {
+        if self.state.poisoned {
+            return Err(RunError::Poisoned);
+        }
         assert!(self.state.frames.is_empty(), "re-entrant call_static");
         assert_eq!(
             self.state.program.method(mid).kind,
             MethodKind::Static,
             "call_static target must be static"
         );
+        if let Some(limit) = self.state.config.max_frame_depth {
+            if limit == 0 {
+                return Err(RunError::StackOverflow { depth: 1, limit });
+            }
+        }
         let cid = self.state.ensure_compiled(mid);
         self.drain_events();
         let nregs = self.state.code[cid.index()].func.num_regs as usize;
@@ -154,7 +170,20 @@ impl Vm {
             op: 0,
             ret_dst: None,
         });
-        self.run_loop()
+        match catch_unwind(AssertUnwindSafe(|| self.run_loop())) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.state.poisoned = true;
+                self.state.frames.clear();
+                self.state.reg_stack.clear();
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic with non-string payload".to_string());
+                Err(RunError::VmInvariant { what: format!("contained panic: {what}") })
+            }
+        }
     }
 
     // -----------------------------------------------------------------
@@ -361,7 +390,7 @@ impl Vm {
                                 },
                             };
                             self.write_back(bi, oi);
-                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base);
+                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base)?;
                             continue 'frames;
                         }
                         Op::CallInterface {
@@ -396,7 +425,7 @@ impl Vm {
                                 },
                             };
                             self.write_back(bi, oi);
-                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base);
+                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base)?;
                             continue 'frames;
                         }
                         Op::CallSpecial {
@@ -429,7 +458,7 @@ impl Vm {
                                     }
                                 };
                             self.write_back(bi, oi);
-                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base);
+                            self.push_call(target, tcid, Some(Value::Ref(recv)), args, *dst, base)?;
                             continue 'frames;
                         }
                         Op::CallStatic {
@@ -448,7 +477,7 @@ impl Vm {
                                 }
                             };
                             self.write_back(bi, oi);
-                            self.push_call(*m, tcid, None, args, *dst, base);
+                            self.push_call(*m, tcid, None, args, *dst, base)?;
                             continue 'frames;
                         }
                         Op::InstanceOf { dst, obj, class } => {
@@ -618,6 +647,7 @@ impl Vm {
                                         },
                                     );
                                 }
+                                self.state.governor_on_guard_fail(cid);
                                 self.deoptimize(*guard, *live_prefix, recv)?;
                                 continue 'frames;
                             }
@@ -1030,6 +1060,13 @@ impl Vm {
     /// Pushes a callee frame: extends the pooled register stack by the
     /// callee's window and copies receiver + arguments from the caller's
     /// window (`caller_base`).
+    ///
+    /// # Errors
+    /// [`RunError::StackOverflow`] when pushing would exceed
+    /// [`crate::VmConfig::max_frame_depth`]. The check runs before any
+    /// mutation, so a refused push leaves the frame and register stacks
+    /// exactly as they were (and charges no cycles — runs that stay under
+    /// the limit are bit-identical with the limit on or off).
     #[inline]
     fn push_call(
         &mut self,
@@ -1039,7 +1076,15 @@ impl Vm {
         args: &[Reg],
         dst: Option<Reg>,
         caller_base: usize,
-    ) {
+    ) -> Result<(), RunError> {
+        if let Some(limit) = self.state.config.max_frame_depth {
+            if self.state.frames.len() >= limit {
+                return Err(RunError::StackOverflow {
+                    depth: self.state.frames.len() + 1,
+                    limit,
+                });
+            }
+        }
         let nregs = self.state.code[cid.index()].func.num_regs as usize;
         let new_base = self.state.reg_stack.len();
         // Incoming values are pushed first, then the remaining locals are
@@ -1064,6 +1109,7 @@ impl Vm {
             op: 0,
             ret_dst: dst,
         });
+        Ok(())
     }
 }
 

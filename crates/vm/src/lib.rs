@@ -55,6 +55,7 @@
 pub mod codecache;
 pub mod compiler;
 pub mod error;
+pub mod governor;
 pub mod heap;
 pub mod hooks;
 pub mod interp;
@@ -65,6 +66,7 @@ pub mod tib;
 pub use codecache::{binding_fingerprint, CodeCache, Evicted, Probe};
 pub use compiler::{CompileEnv, DeoptInfo, DeoptPoint};
 pub use error::RunError;
+pub use governor::{Governor, GovernorConfig, GuardFailVerdict};
 pub use heap::{Heap, HeapStats};
 pub use hooks::{
     CompilerHints, Fault, FaultConfig, FaultInjector, MutationHandler, NoopHandler, OlcInfo,

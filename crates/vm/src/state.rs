@@ -5,6 +5,7 @@
 use crate::codecache::{binding_fingerprint, CodeCache, Probe};
 use crate::compiler;
 use crate::error::RunError;
+use crate::governor::{Governor, GovernorConfig, GuardFailVerdict};
 use crate::heap::Heap;
 use crate::hooks::{CompilerHints, Fault, FaultInjector, PatchSpec};
 use crate::stats::VmStats;
@@ -178,6 +179,16 @@ pub struct CompiledMethod {
     pub meta: Rc<CodeMeta>,
     /// Modeled machine-code size in bytes.
     pub size_bytes: usize,
+    /// Canonical fingerprint of the state bindings this code was compiled
+    /// under ([`binding_fingerprint`]; the `None` fingerprint for general
+    /// code). Keys the resilience governor's per-(method, state) storm
+    /// counters.
+    pub binding_fp: u64,
+    /// Governor verdict cache: this code may not be (re)installed before
+    /// this modeled cycle (`u64::MAX` = blacklisted). Written only when a
+    /// throttle/blacklist verdict lands, so the hot flip-in path checks a
+    /// plain clock compare instead of probing the governor's site table.
+    pub blocked_until: u64,
     /// Deopt side table: present only on guarded specialized versions,
     /// mapping each planted guard id to the baseline resume point.
     pub deopt: Option<Rc<compiler::DeoptInfo>>,
@@ -218,6 +229,15 @@ pub struct VmConfig {
     /// observables are the same at any capacity; only host-side compile
     /// wall time changes.
     pub code_cache_capacity: usize,
+    /// Resilience-governor thresholds (deopt-storm throttling, compile
+    /// quarantine). Read per decision, so it can be toggled after VM
+    /// construction.
+    pub governor: GovernorConfig,
+    /// Maximum activation-stack depth; a call that would exceed it traps
+    /// with [`RunError::StackOverflow`]. `None` disables the check. The
+    /// check is host-side only (no modeled cycles), so any limit the
+    /// program stays under is cycle-transparent.
+    pub max_frame_depth: Option<usize>,
 }
 
 impl Default for VmConfig {
@@ -234,6 +254,8 @@ impl Default for VmConfig {
             fuel: None,
             accelerated_methods: HashSet::new(),
             code_cache_capacity: 1024,
+            governor: GovernorConfig::default(),
+            max_frame_depth: Some(1 << 20),
         }
     }
 }
@@ -391,6 +413,12 @@ pub struct VmState {
     /// *Not* modeled time — benchmarks read it to measure what the code
     /// cache and batched compilation actually save on the host.
     pub compile_wall_nanos: u64,
+    /// Resilience-governor state (storm sites, compile quarantines). Pure
+    /// host-side bookkeeping; see [`crate::governor`].
+    pub governor: Governor,
+    /// Set when a contained panic left the VM state suspect; further runs
+    /// return [`RunError::Poisoned`] instead of executing.
+    pub poisoned: bool,
 }
 
 /// One deferred compilation request for [`VmState::compile_batch`].
@@ -532,6 +560,8 @@ impl VmState {
             code_cache,
             lift_cache: LiftCache::new(),
             compile_wall_nanos: 0,
+            governor: Governor::default(),
+            poisoned: false,
         }
     }
 
@@ -570,10 +600,31 @@ impl VmState {
 
     /// Compiles general code for `mid` at `level`, installs it into the
     /// JTOC/class TIBs and subclass TIBs, and queues the recompilation
-    /// event for the mutation handler.
+    /// event for the mutation handler. A compile failure (injected or
+    /// quarantined) is not fatal: the method tiers down — see
+    /// [`Self::tier_down`].
     pub fn recompile(&mut self, mid: MethodId, level: u8) -> CompiledId {
-        let cid = self.compile_internal(mid, level, None);
-        self.finish_recompile(mid, level, cid);
+        match self.compile_internal(mid, level, None) {
+            Some(cid) => {
+                self.finish_recompile(mid, level, cid);
+                cid
+            }
+            None => self.tier_down(mid),
+        }
+    }
+
+    /// Fallback after a failed general compile: keep running the current
+    /// general code when one exists (a failed *promotion* changes nothing),
+    /// else compile the always-succeeding level-0 baseline so the method
+    /// has code at all.
+    fn tier_down(&mut self, mid: MethodId) -> CompiledId {
+        if let Some(cur) = self.general_code[mid.index()] {
+            return cur;
+        }
+        let cid = self
+            .compile_internal(mid, 0, None)
+            .expect("level-0 compiles never fail");
+        self.finish_recompile(mid, 0, cid);
         cid
     }
 
@@ -605,14 +656,23 @@ impl VmState {
 
     /// Compiles a *special* (state-specialized) version of `mid` at `level`
     /// under `bindings`. The caller (mutation engine) installs it where it
-    /// belongs. Counts toward special code size and compile time.
+    /// belongs. Counts toward special code size and compile time. `None`
+    /// when the compile failed or the pair is quarantined — the caller
+    /// keeps using general code.
     pub fn compile_special(
         &mut self,
         mid: MethodId,
         level: u8,
         bindings: &Bindings,
-    ) -> CompiledId {
+    ) -> Option<CompiledId> {
         self.compile_internal(mid, level, Some(bindings))
+    }
+
+    /// True when `(method, level)` is fallible at all: level-0 baseline
+    /// compiles are exempt from injection and quarantine so a tier-down
+    /// target always exists.
+    fn compile_fallible(level: u8, special: bool) -> bool {
+        level >= 1 || special
     }
 
     fn compile_internal(
@@ -620,8 +680,20 @@ impl VmState {
         mid: MethodId,
         level: u8,
         bindings: Option<&Bindings>,
-    ) -> CompiledId {
+    ) -> Option<CompiledId> {
         let special = bindings.is_some();
+        if Self::compile_fallible(level, special) {
+            if !self.compile_allowed(mid, level) {
+                return None;
+            }
+            // The failure draw happens *before* the cache probe so the draw
+            // sequence is one-per-attempt regardless of cache contents —
+            // the cache's capacity-transparency contract survives.
+            if self.injector.as_mut().is_some_and(FaultInjector::at_compile) {
+                self.record_compile_failure(mid, level);
+                return None;
+            }
+        }
         let env_fp = compiler::CompileEnv::of(self).fingerprint();
         let binding_fp = binding_fingerprint(bindings);
         match self.code_cache.probe(mid.0, level, binding_fp, env_fp) {
@@ -631,7 +703,7 @@ impl VmState {
             } => {
                 self.stats.code_cache_hits += 1;
                 self.replay_cached(mid, level, special, cid, compile_cycles);
-                return cid;
+                return Some(cid);
             }
             Probe::Miss { invalidated } => {
                 if invalidated {
@@ -645,9 +717,46 @@ impl VmState {
         let outcome = self.run_compiler(mid, level, bindings, env_fp);
         self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
         let cost = outcome.compile_cycles;
-        let cid = self.install_outcome(mid, level, special, outcome);
+        let cid = self.install_outcome(mid, level, special, binding_fp, outcome);
         self.cache_insert((mid.0, level, binding_fp), env_fp, cid, cost, false);
-        cid
+        Some(cid)
+    }
+
+    /// Bookkeeping for one failed compile: stats, trace, governor update
+    /// and — at the quarantine threshold — dropping any cached versions of
+    /// the pair so they cannot be served as stale hits. Nothing is billed:
+    /// a failed compile produced no code and charges no modeled cycles.
+    fn record_compile_failure(&mut self, mid: MethodId, level: u8) {
+        self.stats.compile_failures += 1;
+        if self.tracer.on() {
+            self.tracer.emit(
+                self.clock,
+                TraceEvent::FaultInjected { kind: FaultKind::CompileFail, method: mid.0 },
+            );
+        }
+        let gcfg = self.config.governor;
+        if let Some((fails, until)) = self.governor.on_compile_failure(&gcfg, mid.0, level, self.clock)
+        {
+            self.stats.compile_quarantines += 1;
+            self.code_cache.invalidate_method(mid.0, level);
+            if self.tracer.on() {
+                self.tracer.emit(
+                    self.clock,
+                    TraceEvent::CompileQuarantine {
+                        method: mid.0,
+                        level: level as u32,
+                        fails,
+                        until_cycle: until,
+                    },
+                );
+            }
+        }
+    }
+
+    /// True when the governor permits compiling `(mid, level)` right now.
+    pub fn compile_allowed(&self, mid: MethodId, level: u8) -> bool {
+        self.governor
+            .compile_allowed(&self.config.governor, mid.0, level, self.clock)
     }
 
     /// Runs the compiler pipeline for one request, sharing the memoized
@@ -713,6 +822,7 @@ impl VmState {
         mid: MethodId,
         level: u8,
         special: bool,
+        binding_fp: u64,
         outcome: compiler::CompileOutcome,
     ) -> CompiledId {
         let cid = CompiledId(self.code.len() as u32);
@@ -726,6 +836,8 @@ impl VmState {
             func,
             meta,
             size_bytes: outcome.size_bytes,
+            binding_fp,
+            blocked_until: 0,
             deopt: outcome.deopt.map(Rc::new),
         });
         cid
@@ -738,12 +850,13 @@ impl VmState {
         mid: MethodId,
         level: u8,
         special: bool,
+        binding_fp: u64,
         outcome: compiler::CompileOutcome,
     ) -> CompiledId {
         let size = outcome.size_bytes;
         let cost = outcome.compile_cycles;
         self.bill_compile(special, level, size, cost);
-        let cid = self.push_code(mid, level, special, outcome);
+        let cid = self.push_code(mid, level, special, binding_fp, outcome);
         if special && self.tracer.on() {
             self.tracer.emit(
                 self.clock,
@@ -834,15 +947,18 @@ impl VmState {
     /// worker threads. Billing, statistics, installation and trace stamps
     /// happen serially in request order, so every modeled observable is
     /// bit-identical to issuing the requests one by one; only host wall
-    /// time changes. Returns one [`CompiledId`] per request, in order.
-    pub fn compile_batch(&mut self, reqs: Vec<CompileRequest>) -> Vec<CompiledId> {
+    /// time changes. Returns one result per request, in order; `None`
+    /// marks a failed or quarantined compile (the caller keeps whatever
+    /// code it had).
+    pub fn compile_batch(&mut self, reqs: Vec<CompileRequest>) -> Vec<Option<CompiledId>> {
         self.compile_batch_impl(reqs, false)
     }
 
     /// Batched [`Self::recompile`]: compiles every `(method, level)` pair
     /// (pipelines parallelized on worker threads), then installs and
     /// bills serially in request order — the same interleaving the serial
-    /// recompile loop produces.
+    /// recompile loop produces. Failed compiles tier down like
+    /// [`Self::recompile`], so every request yields code.
     pub fn recompile_batch(&mut self, reqs: &[(MethodId, u8)]) -> Vec<CompiledId> {
         let reqs = reqs
             .iter()
@@ -853,9 +969,16 @@ impl VmState {
             })
             .collect();
         self.compile_batch_impl(reqs, true)
+            .into_iter()
+            .map(|c| c.expect("recompile batch tiers down on failure"))
+            .collect()
     }
 
-    fn compile_batch_impl(&mut self, reqs: Vec<CompileRequest>, install: bool) -> Vec<CompiledId> {
+    fn compile_batch_impl(
+        &mut self,
+        reqs: Vec<CompileRequest>,
+        install: bool,
+    ) -> Vec<Option<CompiledId>> {
         /// Phase-A resolution of one request.
         enum Slot {
             /// Cached: replay in phase C.
@@ -871,6 +994,9 @@ impl VmState {
             /// Same key as an earlier job in this batch: re-probe in phase
             /// C, after the twin's insert — exactly what a serial loop sees.
             DupOf { binding_fp: u64 },
+            /// Quarantined or injected-to-fail: no compile, result `None`
+            /// (or a tier-down when installing).
+            Fail,
         }
 
         if reqs.is_empty() {
@@ -880,11 +1006,24 @@ impl VmState {
         // none of the compiler inputs the fingerprint covers.
         let env_fp = compiler::CompileEnv::of(self).fingerprint();
 
-        // Phase A — serial cache probes in request order.
+        // Phase A — serial quarantine gates, failure draws and cache probes
+        // in request order (the injector draw sequence and governor updates
+        // must match what a serial loop would produce).
         let mut slots = Vec::with_capacity(reqs.len());
         let mut jobs: Vec<usize> = Vec::new();
         let mut pending: HashSet<(u32, u8, u64)> = HashSet::new();
         for (i, r) in reqs.iter().enumerate() {
+            if Self::compile_fallible(r.level, r.bindings.is_some()) {
+                if !self.compile_allowed(r.method, r.level) {
+                    slots.push(Slot::Fail);
+                    continue;
+                }
+                if self.injector.as_mut().is_some_and(FaultInjector::at_compile) {
+                    self.record_compile_failure(r.method, r.level);
+                    slots.push(Slot::Fail);
+                    continue;
+                }
+            }
             let binding_fp = binding_fingerprint(r.bindings.as_ref());
             if pending.contains(&(r.method.0, r.level, binding_fp)) {
                 slots.push(Slot::DupOf { binding_fp });
@@ -981,6 +1120,13 @@ impl VmState {
         for (i, r) in reqs.iter().enumerate() {
             let special = r.bindings.is_some();
             let cid = match slots[i] {
+                Slot::Fail => {
+                    // A failed install request still needs code: tier down
+                    // exactly like the serial recompile path (which also
+                    // skips the recompilation event for kept code).
+                    cids.push(if install { Some(self.tier_down(r.method)) } else { None });
+                    continue;
+                }
                 Slot::Hit { cid, cost } => {
                     self.stats.code_cache_hits += 1;
                     self.replay_cached(r.method, r.level, special, cid, cost);
@@ -1000,7 +1146,8 @@ impl VmState {
                         self.stats.code_cache_misses += 1;
                     }
                     let cost = outcome.compile_cycles;
-                    let cid = self.install_outcome(r.method, r.level, special, outcome);
+                    let cid =
+                        self.install_outcome(r.method, r.level, special, binding_fp, outcome);
                     if use_cache {
                         self.cache_insert((r.method.0, r.level, binding_fp), env_fp, cid, cost, false);
                     }
@@ -1026,7 +1173,8 @@ impl VmState {
                                 self.run_compiler(r.method, r.level, r.bindings.as_ref(), env_fp);
                             self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
                             let cost = outcome.compile_cycles;
-                            let cid = self.install_outcome(r.method, r.level, special, outcome);
+                            let cid = self
+                                .install_outcome(r.method, r.level, special, binding_fp, outcome);
                             self.cache_insert(
                                 (r.method.0, r.level, binding_fp),
                                 env_fp,
@@ -1042,7 +1190,7 @@ impl VmState {
             if install {
                 self.finish_recompile(r.method, r.level, cid);
             }
-            cids.push(cid);
+            cids.push(Some(cid));
         }
         cids
     }
@@ -1064,6 +1212,7 @@ impl VmState {
             _ => {
                 self.stats.deopt_baseline_compiles += 1;
                 self.compile_internal(mid, 0, None)
+                    .expect("level-0 compiles never fail")
             }
         };
         self.deopt_baseline[mid.index()] = Some(cid);
@@ -1229,6 +1378,108 @@ impl VmState {
     }
 
     // ---------------------------------------------------------------
+    // Resilience governor (deopt-storm throttling)
+    // ---------------------------------------------------------------
+
+    /// Governor bookkeeping after a guard failure in compiled code `cid`,
+    /// called by the interpreter before deoptimizing. Only special code
+    /// participates; the storm counter is keyed per (method, state
+    /// fingerprint). A throttle or blacklist verdict pins the site to
+    /// general code. Pure host-side policy: charges no modeled cycles, so
+    /// it is clock-transparent until a verdict actually changes installed
+    /// code.
+    pub(crate) fn governor_on_guard_fail(&mut self, cid: CompiledId) {
+        let cm = &self.code[cid.index()];
+        if !cm.special {
+            return;
+        }
+        let (mid, fp) = (cm.method, cm.binding_fp);
+        let gcfg = self.config.governor;
+        if !gcfg.enabled {
+            return;
+        }
+        match self.governor.on_guard_fail(&gcfg, mid.0, fp, self.clock) {
+            GuardFailVerdict::None => {}
+            GuardFailVerdict::Throttle { episode, until } => {
+                self.stats.specials_throttled += 1;
+                self.code[cid.index()].blocked_until = until;
+                if self.tracer.on() {
+                    self.tracer.emit(
+                        self.clock,
+                        TraceEvent::SpecialThrottled {
+                            method: mid.0,
+                            episode,
+                            until_cycle: until,
+                        },
+                    );
+                }
+                self.pin_special(cid);
+            }
+            GuardFailVerdict::Blacklist { total_fails } => {
+                self.stats.specials_blacklisted += 1;
+                self.code[cid.index()].blocked_until = u64::MAX;
+                if self.tracer.on() {
+                    self.tracer.emit(
+                        self.clock,
+                        TraceEvent::SpecialBlacklisted { method: mid.0, fails: total_fails },
+                    );
+                }
+                self.pin_special(cid);
+            }
+        }
+    }
+
+    /// Pins every dispatch site currently routed at special code `bad`
+    /// back to general code: special-TIB method slots revert to the class
+    /// TIB's entry and a matching static override is cleared. Frames
+    /// already executing `bad` are untouched (they deoptimize on their own
+    /// guards); this only stops *new* dispatches from entering the storm.
+    fn pin_special(&mut self, bad: CompiledId) {
+        let mut changed = false;
+        for ti in 0..self.tibs.len() {
+            if matches!(self.tibs[ti].kind, TibKind::Class) {
+                continue;
+            }
+            let class_tib = self.class_tibs[self.tibs[ti].class.index()].index();
+            for v in 0..self.tibs[ti].methods.len() {
+                if self.tibs[ti].methods[v] == CodeSlot::Code(bad) {
+                    let general = self.tibs[class_tib].methods[v];
+                    if self.tibs[ti].methods[v] != general {
+                        self.tibs[ti].methods[v] = general;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mid = self.code[bad.index()].method;
+        if self.static_override[mid.index()] == Some(bad) {
+            self.static_override[mid.index()] = None;
+            changed = true;
+        }
+        if changed {
+            self.invalidate_inline_caches();
+        }
+    }
+
+    /// True when the governor permits special code `cid` to be installed
+    /// or re-entered right now (not throttled, not blacklisted). General
+    /// code is always usable. This runs on every instance-store flip-in,
+    /// so it reads the verdict cached on the code record (one clock
+    /// compare) rather than probing the governor's site table.
+    pub fn special_usable(&self, cid: CompiledId) -> bool {
+        self.code[cid.index()].blocked_until <= self.clock
+    }
+
+    /// True when the governor permits compiling/installing a special of
+    /// `mid` under `bindings` right now — the pre-compile twin of
+    /// [`Self::special_usable`], used before any code exists.
+    pub fn special_request_allowed(&self, mid: MethodId, bindings: &Bindings) -> bool {
+        let fp = binding_fingerprint(Some(bindings));
+        self.governor
+            .special_allowed(&self.config.governor, mid.0, fp, self.clock)
+    }
+
+    // ---------------------------------------------------------------
     // Inline caches & dispatch helpers
     // ---------------------------------------------------------------
 
@@ -1334,7 +1585,7 @@ impl VmState {
     pub fn alloc_object(&mut self, class: ClassId) -> Result<ObjRef, RunError> {
         let fields = self.field_templates[class.index()].clone();
         let bytes = 16 + 8 * fields.len();
-        self.maybe_inject_at_alloc();
+        self.maybe_inject_at_alloc(bytes)?;
         self.maybe_gc(bytes);
         self.charge_alloc(bytes);
         let tib = self.class_tibs[class.index()];
@@ -1351,7 +1602,7 @@ impl VmState {
         len: i64,
     ) -> Result<ObjRef, RunError> {
         let bytes = 16 + 8 * len.max(0) as usize;
-        self.maybe_inject_at_alloc();
+        self.maybe_inject_at_alloc(bytes)?;
         self.maybe_gc(bytes);
         self.charge_alloc(bytes);
         self.heap.alloc_array(kind, len)
@@ -1422,17 +1673,25 @@ impl VmState {
     ///
     /// This is what lets the differential harness assert bit-identical
     /// output *and* modeled cycles with injection on vs. off.
-    fn maybe_inject_at_alloc(&mut self) {
+    ///
+    /// The `Oom` and `Panic` kinds are the exception to cycle transparency:
+    /// they abort the current run by design (a typed trap, respectively a
+    /// host panic the `Vm::run` containment boundary converts into
+    /// [`RunError::VmInvariant`]). Their contract is same-seed bit-identity,
+    /// not transparency.
+    fn maybe_inject_at_alloc(&mut self, requested: usize) -> Result<(), RunError> {
         let fault = match self.injector.as_mut() {
             Some(inj) => inj.at_alloc(),
-            None => return,
+            None => return Ok(()),
         };
-        let Some(fault) = fault else { return };
+        let Some(fault) = fault else { return Ok(()) };
         if self.tracer.on() {
             let kind = match fault {
                 Fault::Gc => FaultKind::Gc,
                 Fault::IcBump => FaultKind::IcBump,
                 Fault::Recompile => FaultKind::Recompile,
+                Fault::Oom => FaultKind::OomAtAlloc,
+                Fault::Panic => FaultKind::PanicAtOp,
             };
             let method = self.frames.last().map_or(NO_ID, |f| f.method.0);
             self.tracer.emit(self.clock, TraceEvent::FaultInjected { kind, method });
@@ -1444,16 +1703,24 @@ impl VmState {
             }
             Fault::IcBump => self.invalidate_inline_caches(),
             Fault::Recompile => {
-                let Some(fr) = self.frames.last() else { return };
+                let Some(fr) = self.frames.last() else { return Ok(()) };
                 let mid = fr.method;
                 let Some(g) = self.general_code[mid.index()] else {
-                    return;
+                    return Ok(());
                 };
                 let level = self.compiled(g).level;
                 let cid = self.compile_silent(mid, level);
                 self.install_general(mid, cid);
             }
+            Fault::Oom => {
+                return Err(RunError::OutOfMemory {
+                    requested,
+                    heap: self.config.heap_bytes,
+                });
+            }
+            Fault::Panic => panic!("injected panic at allocation point"),
         }
+        Ok(())
     }
 
     /// Compiles general code for `mid` at `level` without billing cycles or
@@ -1474,7 +1741,7 @@ impl VmState {
         let outcome = self.run_compiler(mid, level, None, env_fp);
         self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
         let cost = outcome.compile_cycles;
-        let cid = self.push_code(mid, level, false, outcome);
+        let cid = self.push_code(mid, level, false, binding_fp, outcome);
         self.cache_insert((mid.0, level, binding_fp), env_fp, cid, cost, true);
         cid
     }

@@ -105,6 +105,18 @@ pub struct VmStats {
     /// Whole-cache flushes caused by compiler-environment changes (plan
     /// installs, guard-config or inlining-config changes).
     pub code_cache_invalidations: u64,
+    /// Specials throttled by the resilience governor (deopt-storm backoff
+    /// episodes started).
+    pub specials_throttled: u64,
+    /// Specials permanently blacklisted by the governor after repeated
+    /// storm episodes.
+    pub specials_blacklisted: u64,
+    /// Injected or organic compilation failures observed (the compile was
+    /// abandoned and tiered down; nothing was cached).
+    pub compile_failures: u64,
+    /// `(method, level)` pairs quarantined by the governor after repeated
+    /// compile failures.
+    pub compile_quarantines: u64,
     /// Per-method profiles, indexed by [`MethodId`].
     pub per_method: Vec<MethodProfile>,
 }
@@ -152,10 +164,10 @@ impl VmStats {
 }
 
 impl fmt::Display for VmStats {
-    /// A stable seven-row summary table (the bench bins' standard dump):
+    /// A stable eight-row summary table (the bench bins' standard dump):
     /// cycles, ops, compiles, TIB/mutation work, inline caches, the
-    /// compiled-code cache, guards. Layout and field order are part of the
-    /// output contract — scripts may grep it.
+    /// compiled-code cache, guards, the resilience governor. Layout and
+    /// field order are part of the output contract — scripts may grep it.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total_cycles();
         let pct = |part: u64| {
@@ -215,13 +227,21 @@ impl fmt::Display for VmStats {
             self.code_cache_evictions,
             self.code_cache_invalidations
         )?;
-        write!(
+        writeln!(
             f,
             "guards    executed {}  failed {}  deopts {}  baseline compiles {}",
             self.guards_executed,
             self.guard_failures,
             self.deopts,
             self.deopt_baseline_compiles
+        )?;
+        write!(
+            f,
+            "governor  throttled {}  blacklisted {}  compile failures {}  quarantines {}",
+            self.specials_throttled,
+            self.specials_blacklisted,
+            self.compile_failures,
+            self.compile_quarantines
         )
     }
 }
@@ -269,7 +289,8 @@ mod tests {
         assert!(text.contains("flips 3"));
         assert!(text.contains("codecache hits 0  misses 0  evictions 0  invalidations 0"));
         assert!(text.contains("guards    executed 0"));
-        assert_eq!(text.lines().count(), 7);
+        assert!(text.contains("governor  throttled 0  blacklisted 0  compile failures 0  quarantines 0"));
+        assert_eq!(text.lines().count(), 8);
 
         let p = MethodProfile { invocations: 4, level: Some(2), ..Default::default() };
         let line = p.to_string();
