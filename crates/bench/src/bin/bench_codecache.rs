@@ -17,10 +17,16 @@
 //! eviction counters and the lift-cache (hash-consed baseline IR) counters.
 //!
 //! Usage:
-//! `cargo run --release -p dchm-bench --bin bench_codecache [--small] [--rounds N]`
+//! `cargo run --release -p dchm-bench --bin bench_codecache [--small] [--rounds N]
+//!  [--profile <dir>]`
+//!
+//! `--profile <dir>` re-runs the cache-on churn scenario per workload and
+//! writes `<dir>/<name>.codecache.folded` + `.census.json` — where the
+//! reinstall churn actually spends its cycles, per (method × tier × state).
 
 use std::fmt::Write as _;
 
+use dchm_bench::artifacts::{profile_dir_flag, write_profile_artifacts};
 use dchm_bench::measured_config;
 use dchm_bench::runner::{flag_value, scale_from_args, BenchJson};
 use dchm_core::MutationEngine;
@@ -40,8 +46,9 @@ struct ChurnRun {
     lift_consed: u64,
 }
 
-/// `rounds` rounds of (reinstall plan → run workload) on one VM.
-fn churn(w: &Workload, capacity: usize, rounds: u32) -> ChurnRun {
+/// `rounds` rounds of (reinstall plan → run workload) on one VM; the
+/// finished VM, for stats extraction or artifact export.
+fn churn_vm(w: &Workload, capacity: usize, rounds: u32) -> Vm {
     let prepared = dchm_bench::prepare_workload(w);
     let mut cfg = measured_config(w);
     cfg.code_cache_capacity = capacity;
@@ -51,6 +58,11 @@ fn churn(w: &Workload, capacity: usize, rounds: u32) -> ChurnRun {
         engine.install_online(&mut vm);
         w.run(&mut vm).expect("churn round must not trap");
     }
+    vm
+}
+
+fn churn(w: &Workload, capacity: usize, rounds: u32) -> ChurnRun {
+    let vm = churn_vm(w, capacity, rounds);
     let s = vm.stats();
     ChurnRun {
         clock: vm.cycles(),
@@ -131,4 +143,13 @@ fn main() {
     let json = doc.write("BENCH_codecache.json");
     print!("{json}");
     eprintln!("wrote BENCH_codecache.json");
+
+    if let Some(dir) = profile_dir_flag(&args) {
+        for w in catalog(scale) {
+            let vm = churn_vm(&w, dchm_vm::VmConfig::default().code_cache_capacity, rounds);
+            let name = format!("{}.codecache", w.name);
+            let (f, c) = write_profile_artifacts(&dir, &name, &vm).expect("write artifacts");
+            eprintln!("profiled {}: {} + {}", w.name, f.display(), c.display());
+        }
+    }
 }

@@ -21,11 +21,15 @@
 //! `--trace <dir>` re-runs each workload's forced-failure configuration
 //! with the event tracer on and writes `<dir>/<name>.deopt.trace.json` +
 //! metrics — the `GuardFail`/`Deopt`/`BaselineResume` stream behind the
-//! numbers in `BENCH_deopt.json`.
+//! numbers in `BENCH_deopt.json`. `--profile <dir>` writes the matching
+//! attribution artifacts (`<name>.deopt.folded` + `.census.json`) for the
+//! same forced-failure run.
 
 use std::fmt::Write as _;
 
-use dchm_bench::artifacts::{trace_dir_flag, write_trace_artifacts};
+use dchm_bench::artifacts::{
+    profile_dir_flag, trace_dir_flag, write_profile_artifacts, write_trace_artifacts,
+};
 use dchm_bench::prepare_workload;
 use dchm_bench::runner::{mutated_vm, scale_from_args, BenchJson};
 use dchm_vm::{FaultConfig, FaultInjector};
@@ -114,6 +118,20 @@ fn main() {
     if let Some(dir) = trace_dir {
         for w in catalog(scale) {
             trace_forced(&w, &dir);
+        }
+    }
+
+    if let Some(dir) = profile_dir_flag(&args) {
+        // Forced-failure run again, attribution on: which methods the deopt
+        // storm pins back to baseline/general code.
+        for w in catalog(scale) {
+            let prepared = prepare_workload(&w);
+            let mut vm = mutated_vm(&prepared, &w, true);
+            vm.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(1)));
+            w.run(&mut vm).expect("forced-failure run must not trap");
+            let name = format!("{}.deopt", w.name);
+            let (f, c) = write_profile_artifacts(&dir, &name, &vm).expect("write artifacts");
+            eprintln!("profiled {}: {} + {}", w.name, f.display(), c.display());
         }
     }
 }

@@ -22,11 +22,16 @@
 //!   governor that never fires is invisible.
 //!
 //! Usage:
-//! `cargo run --release -p dchm-bench --bin bench_resilience [--small]`
+//! `cargo run --release -p dchm-bench --bin bench_resilience [--small] [--profile <dir>]`
+//!
+//! `--profile <dir>` re-runs the governed storm and writes
+//! `<dir>/storm-salarydb.folded` + `.census.json` — where the throttled VM
+//! spends its cycles once the governor pins the failing sites.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dchm_bench::artifacts::{profile_dir_flag, write_profile_artifacts};
 use dchm_bench::prepare_workload;
 use dchm_bench::runner::{best_of, mutated_vm, scale_from_args, BenchJson};
 use dchm_testutil::{attach_plan, storm_config, storm_salarydb};
@@ -43,9 +48,9 @@ struct StormRun {
     blacklisted: u64,
 }
 
-/// One timed storm run: specials exist from the first compile (the plan
+/// A fresh storm VM: specials exist from the first compile (the plan
 /// specializes at opt0) and every guard is forced to fail.
-fn run_storm(employees: i64, iters: i64, governor_on: bool) -> StormRun {
+fn storm_vm(employees: i64, iters: i64, governor_on: bool) -> Vm {
     let (p, plan) = storm_salarydb(employees, iters);
     let mut vm = attach_plan(&p, plan, storm_config());
     vm.state.config.governor.enabled = governor_on;
@@ -53,6 +58,12 @@ fn run_storm(employees: i64, iters: i64, governor_on: bool) -> StormRun {
         period: 1,
         ..FaultConfig::guard_failures(1)
     }));
+    vm
+}
+
+/// One timed storm run.
+fn run_storm(employees: i64, iters: i64, governor_on: bool) -> StormRun {
+    let mut vm = storm_vm(employees, iters, governor_on);
     let start = Instant::now();
     vm.run_entry().expect("storm run must not trap");
     let secs = start.elapsed().as_secs_f64();
@@ -170,4 +181,16 @@ fn main() {
     }
     let json = doc.write("BENCH_resilience.json");
     print!("{json}");
+
+    if let Some(dir) = profile_dir_flag(&args) {
+        let (employees, iters) = match scale {
+            Scale::Small => (24, 400),
+            Scale::Full => (200, 2000),
+        };
+        let mut vm = storm_vm(employees, iters, true);
+        vm.run_entry().expect("storm run must not trap");
+        let (f, c) =
+            write_profile_artifacts(&dir, "storm-salarydb", &vm).expect("write artifacts");
+        eprintln!("profiled storm-salarydb: {} + {}", f.display(), c.display());
+    }
 }

@@ -11,12 +11,17 @@
 //!
 //! Usage:
 //! ```text
-//! bench_trace [--small] [--workload <name>|all] [--out <dir>] [--overhead-check <pct>]
+//! bench_trace [--small] [--workload <name>|all] [--out <dir>] [--profile <dir>]
+//!             [--overhead-check <pct>]
 //! ```
+//!
+//! `--profile <dir>` additionally writes the attribution artifacts for each
+//! emitted workload: `<name>.folded` (cycle-sampling profiler stacks) and
+//! `<name>.census.json` (end-of-run heap & state census).
 
 use std::time::Instant;
 
-use dchm_bench::artifacts::write_trace_artifacts;
+use dchm_bench::artifacts::{profile_dir_flag, write_profile_artifacts, write_trace_artifacts};
 use dchm_bench::runner::{flag_value, scale_from_args};
 use dchm_bench::{measured_config, prepare_workload};
 use dchm_vm::Vm;
@@ -37,10 +42,14 @@ fn run_mutated(w: &Workload, trace: bool) -> (Vm, f64) {
     (vm, start.elapsed().as_secs_f64())
 }
 
-fn emit(w: &Workload, out: &std::path::Path) {
+fn emit(w: &Workload, out: &std::path::Path, profile: Option<&std::path::Path>) {
     let (vm, _) = run_mutated(w, true);
     let (trace_path, metrics_path) =
         write_trace_artifacts(out, w.name, &vm).expect("write artifacts");
+    if let Some(dir) = profile {
+        let (f, c) = write_profile_artifacts(dir, w.name, &vm).expect("write profile artifacts");
+        println!("wrote {} and {}", f.display(), c.display());
+    }
     let events = vm.trace_events();
     println!("== {} ==", w.name);
     println!("{}", vm.stats());
@@ -128,7 +137,8 @@ fn main() {
         return;
     }
 
+    let profile_dir = profile_dir_flag(&args);
     for w in &workloads {
-        emit(w, &out);
+        emit(w, &out, profile_dir.as_deref());
     }
 }

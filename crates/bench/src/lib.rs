@@ -272,6 +272,41 @@ pub mod artifacts {
             .and_then(|i| args.get(i + 1))
             .map(PathBuf::from)
     }
+
+    /// Writes `<dir>/<name>.folded` (Brendan-Gregg folded stacks from the
+    /// cycle-attribution profiler; feed to `flamegraph.pl` or speedscope)
+    /// and `<dir>/<name>.census.json` (`{"workload", "census"}` with the
+    /// end-of-run heap & state census) from a finished run. Returns the two
+    /// paths.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors creating `dir` or writing the files.
+    pub fn write_profile_artifacts(
+        dir: &Path,
+        name: &str,
+        vm: &Vm,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let folded_path = dir.join(format!("{name}.folded"));
+        std::fs::write(&folded_path, vm.profile_folded())?;
+
+        let doc = Value::Object(vec![
+            ("workload".to_string(), Value::Str(name.to_string())),
+            ("census".to_string(), vm.state.census().to_json_value()),
+        ]);
+        let census_path = dir.join(format!("{name}.census.json"));
+        let json = serde_json::to_string_pretty(&doc).expect("Value serialization is infallible");
+        std::fs::write(&census_path, json)?;
+        Ok((folded_path, census_path))
+    }
+
+    /// Parses a `--profile <dir>` flag pair out of a raw argument list.
+    pub fn profile_dir_flag(args: &[String]) -> Option<PathBuf> {
+        args.iter()
+            .position(|a| a == "--profile")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    }
 }
 
 /// Table 1 rows: name, classes, methods.

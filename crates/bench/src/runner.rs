@@ -66,13 +66,26 @@ pub struct BenchJson {
     rows: Vec<String>,
 }
 
+/// Version of the unified `BENCH_*.json` schema shared by every emitter.
+/// Bump when a header field changes meaning; `dchm-inspect` and the
+/// committed-artifact test key on it.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
 impl BenchJson {
-    /// Starts a document with the standard header fields.
+    /// Starts a document with the standard header fields: schema version,
+    /// benchmark identity and the machine the numbers were taken on.
     pub fn new(benchmark: &str, scale: Scale, unit: &str) -> Self {
         let mut head = String::from("{\n");
+        let _ = writeln!(head, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
         let _ = writeln!(head, "  \"benchmark\": \"{benchmark}\",");
         let _ = writeln!(head, "  \"scale\": \"{scale:?}\",");
         let _ = writeln!(head, "  \"unit\": \"{unit}\",");
+        let _ = writeln!(
+            head,
+            "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\"}},",
+            std::env::consts::OS,
+            std::env::consts::ARCH
+        );
         BenchJson { head, rows: Vec::new() }
     }
 
@@ -147,10 +160,62 @@ mod tests {
         doc.row("{\"name\": \"a\"}".to_string());
         doc.row("{\"name\": \"b\"}".to_string());
         let json = doc.finish();
+        assert!(json.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
         assert!(json.contains("\"benchmark\": \"demo\""));
         assert!(json.contains("\"scale\": \"Small\""));
+        assert!(json.contains("\"machine\": {\"os\": "));
         assert!(json.contains("\"seed\": 7"));
         assert!(json.contains("{\"name\": \"a\"},\n"));
         assert!(json.ends_with("  ]\n}\n"));
+        // The hand-rolled document must parse as JSON.
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(matches!(v, serde::Value::Object(_)));
+    }
+
+    /// Every committed `BENCH_*.json` at the repo root must carry the
+    /// unified schema: version, benchmark/scale/unit, machine fields and a
+    /// non-empty workloads array.
+    #[test]
+    fn committed_bench_files_match_schema() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(&root).expect("repo root") {
+            let path = entry.expect("dir entry").path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                continue;
+            };
+            if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("readable BENCH file");
+            let doc: serde::Value =
+                serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let field = |k: &str| {
+                serde::helpers::field(&doc, k)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+                    .clone()
+            };
+            assert_eq!(
+                field("schema_version"),
+                serde::Value::Int(BENCH_SCHEMA_VERSION as i64),
+                "{name}: schema_version"
+            );
+            for k in ["benchmark", "scale", "unit"] {
+                assert!(matches!(field(k), serde::Value::Str(_)), "{name}: {k}");
+            }
+            let machine = field("machine");
+            for k in ["os", "arch"] {
+                assert!(
+                    matches!(serde::helpers::field(&machine, k), Ok(&serde::Value::Str(_))),
+                    "{name}: machine.{k}"
+                );
+            }
+            match field("workloads") {
+                serde::Value::Array(rows) => assert!(!rows.is_empty(), "{name}: empty workloads"),
+                other => panic!("{name}: workloads is {other:?}"),
+            }
+            checked += 1;
+        }
+        assert!(checked >= 4, "expected >=4 committed BENCH files, found {checked}");
     }
 }

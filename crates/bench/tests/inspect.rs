@@ -1,0 +1,121 @@
+//! End-to-end tests for the `dchm-inspect` CLI: artifact round-trip
+//! (report + Prometheus export over real SalaryDB artifacts) and the diff
+//! regression gate (zero delta on identical profiles, non-zero exit on an
+//! injected regression fixture).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use dchm_bench::artifacts::{write_profile_artifacts, write_trace_artifacts};
+use dchm_bench::{measured_config, prepare_workload};
+use dchm_workloads::{salarydb, Scale};
+
+fn inspect() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dchm-inspect"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dchm-inspect-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// One traced+profiled mutated SalaryDB run, artifacts written to `dir`.
+fn emit_salarydb(dir: &std::path::Path) {
+    let w = salarydb::build(Scale::Small);
+    let prepared = prepare_workload(&w);
+    let mut vm = prepared.make_vm(measured_config(&w));
+    vm.enable_tracing(16 * 1024);
+    w.run(&mut vm).expect("run");
+    write_trace_artifacts(dir, w.name, &vm).expect("trace artifacts");
+    write_profile_artifacts(dir, w.name, &vm).expect("profile artifacts");
+}
+
+#[test]
+fn report_and_export_read_real_artifacts() {
+    let dir = scratch("report");
+    emit_salarydb(&dir);
+
+    let out = inspect()
+        .args(["report", "--dir", dir.to_str().unwrap(), "--workload", "SalaryDB"])
+        .output()
+        .expect("run dchm-inspect");
+    assert!(out.status.success(), "report failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== SalaryDB =="));
+    assert!(text.contains("cycles"), "missing cycle breakdown:\n{text}");
+    assert!(text.contains("profile"), "missing profile section:\n{text}");
+    assert!(text.contains("census"), "missing census section:\n{text}");
+
+    let out = inspect()
+        .args([
+            "export",
+            "--prometheus",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--workload",
+            "SalaryDB",
+        ])
+        .output()
+        .expect("run dchm-inspect");
+    assert!(out.status.success(), "export failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "dchm_vm_exec_cycles ",
+        "dchm_vm_tib_flips ",
+        "dchm_census_live_objects ",
+        "dchm_profile_samples_total ",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // Every exposition line is `name value` or `name{labels} value` or a
+    // comment — no stray JSON.
+    for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        assert!(
+            line.rsplit_once(' ').is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+            "malformed exposition line: {line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_is_zero_on_identical_profiles_and_gates_regressions() {
+    let dir = scratch("diff");
+    let a = dir.join("a.folded");
+    let b = dir.join("b.folded");
+    let base = "Main::main#o0;Acct::work#s2 40\nMain::main#o0 10\n";
+    std::fs::write(&a, base).unwrap();
+    std::fs::write(&b, base).unwrap();
+
+    // Identical profiles: zero delta, exit 0.
+    let out = inspect()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run dchm-inspect");
+    assert!(out.status.success(), "identical diff must exit 0: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("zero per-cell delta"), "got:\n{text}");
+
+    // Injected regression: one cell's samples inflated past the threshold.
+    let regressed = "Main::main#o0;Acct::work#s2 80\nMain::main#o0 10\n";
+    std::fs::write(&b, regressed).unwrap();
+    let out = inspect()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap(), "--threshold", "10"])
+        .output()
+        .expect("run dchm-inspect");
+    assert_eq!(out.status.code(), Some(2), "regression must exit 2: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSED"), "got:\n{text}");
+
+    // A shrinking cell is an improvement, not a regression.
+    let improved = "Main::main#o0;Acct::work#s2 20\nMain::main#o0 10\n";
+    std::fs::write(&b, improved).unwrap();
+    let out = inspect()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run dchm-inspect");
+    assert!(out.status.success(), "improvement must exit 0: {out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

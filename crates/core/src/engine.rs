@@ -200,6 +200,9 @@ impl MutationEngine {
         for (f, info) in &self.olc.infos {
             vm.hints.olc.insert(*f, info.clone());
         }
+        // Baseline census at plan install: attribution tooling diffs later
+        // snapshots against this one to see what mutation changed.
+        vm.trace_census();
     }
 
     /// The plan this engine runs.
@@ -269,6 +272,9 @@ impl MutationEngine {
 
         // Adopt objects allocated before the plan existed.
         self.adopt_objects(&mut vm.state);
+        // Post-adoption census: captures how many pre-existing objects the
+        // online install moved into special states.
+        vm.state.trace_census();
         vm.set_handler(Box::new(self));
     }
 

@@ -54,6 +54,9 @@ pub struct ConfigSpec {
     pub cache_capacity: usize,
     /// Fly the flight recorder.
     pub tracing: bool,
+    /// Arm the cycle-attribution profiler (fast period). Like tracing, a
+    /// transparent observer: it shares the reference's clock group.
+    pub profile: bool,
     /// Fault injection.
     pub fault: Fault,
     /// 512 MiB heap (no organic GC) instead of the tiny default that
@@ -83,6 +86,7 @@ impl ConfigSpec {
             emit_guards: true,
             cache_capacity: 0,
             tracing: false,
+            profile: false,
             fault: Fault::None,
             big_heap: false,
             governor: true,
@@ -93,7 +97,7 @@ impl ConfigSpec {
     }
 }
 
-/// The full lattice, 23 configurations.
+/// The full lattice, 24 configurations.
 pub fn lattice() -> Vec<ConfigSpec> {
     // Mutation off across the tier ladder: output must be tier-invariant.
     let mut v = vec![
@@ -131,6 +135,12 @@ pub fn lattice() -> Vec<ConfigSpec> {
     v.push(ad_on("adaptive-mut-nocache", 0, false));
     v.push(ad_on("adaptive-mut-cache1", 1, false));
     v.push(ad_on("adaptive-mut-traced", 1024, true));
+    // The attribution profiler is a transparent observer like the tracer:
+    // same clock group, full-fingerprint identity required.
+    v.push(ConfigSpec {
+        profile: true,
+        ..ad_on("adaptive-mut-profiled", 1024, false)
+    });
     // An unhit frame-depth ceiling is fully transparent: generated
     // programs never recurse, so 64 frames is bottomless for them.
     v.push(ConfigSpec {
@@ -268,7 +278,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_groups_consistent() {
         let l = lattice();
-        assert_eq!(l.len(), 23);
+        assert_eq!(l.len(), 24);
         let names: HashSet<_> = l.iter().map(|c| c.name).collect();
         assert_eq!(names.len(), l.len());
         for c in &l {

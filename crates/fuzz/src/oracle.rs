@@ -82,6 +82,9 @@ pub fn run_config(p: &dchm_bytecode::Program, plan: &MutationPlan, c: &ConfigSpe
         cfg.sample_period = u64::MAX;
     }
     cfg.governor.enabled = c.governor;
+    // Explicit either way: the default config arms the profiler, and the
+    // lattice wants exactly one profiled member per comparison, not all.
+    cfg.profile_period = if c.profile { 2_500 } else { 0 };
     if let Some(depth) = c.max_frame_depth {
         cfg.max_frame_depth = Some(depth);
     }

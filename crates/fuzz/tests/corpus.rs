@@ -113,3 +113,39 @@ fn two_class_storm_conforms() {
 fn static_state_flip_conforms() {
     check_case("static-state-flip");
 }
+
+/// Every corpus case replayed with the cycle-attribution profiler armed:
+/// output and modeled clock must match the unprofiled reference
+/// bit-for-bit, and the busy cases must actually collect samples. (The
+/// lattice's `adaptive-mut-profiled` member checks the same property
+/// against the whole comparison group; this is the direct pairwise form.)
+#[test]
+fn corpus_replay_with_profiling_is_transparent() {
+    use dchm_testutil::{attach_plan, observe};
+    use dchm_vm::VmConfig;
+
+    let mut sampled_anywhere = false;
+    for (name, _) in corpus_specs() {
+        let (p, plan) = compile_spec(&load(name)).unwrap();
+        let run = |period: u64| {
+            let cfg = VmConfig {
+                profile_period: period,
+                fuel: Some(20_000_000),
+                ..VmConfig::default()
+            };
+            let mut vm = attach_plan(&p, plan.clone(), cfg);
+            let result = format!("{:?}", vm.run_entry());
+            (result, observe(&vm), vm.state.profiler.samples())
+        };
+        let (res_off, obs_off, samples_off) = run(0);
+        let (res_on, obs_on, samples_on) = run(2_500);
+        assert_eq!(samples_off, 0, "{name}: period 0 must disable sampling");
+        assert_eq!(
+            (res_on, obs_on),
+            (res_off, obs_off),
+            "{name}: profiling moved the result, output or clock"
+        );
+        sampled_anywhere |= samples_on > 0;
+    }
+    assert!(sampled_anywhere, "no corpus case was long enough to sample");
+}

@@ -324,9 +324,14 @@ pub fn trace_tail(vm: &Vm, n: usize) -> String {
     out
 }
 
-/// Dumps the traced event tail to stderr, then panics with `msg`.
+/// Dumps the traced event tail, the heap & state census and the top
+/// profile cells to stderr, then panics with `msg`.
 pub fn fail_with_trace(vm: &Vm, msg: String) -> ! {
     eprint!("{}", trace_tail(vm, 50));
+    eprintln!("{}", vm.state.census());
+    if vm.state.profiler.enabled() {
+        eprintln!("{}", vm.profile());
+    }
     panic!("{msg}");
 }
 

@@ -118,6 +118,14 @@ fn args(ev: &TraceEvent) -> Value {
             ("fails", int(fails as u64)),
             ("until_cycle", int(until_cycle)),
         ]),
+        // Counter events: args must be numeric-only — Perfetto plots each
+        // key as one series on the counter track.
+        TraceEvent::ProfileSample { samples, .. } => obj(vec![("samples", int(samples))]),
+        TraceEvent::Census { live_objects, live_bytes, in_special_state } => obj(vec![
+            ("live_objects", int(live_objects)),
+            ("live_bytes", int(live_bytes)),
+            ("in_special_state", int(in_special_state)),
+        ]),
     }
 }
 
@@ -142,6 +150,11 @@ pub fn chrome_trace(events: &[Stamped]) -> Value {
             // GC renders as a span so its modeled duration is visible.
             TraceEvent::GcStart { .. } => ("GC", "B"),
             TraceEvent::GcEnd { .. } => ("GC", "E"),
+            // Attribution events render as counter tracks: the cumulative
+            // profile-sample count and the census aggregates plot as
+            // series over the modeled timeline.
+            TraceEvent::ProfileSample { .. } => ("ProfileSamples", "C"),
+            TraceEvent::Census { .. } => ("HeapCensus", "C"),
             ref ev => (ev.name(), "i"),
         };
         let mut fields = vec![

@@ -30,8 +30,10 @@
 //! [`metrics`] folds the event stream into per-method histograms of
 //! time-in-state and deopt latency.
 
+pub mod census;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 
 use std::any::Any;
 
@@ -251,6 +253,27 @@ pub enum TraceEvent {
         /// Modeled cycle at which a retry is allowed.
         until_cycle: u64,
     },
+    /// The cycle-attribution profiler took a stack sample (a 0-cycle,
+    /// host-side observation; see [`profile`]). Rendered as a Perfetto
+    /// counter track by [`export::chrome_trace`].
+    ProfileSample {
+        /// Method on top of the modeled stack when the sample fired.
+        method: u32,
+        /// Stack depth at the sample (frames).
+        depth: u32,
+        /// Cumulative samples taken so far, this one included.
+        samples: u64,
+    },
+    /// A heap/state census walk completed (GC-triggered or on demand).
+    /// Rendered as a Perfetto counter track by [`export::chrome_trace`].
+    Census {
+        /// Live (unswept) heap objects, arrays excluded.
+        live_objects: u64,
+        /// Bytes held by all unswept cells (objects and arrays).
+        live_bytes: u64,
+        /// Objects currently sitting in a special-state TIB.
+        in_special_state: u64,
+    },
 }
 
 impl TraceEvent {
@@ -275,6 +298,8 @@ impl TraceEvent {
             TraceEvent::SpecialThrottled { .. } => "SpecialThrottled",
             TraceEvent::SpecialBlacklisted { .. } => "SpecialBlacklisted",
             TraceEvent::CompileQuarantine { .. } => "CompileQuarantine",
+            TraceEvent::ProfileSample { .. } => "ProfileSample",
+            TraceEvent::Census { .. } => "Census",
         }
     }
 
@@ -296,6 +321,8 @@ impl TraceEvent {
             TraceEvent::SpecialThrottled { .. }
             | TraceEvent::SpecialBlacklisted { .. }
             | TraceEvent::CompileQuarantine { .. } => "governor",
+            TraceEvent::ProfileSample { .. } => "profile",
+            TraceEvent::Census { .. } => "census",
         }
     }
 
@@ -315,7 +342,8 @@ impl TraceEvent {
             | TraceEvent::CodeCacheEvict { method, .. }
             | TraceEvent::SpecialThrottled { method, .. }
             | TraceEvent::SpecialBlacklisted { method, .. }
-            | TraceEvent::CompileQuarantine { method, .. } => {
+            | TraceEvent::CompileQuarantine { method, .. }
+            | TraceEvent::ProfileSample { method, .. } => {
                 (method != NO_ID).then_some(method)
             }
             _ => None,

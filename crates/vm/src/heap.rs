@@ -13,6 +13,7 @@ use crate::error::RunError;
 use crate::tib::TibId;
 use dchm_bytecode::value::ObjRef;
 use dchm_bytecode::{ClassId, ElemKind, Value};
+use std::collections::BTreeMap;
 
 /// A heap-allocated class instance.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,6 +42,35 @@ enum Cell {
     Free,
     Obj(Object),
     Arr(ArrayObj),
+}
+
+/// Raw occupancy census of every unswept heap cell — the heap-side half
+/// of `dchm_trace::census::CensusSnapshot` (the VM layers TIB kinds,
+/// names and residency on top). Conservation holds by construction: the
+/// walk visits exactly the cells `used_bytes` accounts for, so
+/// `object_bytes + array_bytes == used_bytes()` at any tick, floating
+/// garbage included.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeapCensus {
+    /// Unswept objects.
+    pub objects: u64,
+    /// Unswept arrays.
+    pub arrays: u64,
+    /// Bytes held by unswept objects.
+    pub object_bytes: u64,
+    /// Bytes held by unswept arrays.
+    pub array_bytes: u64,
+    /// Per-class `(objects, bytes)`, keyed by raw class id.
+    pub per_class: BTreeMap<u32, (u64, u64)>,
+    /// Per-TIB `(objects, bytes)`, keyed by raw TIB id.
+    pub per_tib: BTreeMap<u32, (u64, u64)>,
+}
+
+impl HeapCensus {
+    /// Total bytes the walk saw (equals the heap's `used_bytes`).
+    pub fn total_bytes(&self) -> u64 {
+        self.object_bytes + self.array_bytes
+    }
 }
 
 /// GC & allocation statistics.
@@ -292,6 +322,34 @@ impl Heap {
         })
     }
 
+    /// Walks every unswept cell and tallies occupancy per class and per
+    /// TIB (arrays have neither; they pool into the array totals). Pure
+    /// host-side observation: charges no cycles, touches no stats.
+    pub fn census(&self) -> HeapCensus {
+        let mut c = HeapCensus::default();
+        for cell in &self.cells {
+            match cell {
+                Cell::Obj(o) => {
+                    let bytes = obj_bytes(o.fields.len()) as u64;
+                    c.objects += 1;
+                    c.object_bytes += bytes;
+                    let pc = c.per_class.entry(o.class.0).or_insert((0, 0));
+                    pc.0 += 1;
+                    pc.1 += bytes;
+                    let pt = c.per_tib.entry(o.tib.0).or_insert((0, 0));
+                    pt.0 += 1;
+                    pt.1 += bytes;
+                }
+                Cell::Arr(a) => {
+                    c.arrays += 1;
+                    c.array_bytes += obj_bytes(a.elems.len()) as u64;
+                }
+                Cell::Free => {}
+            }
+        }
+        c
+    }
+
     /// True if `r` currently points at a live cell.
     pub fn is_live(&self, r: ObjRef) -> bool {
         matches!(
@@ -495,6 +553,27 @@ mod tests {
         assert_eq!(h.used_bytes(), 32);
         h.gc(std::iter::empty());
         assert_eq!(h.used_bytes(), 0);
+    }
+
+    #[test]
+    fn census_conserves_used_bytes() {
+        let mut h = small_heap();
+        let keep = h
+            .alloc_object(ClassId(1), TibId(0), vec![Value::Int(0); 2])
+            .unwrap();
+        let _dead = h.alloc_object(ClassId(2), TibId(3), vec![]).unwrap();
+        let _arr = h.alloc_array(ElemKind::Int, 4).unwrap();
+        let c = h.census();
+        // Floating garbage counts on both sides of the ledger.
+        assert_eq!(c.total_bytes(), h.used_bytes() as u64);
+        assert_eq!((c.objects, c.arrays), (2, 1));
+        assert_eq!(c.per_class.get(&1), Some(&(1, 32)));
+        assert_eq!(c.per_tib.get(&3), Some(&(1, 16)));
+        h.gc([keep].into_iter());
+        let c = h.census();
+        assert_eq!(c.total_bytes(), h.used_bytes() as u64);
+        assert_eq!((c.objects, c.arrays), (1, 0));
+        assert!(!c.per_class.contains_key(&2));
     }
 
     #[test]

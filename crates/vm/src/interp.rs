@@ -31,6 +31,7 @@ use dchm_bytecode::{
     ClassId, IntrinsicKind, MethodId, MethodKind, Op, Program, Reg, SelectorId, Value,
 };
 use dchm_ir::cost::CostModel;
+use dchm_trace::profile::{FrameKey, ProfileSnapshot, NO_STATE};
 use dchm_trace::{FaultKind, Stamped, TraceEvent, NO_ID};
 use dchm_ir::Term;
 use std::fmt::Write as _;
@@ -113,6 +114,22 @@ impl Vm {
     /// Buffered trace events oldest-first (empty when tracing is off).
     pub fn trace_events(&self) -> Vec<Stamped> {
         self.state.tracer.events()
+    }
+
+    /// The cycle-attribution profile with method names resolved: the
+    /// ranked (method × tier × receiver-state) cell table.
+    pub fn profile(&self) -> ProfileSnapshot {
+        self.state
+            .profiler
+            .snapshot(|m| self.state.method_display_name(MethodId(m)))
+    }
+
+    /// The profile's folded-stack lines (Brendan Gregg `.folded` format,
+    /// flamegraph-ready), byte-identical across repeated runs.
+    pub fn profile_folded(&self) -> String {
+        self.state
+            .profiler
+            .folded(|m| self.state.method_display_name(MethodId(m)))
     }
 
     /// Runs the program entry point.
@@ -698,6 +715,7 @@ impl Vm {
                             }
                             None => final_ret = val,
                         }
+                        self.maybe_profile();
                         self.maybe_sample(method);
                         continue 'frames;
                     }
@@ -707,6 +725,7 @@ impl Vm {
                         return Err(RunError::UnreachableExecuted);
                     }
                 }
+                self.maybe_profile();
                 self.maybe_sample(method);
             }
         }
@@ -882,6 +901,67 @@ impl Vm {
         if target > cur {
             st.recompile(method, target);
             self.drain_events();
+        }
+    }
+
+    /// Block-bottom profiler check, parallel to [`Self::maybe_sample`]:
+    /// the common no-sample case is one compare against the next period
+    /// multiple (`u64::MAX` when profiling is off).
+    #[inline(always)]
+    fn maybe_profile(&mut self) {
+        if self.state.clock >= self.state.next_profile_at {
+            self.take_profile();
+        }
+    }
+
+    /// Takes one attribution sample: steps the deterministic schedule to
+    /// the next period multiple beyond the clock (one sample per
+    /// crossing, however far a compile/GC stall jumped it — stalls are
+    /// attributed by `VmStats`, not the profiler), then walks the live
+    /// frames into the profiler. 0-cycle by construction: nothing here
+    /// touches the clock, `VmStats`, or adaptive state.
+    #[cold]
+    fn take_profile(&mut self) {
+        let st = &mut self.state;
+        let period = st.config.profile_period;
+        debug_assert!(period > 0, "take_profile with profiling off");
+        let jumps = (st.clock - st.next_profile_at) / period + 1;
+        st.next_profile_at += jumps * period;
+
+        let mut stack = Vec::with_capacity(st.frames.len());
+        let last = st.frames.len().wrapping_sub(1);
+        for (i, fr) in st.frames.iter().enumerate() {
+            let cm = &st.code[fr.cid.index()];
+            let mut key = FrameKey {
+                method: fr.method.0,
+                level: cm.level,
+                special: cm.special,
+                state: NO_STATE,
+            };
+            // Leaf frames of receiver-taking methods also attribute the
+            // receiver's special state (register 0 of the frame window).
+            if i == last && st.program.method(fr.method).has_receiver() {
+                if let Value::Ref(r) = st.reg_stack[fr.base] {
+                    if let Ok(od) = st.heap.try_object(r) {
+                        if let Some(s) = st.tibs[od.tib.index()].special_state() {
+                            key.state = s;
+                        }
+                    }
+                }
+            }
+            stack.push(key);
+        }
+        st.profiler.record(&stack);
+        if st.tracer.on() {
+            let method = stack.last().map_or(NO_ID, |k| k.method);
+            st.tracer.emit(
+                st.clock,
+                TraceEvent::ProfileSample {
+                    method,
+                    depth: stack.len() as u32,
+                    samples: st.profiler.samples(),
+                },
+            );
         }
     }
 

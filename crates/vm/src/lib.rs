@@ -26,6 +26,11 @@
 //!   faults) can be recorded into a bounded ring buffer ([`trace`],
 //!   enabled via [`interp::Vm::enable_tracing`]) without perturbing the
 //!   modeled clock.
+//! * **Attribution**: a deterministic cycle-sampling profiler over
+//!   (method × tier × receiver-state) cells ([`interp::Vm::profile`],
+//!   `VmConfig::profile_period`) and an on-demand/GC-triggered heap &
+//!   state census ([`state::VmState::census`]); both are 0-cycle and
+//!   output-transparent like tracing.
 //!
 //! Time is deterministic: every executed op is billed cycles from
 //! [`dchm_ir::cost`], as are compilation, allocation and GC. All speedup and
@@ -67,7 +72,7 @@ pub use codecache::{binding_fingerprint, CodeCache, Evicted, Probe};
 pub use compiler::{CompileEnv, DeoptInfo, DeoptPoint};
 pub use error::RunError;
 pub use governor::{Governor, GovernorConfig, GuardFailVerdict};
-pub use heap::{Heap, HeapStats};
+pub use heap::{Heap, HeapCensus, HeapStats};
 pub use hooks::{
     CompilerHints, Fault, FaultConfig, FaultInjector, MutationHandler, NoopHandler, OlcInfo,
     PatchSpec, VmObserver,
@@ -82,3 +87,8 @@ pub use tib::{Imt, ImtEntry, Tib, TibId, TibKind, IMT_SLOTS};
 /// Re-export of the event-tracing crate so VM users reach the event types
 /// and exporters without a separate dependency.
 pub use dchm_trace as trace;
+
+/// Attribution types re-exported at the crate root: the census snapshot
+/// ([`VmState::census`]) and the profile cell table ([`Vm::profile`]).
+pub use dchm_trace::census::{CensusSnapshot, ResidencyTracker};
+pub use dchm_trace::profile::{ProfileCell, ProfileSnapshot, Profiler};

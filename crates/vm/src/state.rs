@@ -12,6 +12,8 @@ use crate::stats::VmStats;
 use crate::tib::{Imt, Tib, TibId, TibKind};
 use dchm_bytecode::value::ObjRef;
 use dchm_bytecode::{ClassId, FieldId, MethodId, Op, Program, Reg, SelectorId, Value};
+use dchm_trace::census::{CensusSnapshot, ClassCensus, ResidencyTracker, TibCensus};
+use dchm_trace::profile::Profiler;
 use dchm_trace::{FaultKind, TraceEvent, Tracer, NO_ID};
 use dchm_ir::cost::{op_cost, CostModel};
 use dchm_ir::passes::Bindings;
@@ -238,6 +240,12 @@ pub struct VmConfig {
     /// check is host-side only (no modeled cycles), so any limit the
     /// program stays under is cycle-transparent.
     pub max_frame_depth: Option<usize>,
+    /// Cycles between cycle-attribution profiler samples (0 disables).
+    /// Samples fire when the modeled clock crosses each multiple of the
+    /// period — deterministic, no jitter — and are 0-cycle host-side
+    /// observations: any period leaves output and the modeled clock
+    /// bit-identical (see `dchm_trace::profile`).
+    pub profile_period: u64,
 }
 
 impl Default for VmConfig {
@@ -256,6 +264,7 @@ impl Default for VmConfig {
             code_cache_capacity: 1024,
             governor: GovernorConfig::default(),
             max_frame_depth: Some(1 << 20),
+            profile_period: 10_000,
         }
     }
 }
@@ -356,6 +365,17 @@ pub struct VmState {
     pub clock: u64,
     /// Next sample tick.
     pub next_sample_at: u64,
+    /// Next profiler tick (`u64::MAX` when profiling is off). Unlike
+    /// `next_sample_at` this steps in exact period multiples: the
+    /// schedule is a pure function of the clock trajectory, so repeated
+    /// runs produce byte-identical profiles.
+    pub next_profile_at: u64,
+    /// Cycle-attribution profiler accumulator (host-side only).
+    pub profiler: Profiler,
+    /// TIB-flip residency tracker feeding the census. Updated at every
+    /// flip regardless of tracing, so census shape never depends on
+    /// whether a tracer is attached.
+    pub residency: ResidencyTracker,
     /// Activation stack.
     pub frames: Vec<Frame>,
     /// Pooled register stack: every frame's register window is a contiguous
@@ -523,6 +543,7 @@ impl VmState {
             .collect();
 
         let sample_period = config.sample_period;
+        let profile_period = config.profile_period;
         let code_cache = CodeCache::new(config.code_cache_capacity);
         VmState {
             program,
@@ -541,6 +562,9 @@ impl VmState {
             stats,
             clock: 0,
             next_sample_at: sample_period,
+            next_profile_at: if profile_period == 0 { u64::MAX } else { profile_period },
+            profiler: Profiler::new(profile_period),
+            residency: ResidencyTracker::default(),
             frames: Vec::new(),
             reg_stack: Vec::new(),
             icaches: Vec::new(),
@@ -1316,6 +1340,16 @@ impl VmState {
         let from = self.heap.object(obj).tib;
         self.heap.object_mut(obj).tib = tib;
         self.stats.tib_flips += 1;
+        // Residency feeds the census, so it must track every flip — not
+        // just traced ones — or the census would change shape when a
+        // tracer attaches.
+        self.residency.on_flip(
+            obj.0,
+            self.tibs[tib.index()].class.0,
+            self.tibs[from.index()].special_state(),
+            self.tibs[tib.index()].special_state(),
+            self.clock,
+        );
         if self.tracer.on() {
             self.trace_tib_flip(obj, from, tib);
         }
@@ -1632,12 +1666,19 @@ impl VmState {
         let cycles = self.heap.gc(roots.into_iter());
         self.clock += cycles;
         self.stats.gc_cycles += cycles;
+        // The sweep may have recycled object ids: drop dead objects' open
+        // residency stays before a reused id can inherit one.
+        let heap = &self.heap;
+        self.residency.prune(|o| heap.is_live(ObjRef(o)));
         if self.tracer.on() {
             let used = self.heap.used_bytes() as u64;
             self.tracer.emit(
                 self.clock,
                 TraceEvent::GcEnd { used_bytes: used, gc_cycles: cycles },
             );
+            // GC-triggered census: the post-sweep heap walk, as a counter
+            // event (0-cycle, host-side only).
+            self.trace_census();
         }
     }
 
@@ -1657,6 +1698,80 @@ impl VmState {
         }
         roots.extend(self.handles.iter().copied());
         roots
+    }
+
+    /// A method's `Class::method` display name — the resolver the
+    /// profile and census exports use.
+    pub fn method_display_name(&self, mid: MethodId) -> String {
+        let m = self.program.method(mid);
+        format!("{}::{}", self.program.class(m.owner).name, m.name)
+    }
+
+    /// Walks the heap on demand and builds the full [`CensusSnapshot`]:
+    /// occupancy per class and per special-state TIB, plus TIB-flip
+    /// residency measured to the current clock. 0-cycle and read-only —
+    /// calling it any number of times perturbs nothing.
+    pub fn census(&self) -> CensusSnapshot {
+        let raw = self.heap.census();
+        let mut in_special = 0u64;
+        let per_tib: Vec<TibCensus> = raw
+            .per_tib
+            .iter()
+            .map(|(&tib, &(objects, bytes))| {
+                let t = &self.tibs[tib as usize];
+                let state = t.special_state();
+                if state.is_some() {
+                    in_special += objects;
+                }
+                TibCensus { tib, class: t.class.0, state, objects, bytes }
+            })
+            .collect();
+        let per_class = raw
+            .per_class
+            .iter()
+            .map(|(&class, &(objects, bytes))| ClassCensus {
+                class,
+                name: self.program.class(ClassId(class)).name.clone(),
+                objects,
+                bytes,
+            })
+            .collect();
+        CensusSnapshot {
+            at_cycle: self.clock,
+            live_objects: raw.objects,
+            live_arrays: raw.arrays,
+            object_bytes: raw.object_bytes,
+            array_bytes: raw.array_bytes,
+            heap_used_bytes: self.heap.used_bytes() as u64,
+            in_special_state: in_special,
+            per_class,
+            per_tib,
+            residency: self.residency.snapshot(self.clock),
+        }
+    }
+
+    /// Emits a summary [`TraceEvent::Census`] counter event for the
+    /// current heap (no-op when tracing is off). Used after GC sweeps and
+    /// at mutation install points.
+    pub fn trace_census(&mut self) {
+        if !self.tracer.on() {
+            return;
+        }
+        let raw = self.heap.census();
+        let in_special = raw
+            .per_tib
+            .iter()
+            .filter(|(&tib, _)| self.tibs[tib as usize].special_state().is_some())
+            .map(|(_, &(n, _))| n)
+            .sum();
+        self.tracer.emit(
+            self.clock,
+            TraceEvent::Census {
+                live_objects: raw.objects,
+                live_bytes: raw.total_bytes(),
+                in_special_state: in_special,
+            },
+        );
     }
 
     /// Consults the fault injector (if any) at an allocation point and

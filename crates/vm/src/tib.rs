@@ -161,6 +161,16 @@ impl Tib {
     pub fn bytes(&self) -> usize {
         12 + 4 * self.methods.len()
     }
+
+    /// The special-state index this TIB embodies, or `None` for the class
+    /// TIB — the census/profiler view of [`TibKind`].
+    #[inline]
+    pub fn special_state(&self) -> Option<u32> {
+        match self.kind {
+            TibKind::Class => None,
+            TibKind::Special { state_index } => Some(state_index as u32),
+        }
+    }
 }
 
 #[cfg(test)]
