@@ -1,0 +1,193 @@
+//! Sharded multi-tenant serving: `BENCH_fleet.json` emitter.
+//!
+//! Two experiments over the `dchm_vm::fleet` executor:
+//!
+//! 1. **Scaling** — the 7-workload catalog replicated ×4 (28 tenant jobs)
+//!    scheduled across 1/2/4/8 shard workers under a static LPT
+//!    assignment. Throughput is *modeled*: aggregate ops divided by the
+//!    modeled makespan (slowest shard's summed clock) converted through
+//!    the cost model's frequency — deterministic, machine-independent, and
+//!    honest on a single-core host where wall time cannot show overlap.
+//!    Wall seconds ride along as an informational column. Every job is
+//!    asserted bit-identical to its solo golden.
+//! 2. **64-tenant fan-out** — identical SalaryDB tenants with the shared
+//!    compile-artifact cache on vs off: the summed host compile wall must
+//!    collapse when every tenant past the first adopts published
+//!    artifacts, with zero modeled divergence.
+//!
+//! Usage:
+//! `cargo run --release -p dchm-bench --bin bench_fleet [--small]
+//!  [--tenants N]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dchm_bench::runner::{flag_value, scale_from_args, BenchJson};
+use dchm_bench::{measured_config, prepare_workload};
+use dchm_ir::cost::CostModel;
+use dchm_testutil::fleet::{run_job, run_jobs_fleet, FleetJob, JobReport};
+use dchm_vm::fleet::{lpt_assignment, makespan, FleetConfig};
+use dchm_vm::SharedCodeCache;
+use dchm_workloads::{catalog, Workload};
+
+/// Replicas of each catalog workload in the scaling job list: enough that
+/// the LPT bound (`makespan <= total/workers + max_job`) guarantees >= 2x
+/// modeled speedup at 4 workers for any weight distribution.
+const REPLICAS: usize = 4;
+
+/// The measured-config fleet job for `w`, sharing one prepared pipeline.
+fn job_for(w: &Workload, prepared: &Arc<dchm_core::pipeline::Prepared>, name: String) -> FleetJob {
+    FleetJob {
+        name,
+        workload: w.clone(),
+        prepared: Arc::clone(prepared),
+        config: measured_config(w),
+        fault: None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let tenants: usize = flag_value(&args, "--tenants")
+        .map(|v| v.parse().expect("--tenants takes a count"))
+        .unwrap_or(64);
+
+    let mut doc = BenchJson::new("fleet_scaling", scale, "aggregate_ops_per_sec");
+    doc.meta("replicas_per_workload", &REPLICAS.to_string());
+
+    // Offline pipelines once per workload, shared by every replica and
+    // both experiments.
+    let workloads = catalog(scale);
+    let prepared: Vec<Arc<dchm_core::pipeline::Prepared>> = workloads
+        .iter()
+        .map(|w| {
+            eprintln!("preparing {}", w.name);
+            Arc::new(prepare_workload(w))
+        })
+        .collect();
+
+    // Solo goldens double as the calibration run: each job's modeled clock
+    // is its LPT weight, and its stats/folded are the bit-identity oracle.
+    let goldens: Vec<JobReport> = workloads
+        .iter()
+        .zip(&prepared)
+        .map(|(w, p)| {
+            eprintln!("calibrating {}", w.name);
+            run_job(&job_for(w, p, w.name.to_string()), None)
+        })
+        .collect();
+
+    let mut jobs: Vec<FleetJob> = Vec::new();
+    let mut weights: Vec<u64> = Vec::new();
+    let mut golden_of: Vec<usize> = Vec::new();
+    for replica in 0..REPLICAS {
+        for (i, w) in workloads.iter().enumerate() {
+            jobs.push(job_for(w, &prepared[i], format!("{}[{replica}]", w.name)));
+            weights.push(goldens[i].obs.clock);
+            golden_of.push(i);
+        }
+    }
+    let total_ops: u64 = golden_of.iter().map(|&i| goldens[i].obs.ops).sum();
+
+    let mut base_ops_per_sec = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let assignment = lpt_assignment(&weights, workers);
+        let ms = makespan(&weights, &assignment, workers);
+        let t0 = Instant::now();
+        let reports = run_jobs_fleet(
+            &FleetConfig::pinned(workers, assignment),
+            &jobs,
+            None,
+        );
+        let wall_secs = t0.elapsed().as_secs_f64();
+
+        let output_match = reports
+            .iter()
+            .zip(&golden_of)
+            .all(|(r, &g)| r.modeled() == goldens[g].modeled());
+        assert!(output_match, "{workers}-worker fleet diverged from solo");
+
+        let modeled_secs = CostModel::cycles_to_secs(ms);
+        let ops_per_sec = total_ops as f64 / modeled_secs;
+        if workers == 1 {
+            base_ops_per_sec = ops_per_sec;
+        }
+        let speedup = ops_per_sec / base_ops_per_sec;
+
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"name\": \"workers-{workers}\", \"workers\": {workers}, \
+             \"jobs\": {}, \"makespan_cycles\": {ms}, \
+             \"aggregate_ops_per_sec\": {ops_per_sec:.1}, \
+             \"speedup_vs_1\": {speedup:.3}, \"wall_secs\": {wall_secs:.3}, \
+             \"output_match\": {output_match}}}",
+            jobs.len(),
+        );
+        doc.row(row);
+        println!(
+            "workers {workers}: makespan {ms} cycles, {ops_per_sec:.0} ops/s \
+             (x{speedup:.2}), wall {wall_secs:.2}s"
+        );
+    }
+
+    // 64-tenant fan-out: identical SalaryDB tenants, shared cache off/on.
+    let salary_idx = workloads
+        .iter()
+        .position(|w| w.name == "SalaryDB")
+        .expect("SalaryDB is in the catalog");
+    let fan_jobs: Vec<FleetJob> = (0..tenants)
+        .map(|t| {
+            job_for(
+                &workloads[salary_idx],
+                &prepared[salary_idx],
+                format!("SalaryDB[{t}]"),
+            )
+        })
+        .collect();
+    let fan_golden = &goldens[salary_idx];
+    let cfg = FleetConfig::dynamic(4);
+
+    eprintln!("fan-out: {tenants} tenants, shared cache off");
+    let off = run_jobs_fleet(&cfg, &fan_jobs, None);
+    eprintln!("fan-out: {tenants} tenants, shared cache on");
+    let shared = Arc::new(SharedCodeCache::new(4096));
+    let on = run_jobs_fleet(&cfg, &fan_jobs, Some(&shared));
+
+    let fan_match = off
+        .iter()
+        .chain(&on)
+        .all(|r| r.modeled() == fan_golden.modeled());
+    assert!(fan_match, "fan-out tenants diverged from solo");
+    let wall_off: u64 = off.iter().map(|r| r.compile_wall_nanos).sum();
+    let wall_on: u64 = on.iter().map(|r| r.compile_wall_nanos).sum();
+    let hits: u64 = on.iter().map(|r| r.shared_hits).sum();
+    let misses: u64 = on.iter().map(|r| r.shared_misses).sum();
+    let reduction = (1.0 - wall_on as f64 / (wall_off as f64).max(1e-9)) * 100.0;
+
+    let mut fanout = String::new();
+    let _ = write!(
+        fanout,
+        "{{\"workload\": \"SalaryDB\", \"tenants\": {tenants}, \
+         \"compile_wall_ms_shared_off\": {:.3}, \
+         \"compile_wall_ms_shared_on\": {:.3}, \
+         \"compile_wall_reduction_pct\": {reduction:.2}, \
+         \"shared_hits\": {hits}, \"shared_misses\": {misses}, \
+         \"output_match\": {fan_match}}}",
+        wall_off as f64 / 1e6,
+        wall_on as f64 / 1e6,
+    );
+    doc.meta("fanout", &fanout);
+    println!(
+        "fan-out {tenants} tenants: compile wall {:.1} ms -> {:.1} ms \
+         ({reduction:.1}% saved), {hits} shared hits",
+        wall_off as f64 / 1e6,
+        wall_on as f64 / 1e6
+    );
+
+    let json = doc.write("BENCH_fleet.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_fleet.json");
+}

@@ -24,8 +24,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dchm_bench::runner::flag_value;
+use dchm_vm::trace::fleet::split_shard;
 use dchm_vm::trace::profile::{folded_leaf_cells, parse_folded};
 use serde::Value;
+use std::collections::BTreeMap;
 
 fn field<'a>(v: &'a Value, k: &str) -> Option<&'a Value> {
     match v {
@@ -72,12 +74,27 @@ fn discover(dir: &Path) -> Vec<String> {
 fn report_workload(dir: &Path, stem: &str, top: usize) {
     println!("== {stem} ==");
 
-    // Cycle breakdown from the metrics document, if present.
+    // Cycle breakdown from the metrics document, if present. A fleet
+    // document carries one `vm_stats` object per shard; a solo one carries
+    // a single object. Either way the headline is the aggregate, with
+    // shard-prefixed rows underneath when sharded.
     let metrics = load_json(&dir.join(format!("{stem}.metrics.json")));
     let mut exec_cycles = None;
     if let Some(stats) = metrics.as_ref().and_then(|m| field(m, "vm_stats")) {
-        let get = |k: &str| field(stats, k).and_then(as_u64).unwrap_or(0);
-        let (exec, compile, gc) = (get("exec_cycles"), get("compile_cycles"), get("gc_cycles"));
+        let shards: Vec<&Value> = match stats {
+            Value::Array(items) => items.iter().collect(),
+            other => vec![other],
+        };
+        let rows: Vec<(u64, u64, u64)> = shards
+            .iter()
+            .map(|s| {
+                let get = |k: &str| field(s, k).and_then(as_u64).unwrap_or(0);
+                (get("exec_cycles"), get("compile_cycles"), get("gc_cycles"))
+            })
+            .collect();
+        let (exec, compile, gc) = rows.iter().fold((0, 0, 0), |a, r| {
+            (a.0 + r.0, a.1 + r.1, a.2 + r.2)
+        });
         let total = (exec + compile + gc).max(1);
         println!(
             "cycles    exec {exec} ({:.1}%)  compile {compile} ({:.1}%)  gc {gc} ({:.1}%)",
@@ -85,12 +102,34 @@ fn report_workload(dir: &Path, stem: &str, top: usize) {
             compile as f64 * 100.0 / total as f64,
             gc as f64 * 100.0 / total as f64,
         );
+        if rows.len() > 1 {
+            for (i, (e, c, g)) in rows.iter().enumerate() {
+                println!("          shard{i}: exec {e}  compile {c}  gc {g}");
+            }
+        }
         exec_cycles = Some(exec);
     }
 
     // Top attribution cells from the folded profile.
     match std::fs::read_to_string(dir.join(format!("{stem}.folded"))) {
         Ok(text) => {
+            // A fleet-merged profile roots every stack in a `shardN;`
+            // frame: summarize per-shard sample totals first. Leaf-cell
+            // ranking below is undisturbed — the shard root never touches
+            // the leaf frame.
+            let mut shard_totals: BTreeMap<usize, u64> = BTreeMap::new();
+            for (stack, n) in parse_folded(&text) {
+                if let Some((shard, _)) = split_shard(&stack) {
+                    *shard_totals.entry(shard).or_insert(0) += n;
+                }
+            }
+            if !shard_totals.is_empty() {
+                let parts: Vec<String> = shard_totals
+                    .iter()
+                    .map(|(s, n)| format!("shard{s} {n}"))
+                    .collect();
+                println!("fleet     {} shards: {}", shard_totals.len(), parts.join("  "));
+            }
             let cells = folded_leaf_cells(&text);
             let total: u64 = cells.values().sum();
             let mut ranked: Vec<(&String, &u64)> = cells.iter().collect();

@@ -80,6 +80,40 @@ fn report_and_export_read_real_artifacts() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Fleet artifacts: a `.folded` merged across shards (shard-rooted stacks)
+/// plus a metrics document whose `vm_stats` is a per-shard array. The
+/// report must summarize per-shard samples and aggregate the cycle split.
+#[test]
+fn report_reads_fleet_merged_artifacts() {
+    let dir = scratch("fleet");
+    let merged = dchm_vm::trace::fleet::merge_folded(&[
+        "Main::main#o0;Acct::work#s2 40\n".to_string(),
+        "Main::main#o0;Acct::work#s2 25\nMain::main#o0 5\n".to_string(),
+    ]);
+    std::fs::write(dir.join("Fleet.folded"), merged).unwrap();
+    std::fs::write(
+        dir.join("Fleet.metrics.json"),
+        "{\"vm_stats\": [\
+          {\"exec_cycles\": 100, \"compile_cycles\": 10, \"gc_cycles\": 1},\
+          {\"exec_cycles\": 200, \"compile_cycles\": 20, \"gc_cycles\": 2}]}",
+    )
+    .unwrap();
+
+    let out = inspect()
+        .args(["report", "--dir", dir.to_str().unwrap(), "--workload", "Fleet"])
+        .output()
+        .expect("run dchm-inspect");
+    assert!(out.status.success(), "fleet report failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fleet     2 shards: shard0 40  shard1 30"), "got:\n{text}");
+    assert!(text.contains("cycles    exec 300"), "aggregate missing:\n{text}");
+    assert!(text.contains("shard0: exec 100"), "per-shard row missing:\n{text}");
+    assert!(text.contains("shard1: exec 200"), "per-shard row missing:\n{text}");
+    // Leaf ranking ignores the shard root: both shards' hot cell merges.
+    assert!(text.contains("Acct::work#s2"), "leaf cell missing:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn diff_is_zero_on_identical_profiles_and_gates_regressions() {
     let dir = scratch("diff");

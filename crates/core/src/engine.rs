@@ -262,7 +262,10 @@ impl MutationEngine {
         }
         // One batch: the compiler pipelines run on worker threads while
         // billing/installation stay serial in method order, so the result
-        // is bit-identical to recompiling one method at a time.
+        // is bit-identical to recompiling one method at a time. In a fleet
+        // the batch probes the shared artifact cache first, so tenants past
+        // the first skip these pipelines entirely (same bit-identity: the
+        // shared artifacts are what the pipelines would produce).
         vm.state.recompile_batch(&to_recompile);
         // Deliver the recompilation events to ourselves (we are not the
         // handler yet), generating specials for hot methods.

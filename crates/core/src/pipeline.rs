@@ -12,7 +12,8 @@ use crate::olc::{analyze_olc, OlcReport};
 use crate::plan::MutationPlan;
 use dchm_bytecode::Program;
 use dchm_profile::{profile_field_values, profile_hot_methods, HotMethodReport};
-use dchm_vm::{Vm, VmConfig};
+use dchm_vm::{SharedCodeCache, Vm, VmConfig};
+use std::sync::Arc;
 
 /// Pipeline configuration.
 #[derive(Clone, Debug, Default)]
@@ -41,6 +42,18 @@ impl Prepared {
     pub fn make_vm(&self, config: VmConfig) -> Vm {
         let engine = MutationEngine::new(self.plan.clone(), self.olc.clone());
         engine.attach(self.program.clone(), config)
+    }
+
+    /// [`Self::make_vm`] for a fleet tenant: attaches the fleet-wide shared
+    /// compile-artifact cache right after engine attach. Attach installs
+    /// patch points but compiles nothing, so the cache observes every
+    /// compile of the subsequent run — including the engine's batched
+    /// special-version installs, which probe it before spinning up compile
+    /// workers.
+    pub fn make_vm_shared(&self, config: VmConfig, shared: &Arc<SharedCodeCache>) -> Vm {
+        let mut vm = self.make_vm(config);
+        vm.state.attach_shared_cache(Arc::clone(shared));
+        vm
     }
 
     /// Builds a mutation-off VM over the same program (the baseline the
@@ -159,6 +172,39 @@ mod tests {
         mutated.run_entry().unwrap();
         assert_eq!(base.state.output.checksum, mutated.state.output.checksum);
         assert!(mutated.stats().special_tibs > 0);
+    }
+
+    #[test]
+    fn shared_cache_tenants_stay_bit_identical_and_second_skips_the_compiler() {
+        let (p, _) = gates();
+        let prepared = prepare(p, &PipelineConfig::default(), |vm| {
+            vm.run_entry().unwrap();
+        });
+        let fast = VmConfig {
+            sample_period: 10_000,
+            opt1_samples: 2,
+            opt2_samples: 4,
+            ..Default::default()
+        };
+        let mut solo = prepared.make_vm(fast.clone());
+        solo.run_entry().unwrap();
+
+        let shared = Arc::new(SharedCodeCache::new(1024));
+        let mut t1 = prepared.make_vm_shared(fast.clone(), &shared);
+        t1.run_entry().unwrap();
+        let mut t2 = prepared.make_vm_shared(fast, &shared);
+        t2.run_entry().unwrap();
+
+        // Sharing is invisible to every modeled observable.
+        assert_eq!(solo.state.output.checksum, t1.state.output.checksum);
+        assert_eq!(solo.cycles(), t1.cycles());
+        assert_eq!(t1.cycles(), t2.cycles());
+        assert_eq!(t1.stats(), t2.stats());
+        // The second identical tenant never runs a compiler pipeline.
+        assert!(t1.state.shared_misses > 0);
+        assert!(t2.state.shared_hits > 0);
+        assert_eq!(t2.state.compile_wall_nanos, 0);
+        assert!(shared.stats().hits >= t2.state.shared_hits);
     }
 
     #[test]

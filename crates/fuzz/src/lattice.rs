@@ -36,6 +36,23 @@ pub enum Fault {
     CompileFail(u64),
 }
 
+/// How many fleet tenants execute the config and what they share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetMode {
+    /// One VM, no fleet machinery (the default).
+    Solo,
+    /// The identical run executed inside a 2-worker `dchm_vm::fleet` shard
+    /// pool probing a shared compile-artifact cache: executor threads and
+    /// artifact sharing must be invisible to the full fingerprint, so the
+    /// config shares its solo twin's clock group.
+    SharedFleet,
+    /// Two identical tenants through one shared cache, fingerprinting the
+    /// second: full-fingerprint identity with solo, *and* the oracle
+    /// asserts the second tenant ran zero compiler pipelines
+    /// (`compile_wall_nanos == 0`, no shared-cache misses).
+    TenantPair,
+}
+
 /// One VM configuration of the lattice.
 #[derive(Clone, Debug)]
 pub struct ConfigSpec {
@@ -69,6 +86,9 @@ pub struct ConfigSpec {
     /// Frame-depth ceiling override (`None` keeps the VM default). An
     /// unhit ceiling must be fully transparent.
     pub max_frame_depth: Option<usize>,
+    /// Fleet execution mode (see [`FleetMode`]); host-side machinery only,
+    /// so every mode may share a clock group with its solo twin.
+    pub fleet: FleetMode,
     /// Configs sharing a non-empty clock group must match on the full
     /// fingerprint. Empty = compared for output only.
     pub clock_group: &'static str,
@@ -91,13 +111,14 @@ impl ConfigSpec {
             big_heap: false,
             governor: true,
             max_frame_depth: None,
+            fleet: FleetMode::Solo,
             clock_group,
             output_group: "main",
         }
     }
 }
 
-/// The full lattice, 24 configurations.
+/// The full lattice, 26 configurations.
 pub fn lattice() -> Vec<ConfigSpec> {
     // Mutation off across the tier ladder: output must be tier-invariant.
     let mut v = vec![
@@ -146,6 +167,21 @@ pub fn lattice() -> Vec<ConfigSpec> {
     v.push(ConfigSpec {
         max_frame_depth: Some(64),
         ..ad_on("adaptive-mut-depth64", 1024, false)
+    });
+    // Fleet transparency: the very same adaptive-mut run inside a shard
+    // pool with a shared compile-artifact cache must carry the reference's
+    // full fingerprint — shard threads and artifact adoption are host-side
+    // machinery, invisible to the modeled state by construction.
+    v.push(ConfigSpec {
+        fleet: FleetMode::SharedFleet,
+        ..ad_on("fleet-shared-cache", 1024, false)
+    });
+    // Two identical tenants through one cache: the second must match the
+    // solo fingerprint while running zero compiler pipelines (the oracle
+    // asserts compile_wall_nanos == 0 on it).
+    v.push(ConfigSpec {
+        fleet: FleetMode::TenantPair,
+        ..ad_on("two-tenant-shared", 1024, false)
     });
     // Governor disarmed under mutation: organic flip churn may legally
     // bill differently once a real storm would have been damped, so this
@@ -278,10 +314,16 @@ mod tests {
     #[test]
     fn names_are_unique_and_groups_consistent() {
         let l = lattice();
-        assert_eq!(l.len(), 24);
+        assert_eq!(l.len(), 26);
         let names: HashSet<_> = l.iter().map(|c| c.name).collect();
         assert_eq!(names.len(), l.len());
         for c in &l {
+            if c.fleet != FleetMode::Solo {
+                // Fleet modes are host-side machinery: they must claim full
+                // fingerprint identity with their solo clock-group twins,
+                // never hide behind an output-only comparison.
+                assert!(!c.clock_group.is_empty(), "{} must carry a clock group", c.name);
+            }
             assert!(c.output_group == "main" || c.output_group == "noguard");
             if c.output_group == "noguard" {
                 assert!(c.mutate && !c.emit_guards);

@@ -191,6 +191,44 @@ pub fn corpus_specs() -> Vec<(&'static str, Spec)> {
                 iters: 400,
             },
         ),
+        // The shared-compilation workout: two groups mixing instance and
+        // static hot states, interface dispatch, subclassing and mid-frame
+        // self-flips, busy enough that a tenant compiles specials across
+        // several sites. Replayed through the `two-tenant-shared` lattice
+        // config, the second identical tenant must be answered entirely
+        // from the shared artifact cache (zero compiler wall) while its
+        // fingerprint stays bit-identical.
+        (
+            "two-tenant-shared",
+            Spec {
+                groups: vec![
+                    GroupSpec {
+                        fields: vec![f(1, 5)],
+                        has_interface: true,
+                        has_subclass: false,
+                        static_state: Some(f(2, 7)),
+                        work_self_flip: true,
+                    },
+                    GroupSpec {
+                        fields: vec![f(3, 6)],
+                        has_interface: false,
+                        has_subclass: true,
+                        static_state: None,
+                        work_self_flip: false,
+                    },
+                ],
+                actions: vec![
+                    Action::CallWork { group: 0, sub: false },
+                    Action::CallStaticCalc { group: 0 },
+                    Action::Flip { group: 1, sub: false, field: 0, alt: true },
+                    Action::CallWork { group: 1, sub: true },
+                    Action::CallViaInterface { group: 0 },
+                    Action::Flip { group: 1, sub: false, field: 0, alt: false },
+                    Action::CallWork { group: 1, sub: false },
+                ],
+                iters: 120,
+            },
+        ),
         // Static (class-TIB/JTOC) state flipping under a specialized
         // static reader, alongside instance state on the same class.
         (

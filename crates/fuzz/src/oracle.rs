@@ -2,10 +2,12 @@
 //! every lattice entry and compare fingerprints at the strictness each
 //! pairing is entitled to (see [`crate::lattice`]).
 
-use crate::lattice::{ConfigSpec, Fault};
+use crate::lattice::{ConfigSpec, Fault, FleetMode};
 use dchm_core::MutationPlan;
 use dchm_testutil::{attach_plan, observe, Obs};
-use dchm_vm::{FaultConfig, FaultInjector, VmConfig};
+use dchm_vm::fleet::{run_fleet, FleetConfig};
+use dchm_vm::{FaultConfig, FaultInjector, SharedCodeCache, VmConfig};
+use std::sync::Arc;
 
 /// Heap for configs that should collect during allocation bursts: sized so
 /// a few hundred burst objects (header + 8 bytes per field) exhaust it and
@@ -89,39 +91,77 @@ pub fn run_config(p: &dchm_bytecode::Program, plan: &MutationPlan, c: &ConfigSpe
         cfg.max_frame_depth = Some(depth);
     }
 
-    let mut vm = attach_plan(p, plan, cfg);
-    if c.tracing {
-        vm.enable_tracing(16 * 1024);
-    }
-    match c.fault {
-        Fault::None => {}
-        Fault::Transparent(seed) => {
-            vm.state.injector = Some(FaultInjector::new(FaultConfig {
-                period: 1,
-                ..FaultConfig::transparent(seed)
-            }));
+    // One tenant run. The fingerprint stays host-free (`FuzzObs` carries
+    // only modeled observables and is compared with `==`); the wall and
+    // shared-cache counters ride alongside so fleet modes can assert them
+    // without ever leaking into the compared value.
+    let run_one = |shared: Option<Arc<SharedCodeCache>>| -> (FuzzObs, u64, u64) {
+        let mut vm = attach_plan(p, plan.clone(), cfg.clone());
+        if let Some(sc) = shared {
+            vm.state.attach_shared_cache(sc);
         }
-        Fault::GuardFail(seed) => {
-            vm.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(seed)));
+        if c.tracing {
+            vm.enable_tracing(16 * 1024);
         }
-        Fault::CompileFail(seed) => {
-            vm.state.injector = Some(FaultInjector::new(FaultConfig::compile_failures(seed)));
+        match c.fault {
+            Fault::None => {}
+            Fault::Transparent(seed) => {
+                vm.state.injector = Some(FaultInjector::new(FaultConfig {
+                    period: 1,
+                    ..FaultConfig::transparent(seed)
+                }));
+            }
+            Fault::GuardFail(seed) => {
+                vm.state.injector = Some(FaultInjector::new(FaultConfig::guard_failures(seed)));
+            }
+            Fault::CompileFail(seed) => {
+                vm.state.injector = Some(FaultInjector::new(FaultConfig::compile_failures(seed)));
+            }
         }
-    }
 
-    let result = format!("{:?}", vm.run_entry());
-    let s = vm.stats();
-    FuzzObs {
-        result,
-        obs: observe(&vm),
-        tib_flips: s.tib_flips,
-        special_tibs: s.special_tibs,
-        guard_failures: s.guard_failures,
-        deopts: s.deopts,
-        specials_throttled: s.specials_throttled,
-        specials_blacklisted: s.specials_blacklisted,
-        compile_failures: s.compile_failures,
-        compile_quarantines: s.compile_quarantines,
+        let result = format!("{:?}", vm.run_entry());
+        let s = vm.stats();
+        let obs = FuzzObs {
+            result,
+            obs: observe(&vm),
+            tib_flips: s.tib_flips,
+            special_tibs: s.special_tibs,
+            guard_failures: s.guard_failures,
+            deopts: s.deopts,
+            specials_throttled: s.specials_throttled,
+            specials_blacklisted: s.specials_blacklisted,
+            compile_failures: s.compile_failures,
+            compile_quarantines: s.compile_quarantines,
+        };
+        (obs, vm.state.compile_wall_nanos, vm.state.shared_misses)
+    };
+
+    match c.fleet {
+        FleetMode::Solo => run_one(None).0,
+        FleetMode::SharedFleet => {
+            // The identical run executed on a fleet shard thread with a
+            // shared cache attached; the clock-group comparison against the
+            // solo reference proves the whole stack transparent.
+            let shared = Arc::new(SharedCodeCache::new(1024));
+            run_fleet(&FleetConfig::dynamic(2), &[()], |_ctx, ()| {
+                run_one(Some(Arc::clone(&shared))).0
+            })
+            .results
+            .into_iter()
+            .next()
+            .expect("one job yields one result")
+        }
+        FleetMode::TenantPair => {
+            // Tenant 1 populates, tenant 2 must be answered entirely from
+            // the cache: zero misses, hence *exactly* zero compiler wall.
+            let shared = Arc::new(SharedCodeCache::new(1024));
+            let (first, _, _) = run_one(Some(Arc::clone(&shared)));
+            let (second, wall, misses) = run_one(Some(shared));
+            assert_eq!(first, second, "identical tenants diverged");
+            assert_eq!(misses, 0, "tenant 2 fell through to its compiler");
+            assert_eq!(wall, 0, "tenant 2 ran a compiler pipeline");
+            second
+        }
     }
 }
 

@@ -114,6 +114,50 @@ fn static_state_flip_conforms() {
     check_case("static-state-flip");
 }
 
+#[test]
+fn two_tenant_shared_conforms() {
+    // The lattice replay includes the `fleet-shared-cache` and
+    // `two-tenant-shared` configs, whose oracle already asserts the second
+    // tenant runs zero compiler pipelines.
+    check_case("two-tenant-shared");
+
+    // And directly: the scenario must actually exercise shared
+    // compilation — a tenant that never compiles would pass the lattice
+    // check vacuously.
+    use dchm_testutil::{attach_plan, observe};
+    use dchm_vm::{SharedCodeCache, VmConfig};
+    use std::sync::Arc;
+    let (p, plan) = compile_spec(&load("two-tenant-shared")).unwrap();
+    let shared = Arc::new(SharedCodeCache::new(1024));
+    let run = || {
+        let cfg = VmConfig {
+            sample_period: 600,
+            opt1_samples: 2,
+            opt2_samples: 4,
+            code_cache_capacity: 1024,
+            fuel: Some(20_000_000),
+            ..VmConfig::default()
+        };
+        let mut vm = attach_plan(&p, plan.clone(), cfg);
+        vm.state.attach_shared_cache(Arc::clone(&shared));
+        let result = format!("{:?}", vm.run_entry());
+        (
+            (result, observe(&vm)),
+            vm.state.compile_wall_nanos,
+            vm.state.shared_hits,
+            vm.state.shared_misses,
+        )
+    };
+    let (fp1, wall1, _hits1, misses1) = run();
+    let (fp2, wall2, hits2, misses2) = run();
+    assert_eq!(fp1, fp2, "identical tenants diverged");
+    assert!(misses1 > 0, "tenant 1 never compiled — scenario too trivial");
+    assert!(wall1 > 0, "tenant 1 paid no compiler wall");
+    assert!(hits2 > 0, "tenant 2 adopted nothing");
+    assert_eq!(misses2, 0, "tenant 2 fell through to its compiler");
+    assert_eq!(wall2, 0, "tenant 2 ran a compiler pipeline");
+}
+
 /// Every corpus case replayed with the cycle-attribution profiler armed:
 /// output and modeled clock must match the unprofiled reference
 /// bit-for-bit, and the busy cases must actually collect samples. (The

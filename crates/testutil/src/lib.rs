@@ -14,6 +14,8 @@
 //! sense compare equal here — output text, checksum, the modeled clock and
 //! its execution/GC split, and the op count.
 
+pub mod fleet;
+
 use dchm_bytecode::{CmpOp, ElemKind, MethodSig, Program, ProgramBuilder, Ty, Value};
 use dchm_core::pipeline::{prepare, PipelineConfig, Prepared};
 use dchm_core::{HotState, MutableClass, MutationEngine, MutationPlan, OlcReport};

@@ -1,0 +1,108 @@
+//! Fleet-side trace aggregation: each shard of a `dchm-vm` fleet keeps
+//! its own ring, profiler and metrics — all bit-identical to its solo
+//! twin — and the aggregator merges those per-shard views *after* the
+//! runs, so aggregation can never perturb a shard's modeled state.
+//!
+//! Three merged views exist:
+//!
+//! * [`crate::metrics::MetricsSnapshot::merge`] — tallies sum, histograms
+//!   add bucket-wise, the fleet clock is the shard max.
+//! * [`merge_folded`] — per-shard `.folded` profiles concatenate under a
+//!   `shardN;` root frame, so a flamegraph of the fleet shows one subtree
+//!   per shard while leaf attribution (the last frame) is untouched.
+//! * [`crate::export::fleet_chrome_trace`] — per-shard Perfetto tracks,
+//!   one process per shard with shard-prefixed labels.
+
+/// The root frame prefixed to shard `i`'s stacks: `shard3`.
+pub fn shard_frame(shard: usize) -> String {
+    format!("shard{shard}")
+}
+
+/// Prefixes every stack of one `.folded` profile with the shard's root
+/// frame. Empty profiles (profiling off, or no samples) stay empty.
+pub fn prefix_folded(shard: usize, folded: &str) -> String {
+    let frame = shard_frame(shard);
+    let mut out = String::with_capacity(folded.len() + folded.lines().count() * (frame.len() + 1));
+    for line in folded.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        out.push_str(&frame);
+        out.push(';');
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Merges per-shard `.folded` profiles (index = shard id) into one
+/// fleet-wide profile: each shard's stacks appear under its
+/// [`shard_frame`] root. Line order is shard order then the shard's own
+/// deterministic order, so the merge is reproducible.
+pub fn merge_folded(folded: &[String]) -> String {
+    let mut out = String::new();
+    for (shard, f) in folded.iter().enumerate() {
+        out.push_str(&prefix_folded(shard, f));
+    }
+    out
+}
+
+/// Splits a fleet-merged stack back into `(shard, solo stack)`. Returns
+/// `None` for stacks without a `shardN;` root — i.e. solo profiles pass
+/// through consumers unchanged.
+pub fn split_shard(stack: &str) -> Option<(usize, &str)> {
+    let (head, rest) = stack.split_once(';')?;
+    let digits = head.strip_prefix("shard")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((digits.parse().ok()?, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_profiles_nest_under_shard_roots() {
+        let shards = vec![
+            "main;hot 10\nmain;cold 2\n".to_string(),
+            String::new(),
+            "main;hot 7\n".to_string(),
+        ];
+        let merged = merge_folded(&shards);
+        assert_eq!(
+            merged,
+            "shard0;main;hot 10\nshard0;main;cold 2\nshard2;main;hot 7\n"
+        );
+        // Round-trip: every merged line splits back to its shard + stack.
+        for line in merged.lines() {
+            let (stack, _count) = line.rsplit_once(' ').unwrap();
+            let (shard, solo) = split_shard(stack).unwrap();
+            assert!(shard == 0 || shard == 2);
+            assert!(solo.starts_with("main;"));
+        }
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_leaf_frames_survive() {
+        let shards = vec!["a;b 1\n".to_string(), "a;b 1\n".to_string()];
+        assert_eq!(merge_folded(&shards), merge_folded(&shards));
+        // The leaf frame (what leaf-ranking consumers key on) is the solo
+        // leaf, not the shard root.
+        let merged = merge_folded(&shards);
+        for line in merged.lines() {
+            let (stack, _) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.rsplit(';').next(), Some("b"));
+        }
+    }
+
+    #[test]
+    fn split_rejects_solo_and_malformed_stacks() {
+        assert_eq!(split_shard("main;hot"), None);
+        assert_eq!(split_shard("shard;x"), None);
+        assert_eq!(split_shard("shardX;x"), None);
+        assert_eq!(split_shard("shard12"), None); // no solo stack follows
+        assert_eq!(split_shard("shard12;m;n"), Some((12, "m;n")));
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod census;
 pub mod export;
+pub mod fleet;
 pub mod metrics;
 pub mod profile;
 

@@ -222,6 +222,203 @@ impl CodeCache {
     }
 }
 
+// --------------------------------------------------------------------------
+// Fleet-shared artifact cache
+// --------------------------------------------------------------------------
+
+/// One immutable compilation product in the form the fleet shares it:
+/// everything a tenant VM needs to install the code locally, behind `Arc`s
+/// so any number of tenants reference a single allocation. A hit hands out
+/// clones of these handles — never indices into another VM's code table —
+/// so eviction can only drop the *map entry*; every artifact a tenant has
+/// already adopted (or holds mid-install) stays alive through its `Arc`s.
+/// That is the structural fix for cross-tenant LRU churn: one tenant's
+/// evictions can never invalidate another tenant's in-flight code.
+///
+/// `compile_cycles` is the modeled cost the original compilation billed;
+/// each adopting shard re-bills it in full, so a shard's modeled clock is
+/// bit-identical whether its compile was answered here or run locally.
+#[derive(Clone, Debug)]
+pub struct SharedArtifact {
+    /// The compiled function body.
+    pub func: std::sync::Arc<dchm_ir::Function>,
+    /// Dispatch/cost metadata derived from `func`.
+    pub meta: std::sync::Arc<crate::state::CodeMeta>,
+    /// Modeled machine-code size in bytes.
+    pub size_bytes: usize,
+    /// Modeled cycles the compilation costs (re-billed per adopting shard).
+    pub compile_cycles: u64,
+    /// Deopt side table for guarded specialized versions.
+    pub deopt: Option<std::sync::Arc<crate::compiler::DeoptInfo>>,
+}
+
+/// A point-in-time read of the shared cache's host-side counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Probes answered with an artifact.
+    pub hits: u64,
+    /// Probes that fell through to a tenant's compiler.
+    pub misses: u64,
+    /// Artifacts published (first publisher per key wins).
+    pub inserts: u64,
+    /// Map entries dropped by the capacity bound.
+    pub evictions: u64,
+    /// Artifacts currently mapped.
+    pub entries: usize,
+    /// Baseline lifts currently mapped.
+    pub baselines: usize,
+}
+
+#[derive(Debug)]
+struct SharedEntry {
+    artifact: SharedArtifact,
+    /// Logical access tick; atomic so probes only need the read lock.
+    last_used: std::sync::atomic::AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct SharedMaps {
+    artifacts: HashMap<(u64, u32, u8, u64), SharedEntry>,
+    baselines: HashMap<(u64, u32), std::sync::Arc<dchm_ir::Function>>,
+}
+
+/// The fleet-wide, read-mostly compile-artifact cache shared by every shard.
+///
+/// Keys extend the local [`CodeCache`] key `(method, level, binding_fp)`
+/// with a *scope* fingerprint folding the tenant's full program text and
+/// its compiler-environment fingerprint. Compilation is a pure function of
+/// exactly those inputs, so two tenants that agree on the scope would
+/// produce bit-identical artifacts — sharing is safe across different
+/// programs in one fleet because their scopes never collide.
+///
+/// Concurrency: probes take only a read lock (the LRU tick per entry is an
+/// atomic), publishes take the write lock. Under racing publishers for one
+/// key the first insert wins and later ones are dropped — harmless, both
+/// racers hold bit-identical artifacts. All counters are host-side only;
+/// nothing here touches a modeled observable, a [`crate::stats::VmStats`]
+/// field, or a trace ring, which is what keeps every shard's run
+/// bit-identical to its solo twin.
+#[derive(Debug)]
+pub struct SharedCodeCache {
+    maps: std::sync::RwLock<SharedMaps>,
+    capacity: usize,
+    tick: std::sync::atomic::AtomicU64,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    inserts: std::sync::atomic::AtomicU64,
+    evictions: std::sync::atomic::AtomicU64,
+}
+
+impl SharedCodeCache {
+    /// A cache holding at most `capacity` artifacts (0 disables it; the
+    /// baseline-lift map is unbounded — one small entry per method).
+    pub fn new(capacity: usize) -> Self {
+        SharedCodeCache {
+            maps: std::sync::RwLock::default(),
+            capacity,
+            tick: Default::default(),
+            hits: Default::default(),
+            misses: Default::default(),
+            inserts: Default::default(),
+            evictions: Default::default(),
+        }
+    }
+
+    /// Folds a program fingerprint and a compiler-environment fingerprint
+    /// into the scope key component.
+    pub fn scope_of(program_fp: u64, env_fp: u64) -> u64 {
+        let mut h = Fnv::new();
+        h.mix_u64(program_fp);
+        h.mix_u64(env_fp);
+        h.finish()
+    }
+
+    /// Looks up the artifact for a compile request. Read lock only.
+    pub fn probe(&self, scope: u64, method: u32, level: u8, binding_fp: u64) -> Option<SharedArtifact> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.capacity == 0 {
+            return None;
+        }
+        let maps = self.maps.read().expect("shared cache poisoned");
+        match maps.artifacts.get(&(scope, method, level, binding_fp)) {
+            Some(e) => {
+                e.last_used
+                    .store(self.tick.fetch_add(1, Relaxed) + 1, Relaxed);
+                self.hits.fetch_add(1, Relaxed);
+                Some(e.artifact.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes a freshly compiled artifact. First publisher per key wins;
+    /// at capacity the least-recently-used entry (ties broken on the
+    /// smallest key, as in [`CodeCache`]) is dropped from the map — held
+    /// `Arc`s keep it alive for everyone who already adopted it.
+    pub fn insert(&self, scope: u64, method: u32, level: u8, binding_fp: u64, artifact: SharedArtifact) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.capacity == 0 {
+            return;
+        }
+        let mut maps = self.maps.write().expect("shared cache poisoned");
+        let key = (scope, method, level, binding_fp);
+        if maps.artifacts.contains_key(&key) {
+            return;
+        }
+        if maps.artifacts.len() >= self.capacity {
+            let victim = maps
+                .artifacts
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used.load(Relaxed), **k))
+                .map(|(k, _)| *k);
+            if let Some(v) = victim {
+                maps.artifacts.remove(&v);
+                self.evictions.fetch_add(1, Relaxed);
+            }
+        }
+        maps.artifacts.insert(
+            key,
+            SharedEntry {
+                artifact,
+                last_used: std::sync::atomic::AtomicU64::new(self.tick.fetch_add(1, Relaxed) + 1),
+            },
+        );
+        self.inserts.fetch_add(1, Relaxed);
+    }
+
+    /// Looks up the shared baseline lift for `method` (uncounted: baseline
+    /// adoption is already tracked by each tenant's `LiftCache` counters).
+    pub fn baseline(&self, scope: u64, method: u32) -> Option<std::sync::Arc<dchm_ir::Function>> {
+        let maps = self.maps.read().expect("shared cache poisoned");
+        maps.baselines
+            .get(&(scope, method))
+            .map(std::sync::Arc::clone)
+    }
+
+    /// Publishes a baseline lift (first publisher wins).
+    pub fn publish_baseline(&self, scope: u64, method: u32, func: std::sync::Arc<dchm_ir::Function>) {
+        let mut maps = self.maps.write().expect("shared cache poisoned");
+        maps.baselines.entry((scope, method)).or_insert(func);
+    }
+
+    /// Snapshot of the host-side counters and sizes.
+    pub fn stats(&self) -> SharedCacheStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let maps = self.maps.read().expect("shared cache poisoned");
+        SharedCacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            inserts: self.inserts.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            entries: maps.artifacts.len(),
+            baselines: maps.baselines.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +529,109 @@ mod tests {
         assert_eq!(c.probe(1, 0, 0, 9), Probe::Disabled);
         assert!(c.insert(1, 0, 0, 9, CompiledId(1), 10).is_none());
         assert!(c.is_empty());
+    }
+
+    // ---------------------------------------------------------------- shared
+
+    use crate::state::CodeMeta;
+    use std::sync::Arc;
+
+    fn artifact(cycles: u64) -> SharedArtifact {
+        let func = Arc::new(dchm_ir::Function {
+            blocks: vec![],
+            num_regs: 0,
+            arg_count: 0,
+        });
+        let meta = Arc::new(CodeMeta::build(&func));
+        SharedArtifact {
+            func,
+            meta,
+            size_bytes: 16,
+            compile_cycles: cycles,
+            deopt: None,
+        }
+    }
+
+    #[test]
+    fn shared_probe_insert_roundtrip_counts() {
+        let c = SharedCodeCache::new(8);
+        assert!(c.probe(1, 2, 0, 9).is_none());
+        c.insert(1, 2, 0, 9, artifact(123));
+        let hit = c.probe(1, 2, 0, 9).expect("hit after insert");
+        assert_eq!(hit.compile_cycles, 123);
+        // A different scope never sees another tenant's artifact.
+        assert!(c.probe(2, 2, 0, 9).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 2, 1, 1));
+    }
+
+    #[test]
+    fn shared_first_publisher_wins() {
+        let c = SharedCodeCache::new(8);
+        c.insert(1, 2, 0, 9, artifact(100));
+        c.insert(1, 2, 0, 9, artifact(200));
+        assert_eq!(c.probe(1, 2, 0, 9).unwrap().compile_cycles, 100);
+        assert_eq!(c.stats().inserts, 1);
+    }
+
+    #[test]
+    fn shared_eviction_never_invalidates_adopted_artifacts() {
+        // The stale-hit regression (mirrors the quarantine stale-hit test of
+        // the governor suite, but for cross-tenant LRU churn): tenant A
+        // adopts an artifact, tenant B's inserts churn it out of the map —
+        // A's handle must stay fully usable because eviction only drops the
+        // map entry, never the allocation.
+        let c = SharedCodeCache::new(1);
+        c.insert(1, 7, 2, 9, artifact(500));
+        let adopted = c.probe(1, 7, 2, 9).expect("tenant A adopts");
+        c.insert(1, 8, 2, 9, artifact(600)); // tenant B evicts A's entry
+        assert!(c.probe(1, 7, 2, 9).is_none(), "entry churned out");
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(adopted.compile_cycles, 500);
+        assert_eq!(adopted.meta.num_sites, 0);
+        assert!(Arc::strong_count(&adopted.func) >= 1);
+    }
+
+    #[test]
+    fn shared_lru_evicts_least_recently_probed() {
+        let c = SharedCodeCache::new(2);
+        c.insert(1, 1, 0, 9, artifact(1));
+        c.insert(1, 2, 0, 9, artifact(2));
+        // Touch method 1 so method 2 is the LRU victim.
+        assert!(c.probe(1, 1, 0, 9).is_some());
+        c.insert(1, 3, 0, 9, artifact(3));
+        assert!(c.probe(1, 1, 0, 9).is_some());
+        assert!(c.probe(1, 2, 0, 9).is_none());
+        assert!(c.probe(1, 3, 0, 9).is_some());
+    }
+
+    #[test]
+    fn shared_disabled_is_inert() {
+        let c = SharedCodeCache::new(0);
+        c.insert(1, 2, 0, 9, artifact(1));
+        assert!(c.probe(1, 2, 0, 9).is_none());
+        let s = c.stats();
+        assert_eq!((s.inserts, s.entries, s.hits, s.misses), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn shared_baselines_first_publisher_wins() {
+        let c = SharedCodeCache::new(4);
+        assert!(c.baseline(1, 5).is_none());
+        let f = Arc::new(dchm_ir::Function {
+            blocks: vec![],
+            num_regs: 3,
+            arg_count: 1,
+        });
+        c.publish_baseline(1, 5, Arc::clone(&f));
+        let g = Arc::new(dchm_ir::Function {
+            blocks: vec![],
+            num_regs: 9,
+            arg_count: 1,
+        });
+        c.publish_baseline(1, 5, g);
+        assert!(Arc::ptr_eq(&c.baseline(1, 5).unwrap(), &f));
+        assert!(c.baseline(2, 5).is_none());
+        assert_eq!(c.stats().baselines, 1);
     }
 }

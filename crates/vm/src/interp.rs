@@ -36,7 +36,7 @@ use dchm_trace::{FaultKind, Stamped, TraceEvent, NO_ID};
 use dchm_ir::Term;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Extra cycles for an IMT conflict stub search (Sec. 3.2.3).
 const IMT_CONFLICT_COST: u64 = 6;
@@ -231,8 +231,8 @@ impl Vm {
                 None => break,
             };
             let cm = &self.state.code[cid.index()];
-            let func = Rc::clone(&cm.func);
-            let meta = Rc::clone(&cm.meta);
+            let func = Arc::clone(&cm.func);
+            let meta = Arc::clone(&cm.meta);
             // The ops in `seg..oi` form the straight-line segment executed
             // since the last flush; its cycle cost is the prefix-sum
             // difference, so nothing is accumulated per op. Flushed before

@@ -26,6 +26,11 @@
 //!   faults) can be recorded into a bounded ring buffer ([`trace`],
 //!   enabled via [`interp::Vm::enable_tracing`]) without perturbing the
 //!   modeled clock.
+//! * **Sharded serving**: a parallel fleet executor ([`fleet`]) running
+//!   many tenant VMs over a job queue, with a fleet-wide shared
+//!   compile-artifact cache ([`codecache::SharedCodeCache`]) so one
+//!   tenant's compile is a zero-wall-cost hit for every identical tenant
+//!   — while each shard's modeled run stays bit-identical to solo.
 //! * **Attribution**: a deterministic cycle-sampling profiler over
 //!   (method × tier × receiver-state) cells ([`interp::Vm::profile`],
 //!   `VmConfig::profile_period`) and an on-demand/GC-triggered heap &
@@ -60,6 +65,7 @@
 pub mod codecache;
 pub mod compiler;
 pub mod error;
+pub mod fleet;
 pub mod governor;
 pub mod heap;
 pub mod hooks;
@@ -68,7 +74,11 @@ pub mod state;
 pub mod stats;
 pub mod tib;
 
-pub use codecache::{binding_fingerprint, CodeCache, Evicted, Probe};
+pub use codecache::{
+    binding_fingerprint, CodeCache, Evicted, Probe, SharedArtifact, SharedCacheStats,
+    SharedCodeCache,
+};
+pub use fleet::{lpt_assignment, makespan, run_fleet, FleetConfig, FleetRun, Schedule, ShardCtx};
 pub use compiler::{CompileEnv, DeoptInfo, DeoptPoint};
 pub use error::RunError;
 pub use governor::{Governor, GovernorConfig, GuardFailVerdict};

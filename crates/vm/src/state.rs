@@ -2,7 +2,7 @@
 //! bookkeeping, heap plumbing and the public surface the mutation engine
 //! drives (special-TIB creation, slot patching, special compilation).
 
-use crate::codecache::{binding_fingerprint, CodeCache, Probe};
+use crate::codecache::{binding_fingerprint, CodeCache, Probe, SharedArtifact, SharedCodeCache};
 use crate::compiler;
 use crate::error::RunError;
 use crate::governor::{Governor, GovernorConfig, GuardFailVerdict};
@@ -175,10 +175,11 @@ pub struct CompiledMethod {
     pub level: u8,
     /// True for state-specialized (mutation) versions.
     pub special: bool,
-    /// The executable IR.
-    pub func: Rc<Function>,
+    /// The executable IR. `Arc` (not `Rc`): the allocation may be shared
+    /// with other tenant VMs through the fleet's [`SharedCodeCache`].
+    pub func: Arc<Function>,
     /// Fast-path metadata (inline-cache site numbering, cost prefix sums).
-    pub meta: Rc<CodeMeta>,
+    pub meta: Arc<CodeMeta>,
     /// Modeled machine-code size in bytes.
     pub size_bytes: usize,
     /// Canonical fingerprint of the state bindings this code was compiled
@@ -193,7 +194,7 @@ pub struct CompiledMethod {
     pub blocked_until: u64,
     /// Deopt side table: present only on guarded specialized versions,
     /// mapping each planted guard id to the baseline resume point.
-    pub deopt: Option<Rc<compiler::DeoptInfo>>,
+    pub deopt: Option<Arc<compiler::DeoptInfo>>,
 }
 
 /// VM configuration.
@@ -431,8 +432,24 @@ pub struct VmState {
     pub lift_cache: LiftCache,
     /// Host wall-clock nanoseconds spent inside the compiler pipeline.
     /// *Not* modeled time — benchmarks read it to measure what the code
-    /// cache and batched compilation actually save on the host.
+    /// cache and batched compilation actually save on the host. Strictly
+    /// zero when every compile request of a run was answered by a cache.
     pub compile_wall_nanos: u64,
+    /// Fleet-wide shared artifact cache; `None` outside a fleet. Probed by
+    /// every compile path after the local [`CodeCache`], purely host-side:
+    /// a hit skips the compiler pipeline but bills, installs and traces
+    /// exactly as a local compile would.
+    shared_cache: Option<Arc<SharedCodeCache>>,
+    /// FNV fingerprint of the program text, computed when a shared cache is
+    /// attached; folded with the compiler-environment fingerprint into the
+    /// shared cache's scope key so distinct tenants never collide.
+    program_fp: u64,
+    /// Shared-cache probes this VM had answered with an artifact. Host-side
+    /// counter — deliberately *not* a [`VmStats`] field, which must stay
+    /// bit-identical between a shard and its solo twin.
+    pub shared_hits: u64,
+    /// Shared-cache probes this VM saw fall through to its own compiler.
+    pub shared_misses: u64,
     /// Resilience-governor state (storm sites, compile quarantines). Pure
     /// host-side bookkeeping; see [`crate::governor`].
     pub governor: Governor,
@@ -584,9 +601,36 @@ impl VmState {
             code_cache,
             lift_cache: LiftCache::new(),
             compile_wall_nanos: 0,
+            shared_cache: None,
+            program_fp: 0,
+            shared_hits: 0,
+            shared_misses: 0,
             governor: Governor::default(),
             poisoned: false,
         }
+    }
+
+    /// Attaches the fleet-wide shared artifact cache. Attach right after
+    /// engine attach (before the first run): attaching later is safe but
+    /// forfeits sharing of compiles that already happened. Fingerprints the
+    /// full program text once; together with the per-request compiler
+    /// environment fingerprint that scopes every shared key, so only
+    /// tenants whose compiles are bit-identical by construction — same
+    /// program, same plan/hints/inlining — ever share an entry.
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedCodeCache>) {
+        let mut h = compiler::Fnv::new();
+        for chunk in format!("{:?}", self.program).as_bytes().chunks(8) {
+            let mut v = [0u8; 8];
+            v[..chunk.len()].copy_from_slice(chunk);
+            h.mix_u64(u64::from_le_bytes(v));
+        }
+        self.program_fp = h.finish();
+        self.shared_cache = Some(cache);
+    }
+
+    /// The shared cache attached to this VM, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedCodeCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// The compiled method behind an id.
@@ -737,11 +781,9 @@ impl VmState {
             }
             Probe::Disabled => {}
         }
-        let t0 = Instant::now();
-        let outcome = self.run_compiler(mid, level, bindings, env_fp);
-        self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
-        let cost = outcome.compile_cycles;
-        let cid = self.install_outcome(mid, level, special, binding_fp, outcome);
+        let a = self.produce_artifact(mid, level, bindings, binding_fp, env_fp);
+        let cost = a.compile_cycles;
+        let cid = self.install_artifact(mid, level, special, binding_fp, a);
         self.cache_insert((mid.0, level, binding_fp), env_fp, cid, cost, false);
         Some(cid)
     }
@@ -797,9 +839,62 @@ impl VmState {
         compiler::compile_in(&env, &baseline, mid, level, bindings)
     }
 
+    /// Produces the artifact for one compile request: probes the fleet's
+    /// shared cache when one is attached (compilation is deterministic, so
+    /// the artifact another tenant published is bit for bit what this
+    /// compiler would produce), otherwise runs the pipeline and publishes
+    /// the result for the other tenants. Only the pipeline itself is
+    /// wall-timed: a request answered by the shared cache adds exactly zero
+    /// to [`Self::compile_wall_nanos`]. Pure host work — bills nothing,
+    /// installs nothing, touches no modeled observable.
+    fn produce_artifact(
+        &mut self,
+        mid: MethodId,
+        level: u8,
+        bindings: Option<&Bindings>,
+        binding_fp: u64,
+        env_fp: u64,
+    ) -> SharedArtifact {
+        let scope = SharedCodeCache::scope_of(self.program_fp, env_fp);
+        if let Some(sc) = &self.shared_cache {
+            if let Some(a) = sc.probe(scope, mid.0, level, binding_fp) {
+                self.shared_hits += 1;
+                return a;
+            }
+            self.shared_misses += 1;
+        }
+        let t0 = Instant::now();
+        let outcome = self.run_compiler(mid, level, bindings, env_fp);
+        self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
+        // Metadata derivation stays outside the wall timer, exactly as the
+        // pre-fleet `push_code` built it after the timed pipeline returned.
+        let a = Self::artifact_of(outcome);
+        if let Some(sc) = &self.shared_cache {
+            sc.insert(scope, mid.0, level, binding_fp, a.clone());
+        }
+        a
+    }
+
+    /// Wraps a raw compiler outcome into the Arc'd shareable form.
+    fn artifact_of(outcome: compiler::CompileOutcome) -> SharedArtifact {
+        let func = Arc::new(outcome.func);
+        let meta = Arc::new(CodeMeta::build(&func));
+        SharedArtifact {
+            func,
+            meta,
+            size_bytes: outcome.size_bytes,
+            compile_cycles: outcome.compile_cycles,
+            deopt: outcome.deopt.map(Arc::new),
+        }
+    }
+
     /// The memoized baseline (lifted + instrumented) IR of `mid`, computed
-    /// at most once per method and compiler environment.
+    /// at most once per method and compiler environment. With a shared
+    /// cache attached the lift itself is fetched from (or published to) the
+    /// fleet's baseline map, and the local `LiftCache` still hash-conses
+    /// whatever comes back.
     fn baseline_for(&mut self, mid: MethodId, env_fp: u64) -> Arc<Function> {
+        let scope = SharedCodeCache::scope_of(self.program_fp, env_fp);
         // Split borrows: the lift cache is mutated while the compile
         // environment borrows the rest of the state.
         let VmState {
@@ -809,6 +904,7 @@ impl VmState {
             ref unique_impl,
             ref config,
             ref mut lift_cache,
+            ref shared_cache,
             ..
         } = *self;
         let env = compiler::CompileEnv {
@@ -820,7 +916,17 @@ impl VmState {
             max_inline_size: config.max_inline_size,
             max_inline_depth: config.max_inline_depth,
         };
-        lift_cache.get_or_lift(mid.0, env_fp, || compiler::lift_baseline(&env, mid))
+        match shared_cache {
+            Some(sc) => lift_cache.get_or_adopt(mid.0, env_fp, || match sc.baseline(scope, mid.0) {
+                Some(f) => f,
+                None => {
+                    let f = Arc::new(compiler::lift_baseline(&env, mid));
+                    sc.publish_baseline(scope, mid.0, Arc::clone(&f));
+                    f
+                }
+            }),
+            None => lift_cache.get_or_lift(mid.0, env_fp, || compiler::lift_baseline(&env, mid)),
+        }
     }
 
     /// Bills one compilation: modeled clock plus the compile statistics,
@@ -839,48 +945,50 @@ impl VmState {
         }
     }
 
-    /// Appends a compiled method (and its inline-cache row) to the code
-    /// store. No billing, no trace.
-    fn push_code(
+    /// Appends a compiled artifact (and its inline-cache row) to the code
+    /// store. No billing, no trace. The artifact's `Arc`s are adopted as-is
+    /// — for a shared-cache hit that means zero copies of the function body
+    /// or its metadata; the per-VM inline-cache row and governor verdict
+    /// cache (`blocked_until`) stay private to this tenant.
+    fn push_artifact(
         &mut self,
         mid: MethodId,
         level: u8,
         special: bool,
         binding_fp: u64,
-        outcome: compiler::CompileOutcome,
+        a: SharedArtifact,
     ) -> CompiledId {
         let cid = CompiledId(self.code.len() as u32);
-        let func = Rc::new(outcome.func);
-        let meta = Rc::new(CodeMeta::build(&func));
-        self.icaches.push(vec![IcEntry::EMPTY; meta.num_sites as usize]);
+        self.icaches
+            .push(vec![IcEntry::EMPTY; a.meta.num_sites as usize]);
         self.code.push(CompiledMethod {
             method: mid,
             level,
             special,
-            func,
-            meta,
-            size_bytes: outcome.size_bytes,
+            func: a.func,
+            meta: a.meta,
+            size_bytes: a.size_bytes,
             binding_fp,
             blocked_until: 0,
-            deopt: outcome.deopt.map(Rc::new),
+            deopt: a.deopt,
         });
         cid
     }
 
-    /// Bills, stores and trace-stamps a fresh compilation outcome — the
-    /// cache-miss tail of [`Self::compile_internal`].
-    fn install_outcome(
+    /// Bills, stores and trace-stamps a produced artifact — the cache-miss
+    /// tail of [`Self::compile_internal`].
+    fn install_artifact(
         &mut self,
         mid: MethodId,
         level: u8,
         special: bool,
         binding_fp: u64,
-        outcome: compiler::CompileOutcome,
+        a: SharedArtifact,
     ) -> CompiledId {
-        let size = outcome.size_bytes;
-        let cost = outcome.compile_cycles;
+        let size = a.size_bytes;
+        let cost = a.compile_cycles;
         self.bill_compile(special, level, size, cost);
-        let cid = self.push_code(mid, level, special, binding_fp, outcome);
+        let cid = self.push_artifact(mid, level, special, binding_fp, a);
         if special && self.tracer.on() {
             self.tracer.emit(
                 self.clock,
@@ -1083,60 +1191,95 @@ impl VmState {
             }
         }
 
-        // Phase B — compile the jobs. Baselines are memoized on the VM
-        // thread (the lift cache is not thread-safe); the pipelines — pure
-        // functions of the `Sync` compile environment — run on workers.
-        let mut baselines: Vec<Arc<Function>> = Vec::with_capacity(jobs.len());
-        for &ri in &jobs {
-            let b = self.baseline_for(reqs[ri].method, env_fp);
-            baselines.push(b);
-        }
-        let wall = Instant::now();
-        let mut outcomes: Vec<Option<compiler::CompileOutcome>>;
-        {
-            let env = compiler::CompileEnv::of(self);
-            let threads = rayon::current_num_threads().min(jobs.len());
-            if jobs.len() < 2 || threads < 2 {
-                outcomes = Vec::with_capacity(jobs.len());
-                for (j, &ri) in jobs.iter().enumerate() {
-                    let r = &reqs[ri];
-                    outcomes.push(Some(compiler::compile_in(
-                        &env,
-                        &baselines[j],
-                        r.method,
-                        r.level,
-                        r.bindings.as_ref(),
-                    )));
-                }
-            } else {
-                // A shared work index keeps workers busy regardless of how
-                // uneven individual compile times are.
-                let next = AtomicUsize::new(0);
-                let out: Mutex<Vec<Option<compiler::CompileOutcome>>> =
-                    Mutex::new((0..jobs.len()).map(|_| None).collect());
-                rayon::scope(|s| {
-                    for _ in 0..threads {
-                        s.spawn(|_| loop {
-                            let j = next.fetch_add(1, Ordering::Relaxed);
-                            if j >= jobs.len() {
-                                break;
-                            }
-                            let r = &reqs[jobs[j]];
-                            let o = compiler::compile_in(
-                                &env,
-                                &baselines[j],
-                                r.method,
-                                r.level,
-                                r.bindings.as_ref(),
-                            );
-                            out.lock().expect("compile worker poisoned")[j] = Some(o);
-                        });
+        // Phase B — produce the artifacts. The fleet's shared cache (when
+        // attached) is probed serially first; jobs it answers skip the
+        // compiler entirely. Baselines for the remaining jobs are memoized
+        // on the VM thread (the lift cache is not thread-safe); the
+        // pipelines — pure functions of the `Sync` compile environment —
+        // run on workers. Only the compile section is wall-timed, and only
+        // when at least one job actually compiles, so a fully cache-fed
+        // batch adds exactly zero wall nanoseconds.
+        let scope = SharedCodeCache::scope_of(self.program_fp, env_fp);
+        let mut artifacts: Vec<Option<SharedArtifact>> = vec![None; jobs.len()];
+        if let Some(sc) = self.shared_cache.clone() {
+            for (j, &ri) in jobs.iter().enumerate() {
+                let r = &reqs[ri];
+                let fp = binding_fingerprint(r.bindings.as_ref());
+                match sc.probe(scope, r.method.0, r.level, fp) {
+                    Some(a) => {
+                        self.shared_hits += 1;
+                        artifacts[j] = Some(a);
                     }
-                });
-                outcomes = out.into_inner().expect("compile worker poisoned");
+                    None => self.shared_misses += 1,
+                }
             }
         }
-        self.compile_wall_nanos += wall.elapsed().as_nanos() as u64;
+        let to_compile: Vec<usize> = (0..jobs.len()).filter(|&j| artifacts[j].is_none()).collect();
+        let mut baselines: Vec<Arc<Function>> = Vec::with_capacity(to_compile.len());
+        for &j in &to_compile {
+            let b = self.baseline_for(reqs[jobs[j]].method, env_fp);
+            baselines.push(b);
+        }
+        if !to_compile.is_empty() {
+            let wall = Instant::now();
+            let mut outcomes: Vec<Option<compiler::CompileOutcome>>;
+            {
+                let env = compiler::CompileEnv::of(self);
+                let threads = rayon::current_num_threads().min(to_compile.len());
+                if to_compile.len() < 2 || threads < 2 {
+                    outcomes = Vec::with_capacity(to_compile.len());
+                    for (k, &j) in to_compile.iter().enumerate() {
+                        let r = &reqs[jobs[j]];
+                        outcomes.push(Some(compiler::compile_in(
+                            &env,
+                            &baselines[k],
+                            r.method,
+                            r.level,
+                            r.bindings.as_ref(),
+                        )));
+                    }
+                } else {
+                    // A shared work index keeps workers busy regardless of
+                    // how uneven individual compile times are.
+                    let next = AtomicUsize::new(0);
+                    let out: Mutex<Vec<Option<compiler::CompileOutcome>>> =
+                        Mutex::new((0..to_compile.len()).map(|_| None).collect());
+                    rayon::scope(|s| {
+                        for _ in 0..threads {
+                            s.spawn(|_| loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= to_compile.len() {
+                                    break;
+                                }
+                                let r = &reqs[jobs[to_compile[k]]];
+                                let o = compiler::compile_in(
+                                    &env,
+                                    &baselines[k],
+                                    r.method,
+                                    r.level,
+                                    r.bindings.as_ref(),
+                                );
+                                out.lock().expect("compile worker poisoned")[k] = Some(o);
+                            });
+                        }
+                    });
+                    outcomes = out.into_inner().expect("compile worker poisoned");
+                }
+            }
+            self.compile_wall_nanos += wall.elapsed().as_nanos() as u64;
+            // Metadata derivation and shared publication stay outside the
+            // wall timer, as on the serial path.
+            for (k, &j) in to_compile.iter().enumerate() {
+                let outcome = outcomes[k].take().expect("job compiled exactly once");
+                let a = Self::artifact_of(outcome);
+                if let Some(sc) = &self.shared_cache {
+                    let r = &reqs[jobs[j]];
+                    let fp = binding_fingerprint(r.bindings.as_ref());
+                    sc.insert(scope, r.method.0, r.level, fp, a.clone());
+                }
+                artifacts[j] = Some(a);
+            }
+        }
 
         // Phase C — serial, in request order: bill, store, trace-stamp and
         // (for recompiles) install, replicating the serial loop exactly.
@@ -1162,16 +1305,15 @@ impl VmState {
                     invalidated,
                     use_cache,
                 } => {
-                    let outcome = outcomes[job].take().expect("job compiled exactly once");
+                    let a = artifacts[job].take().expect("job produced exactly once");
                     if use_cache {
                         if invalidated {
                             self.stats.code_cache_invalidations += 1;
                         }
                         self.stats.code_cache_misses += 1;
                     }
-                    let cost = outcome.compile_cycles;
-                    let cid =
-                        self.install_outcome(r.method, r.level, special, binding_fp, outcome);
+                    let cost = a.compile_cycles;
+                    let cid = self.install_artifact(r.method, r.level, special, binding_fp, a);
                     if use_cache {
                         self.cache_insert((r.method.0, r.level, binding_fp), env_fp, cid, cost, false);
                     }
@@ -1192,13 +1334,16 @@ impl VmState {
                         // full serial compile, like the serial loop would.
                         _ => {
                             self.stats.code_cache_misses += 1;
-                            let t0 = Instant::now();
-                            let outcome =
-                                self.run_compiler(r.method, r.level, r.bindings.as_ref(), env_fp);
-                            self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
-                            let cost = outcome.compile_cycles;
-                            let cid = self
-                                .install_outcome(r.method, r.level, special, binding_fp, outcome);
+                            let a = self.produce_artifact(
+                                r.method,
+                                r.level,
+                                r.bindings.as_ref(),
+                                binding_fp,
+                                env_fp,
+                            );
+                            let cost = a.compile_cycles;
+                            let cid =
+                                self.install_artifact(r.method, r.level, special, binding_fp, a);
                             self.cache_insert(
                                 (r.method.0, r.level, binding_fp),
                                 env_fp,
@@ -1852,11 +1997,9 @@ impl VmState {
         if let Probe::Hit { cid, .. } = self.code_cache.probe(mid.0, level, binding_fp, env_fp) {
             return cid;
         }
-        let t0 = Instant::now();
-        let outcome = self.run_compiler(mid, level, None, env_fp);
-        self.compile_wall_nanos += t0.elapsed().as_nanos() as u64;
-        let cost = outcome.compile_cycles;
-        let cid = self.push_code(mid, level, false, binding_fp, outcome);
+        let a = self.produce_artifact(mid, level, None, binding_fp, env_fp);
+        let cost = a.compile_cycles;
+        let cid = self.push_artifact(mid, level, false, binding_fp, a);
         self.cache_insert((mid.0, level, binding_fp), env_fp, cid, cost, true);
         cid
     }

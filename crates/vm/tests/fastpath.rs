@@ -4,6 +4,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use dchm_bytecode::value::ObjRef;
 use dchm_bytecode::{ClassId, CmpOp, FieldId, MethodId, MethodSig, ProgramBuilder, Ty, Value};
@@ -160,8 +161,8 @@ fn unreachable_terminator_traps_instead_of_panicking() {
         num_regs: 0,
         arg_count: 0,
     };
-    vm.state.code[cid.index()].meta = Rc::new(CodeMeta::build(&broken));
-    vm.state.code[cid.index()].func = Rc::new(broken);
+    vm.state.code[cid.index()].meta = Arc::new(CodeMeta::build(&broken));
+    vm.state.code[cid.index()].func = Arc::new(broken);
 
     assert_eq!(vm.run_entry().unwrap_err(), RunError::UnreachableExecuted);
     // Post-mortem state is still consistent: the trapping frame is intact.
